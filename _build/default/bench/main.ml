@@ -1,0 +1,265 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation and times the implementation with Bechamel.
+
+   Usage: main.exe [table1|table2|fig7|equivalence|ablation|bechamel|all]
+   (default: all) *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '#')
+
+(* ------------------------------------------------------------------ *)
+(* Experiment reproduction                                            *)
+
+let run_table1 () =
+  section "E1 / Table I";
+  print_string (Report.Experiments.table1_report ())
+
+let run_table2 () =
+  section "E2 / Table II";
+  print_string (Report.Experiments.table2_report ())
+
+let run_fig7 () =
+  section "E4 / Fig 7";
+  print_string (Report.Experiments.fig7_report ())
+
+let run_equivalence () =
+  section "E3 / Functional equivalence";
+  print_string (Report.Experiments.equivalence_report ())
+
+let run_mct () =
+  section "E6 / Future work: dynamic multiple-control Toffoli";
+  print_string (Report.Experiments.mct_report ())
+
+let run_routing () =
+  section "E7 / Routing study (extension)";
+  print_string (Report.Experiments.routing_report ())
+
+let run_duration () =
+  section "E8 / Wall-clock study (extension)";
+  print_string (Report.Experiments.duration_report ())
+
+let run_scale () =
+  section "E9 / Scalability study (extension)";
+  print_string (Report.Experiments.scale_report ())
+
+let run_slots () =
+  section "E11 / Multi-slot frontier (extension)";
+  print_string (Report.Experiments.slots_report ())
+
+(* Ablation: design choices DESIGN.md calls out — ancilla sharing
+   policy (Lemma 1) and the peephole cleanup. *)
+let run_ablation () =
+  section "Ablation: ancilla sharing (Lemma 1) and peephole cleanup";
+  let rows =
+    List.concat_map
+      (fun (o : Algorithms.Oracle.t) ->
+        let dj = Algorithms.Dj.circuit o in
+        let variant label scheme =
+          let r = Dqc.Toffoli_scheme.transform scheme dj in
+          let expanded = Decompose.Pass.expand_cv r.Dqc.Transform.circuit in
+          let optimized = Decompose.Peephole.cancel_inverses expanded in
+          [
+            o.name;
+            label;
+            string_of_int (Circuit.Circ.num_qubits r.circuit);
+            string_of_int (List.length r.iteration_order);
+            string_of_int (Circuit.Metrics.gate_count expanded);
+            string_of_int (Circuit.Metrics.gate_count optimized);
+            Printf.sprintf "%.4f" (Dqc.Equivalence.tv_distance dj r);
+          ]
+        in
+        [
+          variant "dyn2 fresh" (Dqc.Toffoli_scheme.Dynamic_2_shared `Fresh);
+          variant "dyn2 per-target" Dqc.Toffoli_scheme.Dynamic_2;
+          variant "dyn2 global" (Dqc.Toffoli_scheme.Dynamic_2_shared `Global);
+        ])
+      Algorithms.Dj_toffoli.oracles
+  in
+  print_string
+    (Report.Table.render
+       ~headers:
+         [ "Benchmark"; "variant"; "qubits"; "iters"; "gates"; "peephole"; "TV" ]
+       ~rows ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing                                                    *)
+
+let make_benchmarks () =
+  let open Bechamel in
+  let bv_transform n =
+    let s = String.make n '1' in
+    Test.make
+      ~name:(Printf.sprintf "transform BV-%d" n)
+      (Staged.stage (fun () ->
+           ignore (Dqc.Transform.transform (Algorithms.Bv.circuit s))))
+  in
+  let dj_transform scheme label =
+    let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "CARRY") in
+    let dj = Algorithms.Dj.circuit o in
+    Test.make
+      ~name:(Printf.sprintf "transform DJ(CARRY) %s" label)
+      (Staged.stage (fun () ->
+           ignore (Dqc.Toffoli_scheme.transform scheme dj)))
+  in
+  let exact_dj scheme label =
+    let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND") in
+    let dj = Algorithms.Dj.circuit o in
+    let r = Dqc.Toffoli_scheme.transform scheme dj in
+    Test.make
+      ~name:(Printf.sprintf "exact dist DJ(AND) %s" label)
+      (Staged.stage (fun () ->
+           ignore (Sim.Exact.register_distribution r.Dqc.Transform.circuit)))
+  in
+  let statevector n =
+    let roles = Array.make n Circuit.Circ.Data in
+    let b = Circuit.Circ.Builder.make ~roles ~num_bits:0 () in
+    for q = 0 to n - 1 do
+      Circuit.Circ.Builder.h b q
+    done;
+    for q = 0 to n - 2 do
+      Circuit.Circ.Builder.cx b q (q + 1)
+    done;
+    let c = Circuit.Circ.Builder.build b in
+    Test.make
+      ~name:(Printf.sprintf "statevector %d qubits" n)
+      (Staged.stage (fun () ->
+           let rng = Random.State.make [| 1 |] in
+           ignore (Sim.Statevector.run ~rng c)))
+  in
+  let shots =
+    let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND") in
+    let r =
+      Dqc.Toffoli_scheme.transform Dqc.Toffoli_scheme.Dynamic_2
+        (Algorithms.Dj.circuit o)
+    in
+    Test.make ~name:"1024 shots DJ(AND) dyn2"
+      (Staged.stage (fun () ->
+           ignore (Sim.Runner.run_shots ~shots:1024 r.Dqc.Transform.circuit)))
+  in
+  let peephole =
+    let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "CARRY") in
+    let r =
+      Dqc.Toffoli_scheme.transform Dqc.Toffoli_scheme.Dynamic_1
+        (Algorithms.Dj.circuit o)
+    in
+    let expanded = Decompose.Pass.expand_cv r.Dqc.Transform.circuit in
+    Test.make ~name:"peephole DJ(CARRY) dyn1"
+      (Staged.stage (fun () ->
+           ignore (Decompose.Peephole.cancel_inverses expanded)))
+  in
+  let stabilizer n =
+    let s = String.make n '1' in
+    let r = Dqc.Transform.transform (Algorithms.Bv.circuit s) in
+    Test.make
+      ~name:(Printf.sprintf "stabilizer BV-%d dyn shot" n)
+      (Staged.stage (fun () ->
+           let rng = Random.State.make [| 3 |] in
+           ignore (Sim.Stabilizer.run ~rng r.Dqc.Transform.circuit)))
+  in
+  let density =
+    let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND") in
+    let r =
+      Dqc.Toffoli_scheme.transform Dqc.Toffoli_scheme.Dynamic_2
+        (Algorithms.Dj.circuit o)
+    in
+    Test.make ~name:"density DJ(AND) dyn2 (noisy, exact)"
+      (Staged.stage (fun () ->
+           ignore
+             (Sim.Density.run ~model:Sim.Noise.default r.Dqc.Transform.circuit)))
+  in
+  let routing =
+    let c = Algorithms.Bv.circuit (String.make 12 '1') in
+    let coupling = Transpile.Coupling.line 13 in
+    Test.make ~name:"route BV-12 onto line"
+      (Staged.stage (fun () -> ignore (Transpile.Route.run ~coupling c)))
+  in
+  let native =
+    let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "CARRY") in
+    let r =
+      Dqc.Toffoli_scheme.transform Dqc.Toffoli_scheme.Dynamic_2
+        (Algorithms.Dj.circuit o)
+    in
+    Test.make ~name:"basis-lower DJ(CARRY) dyn2"
+      (Staged.stage (fun () ->
+           ignore (Transpile.Basis.to_native r.Dqc.Transform.circuit)))
+  in
+  Test.make_grouped ~name:"dqc"
+    [
+      bv_transform 4;
+      bv_transform 8;
+      bv_transform 16;
+      dj_transform Dqc.Toffoli_scheme.Dynamic_1 "dyn1";
+      dj_transform Dqc.Toffoli_scheme.Dynamic_2 "dyn2";
+      exact_dj Dqc.Toffoli_scheme.Dynamic_1 "dyn1";
+      exact_dj Dqc.Toffoli_scheme.Dynamic_2 "dyn2";
+      statevector 8;
+      statevector 12;
+      statevector 16;
+      shots;
+      peephole;
+      stabilizer 16;
+      stabilizer 48;
+      density;
+      routing;
+      native;
+    ]
+
+let run_bechamel () =
+  section "E5 / Bechamel timing";
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances (make_benchmarks ()) in
+  let results =
+    List.map (fun instance -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instance raw) instances
+  in
+  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instances results in
+  let () =
+    Hashtbl.iter
+      (fun label tbl ->
+        ignore label;
+        Hashtbl.iter
+          (fun name result ->
+            match Bechamel.Analyze.OLS.estimates result with
+            | Some [ est ] ->
+                Printf.printf "%-34s %12.1f ns/run\n" name est
+            | Some _ | None -> Printf.printf "%-34s (no estimate)\n" name)
+          tbl)
+      results
+  in
+  ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match what with
+  | "table1" -> run_table1 ()
+  | "table2" -> run_table2 ()
+  | "fig7" -> run_fig7 ()
+  | "equivalence" -> run_equivalence ()
+  | "mct" -> run_mct ()
+  | "routing" -> run_routing ()
+  | "duration" -> run_duration ()
+  | "scale" -> run_scale ()
+  | "slots" -> run_slots ()
+  | "ablation" -> run_ablation ()
+  | "bechamel" -> run_bechamel ()
+  | "all" ->
+      run_table1 ();
+      run_table2 ();
+      run_fig7 ();
+      run_equivalence ();
+      run_mct ();
+      run_routing ();
+      run_duration ();
+      run_scale ();
+      run_slots ();
+      run_ablation ();
+      run_bechamel ()
+  | other ->
+      Printf.eprintf
+        "unknown target %S (expected table1|table2|fig7|equivalence|mct|routing|duration|scale|slots|ablation|bechamel|all)\n"
+        other;
+      exit 1

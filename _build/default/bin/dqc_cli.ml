@@ -1,0 +1,354 @@
+(* Command-line interface to the DQC transformation library:
+   regenerate the paper's tables and figure, transform individual
+   benchmarks, inspect circuits, and run simulations. *)
+
+open Cmdliner
+
+let scheme_conv =
+  let parse = function
+    | "dynamic-1" | "dyn1" -> Ok Dqc.Toffoli_scheme.Dynamic_1
+    | "dynamic-2" | "dyn2" -> Ok Dqc.Toffoli_scheme.Dynamic_2
+    | "dynamic-2-fresh" -> Ok (Dqc.Toffoli_scheme.Dynamic_2_shared `Fresh)
+    | "dynamic-2-global" -> Ok (Dqc.Toffoli_scheme.Dynamic_2_shared `Global)
+    | "direct-mct" | "mct" -> Ok Dqc.Toffoli_scheme.Direct_mct
+    | s -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  let print fmt s =
+    Format.pp_print_string fmt (Dqc.Toffoli_scheme.to_string s)
+  in
+  Arg.conv (parse, print)
+
+let mode_conv =
+  let parse = function
+    | "algorithm1" -> Ok `Algorithm1
+    | "sound" -> Ok `Sound
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with `Algorithm1 -> "algorithm1" | `Sound -> "sound")
+  in
+  Arg.conv (parse, print)
+
+let find_oracle name =
+  match Algorithms.Dj_toffoli.oracle_by_name name with
+  | Some o -> Some o
+  | None -> (
+      match Algorithms.Dj.oracle_by_name name with
+      | Some o -> Some o
+      | None ->
+          List.find_opt
+            (fun (o : Algorithms.Oracle.t) -> o.name = name)
+            Algorithms.Mct_bench.suite)
+
+let benchmark_circuit name =
+  if String.length name > 3 && String.sub name 0 3 = "BV_" then
+    Some (Algorithms.Bv.circuit (String.sub name 3 (String.length name - 3)))
+  else Option.map Algorithms.Dj.circuit (find_oracle name)
+
+(* ------------------------------------------------------------------ *)
+(* tables / fig7 / equivalence                                        *)
+
+let tables_cmd =
+  let run () =
+    print_string (Report.Experiments.table1_report ());
+    print_newline ();
+    print_string (Report.Experiments.table2_report ())
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"Regenerate the paper's Table I and Table II")
+    Term.(const run $ const ())
+
+let fig7_cmd =
+  let shots =
+    Arg.(value & opt int 1024 & info [ "shots" ] ~doc:"Shots per benchmark")
+  in
+  let seed = Arg.(value & opt int 0xF1607 & info [ "seed" ] ~doc:"RNG seed") in
+  let run shots seed =
+    print_string (Report.Experiments.fig7_report ~shots ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "fig7"
+       ~doc:"Regenerate Fig 7 (computational accuracy of the two schemes)")
+    Term.(const run $ shots $ seed)
+
+let mct_cmd =
+  let run () = print_string (Report.Experiments.mct_report ()) in
+  Cmd.v
+    (Cmd.info "mct"
+       ~doc:
+         "Run the future-work experiment: dynamic multiple-control Toffoli \
+          realizations")
+    Term.(const run $ const ())
+
+let equivalence_cmd =
+  let run () = print_string (Report.Experiments.equivalence_report ()) in
+  Cmd.v
+    (Cmd.info "equivalence"
+       ~doc:"Check exact functional equivalence on every benchmark")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* transform                                                          *)
+
+let benchmark_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"BENCHMARK"
+        ~doc:
+          "Benchmark name: BV_<bits> (e.g. BV_101), a Toffoli-free DJ oracle \
+           (DJ_XOR, ...) or a Toffoli-based one (AND, OR, ..., CARRY)")
+
+let scheme_arg =
+  Arg.(
+    value
+    & opt scheme_conv Dqc.Toffoli_scheme.Dynamic_2
+    & info [ "scheme" ] ~doc:"Toffoli scheme: dynamic-1, dynamic-2, ...")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv `Algorithm1
+    & info [ "mode" ] ~doc:"Scheduling mode: algorithm1 (paper) or sound")
+
+let transform_cmd =
+  let qasm = Arg.(value & flag & info [ "qasm" ] ~doc:"Emit OpenQASM 3") in
+  let max_width =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-width" ] ~doc:"Wrap the drawing at this many columns")
+  in
+  let native =
+    Arg.(value & flag & info [ "native" ] ~doc:"Lower to the {rz,sx,x,cx} basis")
+  in
+  let run name scheme mode qasm native max_width =
+    match benchmark_circuit name with
+    | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
+    | Some c -> (
+        try
+          let r = Dqc.Toffoli_scheme.transform ~mode scheme c in
+          let r =
+            if native then
+              { r with Dqc.Transform.circuit = Transpile.Basis.to_native r.circuit }
+            else r
+          in
+          Printf.printf "traditional: %d qubits, %d gates, depth %d\n"
+            (Circuit.Circ.num_qubits c)
+            (Circuit.Metrics.gate_count c)
+            (Circuit.Metrics.traditional_depth c);
+          Printf.printf "dynamic (%s): %d qubits, %d gates, depth %d, %d conditioned, %d violations\n\n"
+            (Dqc.Toffoli_scheme.to_string scheme)
+            (Circuit.Circ.num_qubits r.circuit)
+            (Circuit.Metrics.gate_count r.circuit)
+            (Circuit.Metrics.dynamic_depth r.circuit)
+            (Dqc.Transform.conditioned_count r)
+            (List.length r.violations);
+          if qasm then print_string (Circuit.Qasm.to_string r.circuit)
+          else begin
+            print_string (Circuit.Draw.to_string ?max_width r.circuit);
+            print_newline ()
+          end;
+          Printf.printf "\nexact TV distance to traditional: %.6f\n"
+            (Dqc.Equivalence.tv_distance c r)
+        with
+        | Dqc.Transform.Not_transformable msg ->
+            Printf.printf "not transformable: %s\n" msg
+        | Dqc.Interaction.Cyclic qs ->
+            Printf.printf "not transformable: cyclic data-qubit interaction involving qubits %s\n"
+              (String.concat ", " (List.map string_of_int qs)))
+  in
+  Cmd.v
+    (Cmd.info "transform" ~doc:"Transform a benchmark into its DQC and draw it")
+    Term.(
+      const run $ benchmark_arg $ scheme_arg $ mode_arg $ qasm $ native
+      $ max_width)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                           *)
+
+let simulate_cmd =
+  let shots = Arg.(value & opt int 1024 & info [ "shots" ] ~doc:"Shot count") in
+  let dynamic =
+    Arg.(value & flag & info [ "dynamic" ] ~doc:"Simulate the DQC instead")
+  in
+  let run name scheme shots dynamic =
+    match benchmark_circuit name with
+    | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
+    | Some c ->
+        let circuit, measures =
+          if dynamic then begin
+            let r = Dqc.Toffoli_scheme.transform scheme c in
+            let nd = List.length r.data_bit in
+            ( r.circuit,
+              List.mapi (fun k (_, phys) -> (phys, nd + k)) r.answer_phys )
+          end
+          else
+            (c, List.init (Circuit.Circ.num_qubits c) (fun q -> (q, q)))
+        in
+        let h = Sim.Runner.run_shots_measured ~shots ~measures circuit in
+        Format.printf "%a@." Sim.Runner.pp h
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run shots on a benchmark (traditional or DQC)")
+    Term.(const run $ benchmark_arg $ scheme_arg $ shots $ dynamic)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                            *)
+
+let analyze_cmd =
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~doc:"Analyze an OpenQASM 3 file instead of a benchmark")
+  in
+  let bench =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name (see transform)")
+  in
+  let run bench file scheme =
+    let circuit =
+      match (bench, file) with
+      | _, Some path ->
+          let ic = open_in path in
+          let len = in_channel_length ic in
+          let src = really_input_string ic len in
+          close_in ic;
+          Some (Circuit.Qasm.parse src)
+      | Some name, None ->
+          Option.map (Dqc.Toffoli_scheme.prepare scheme) (benchmark_circuit name)
+      | None, None -> None
+    in
+    match circuit with
+    | None ->
+        prerr_endline "give a benchmark name or --file <qasm>";
+        exit 1
+    | Some c ->
+        let mct = scheme = Dqc.Toffoli_scheme.Direct_mct in
+        print_endline (Dqc.Analysis.to_string (Dqc.Analysis.analyze ~mct c))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Classify a circuit's 2-qubit dynamizability (exact / approximate / impossible)")
+    Term.(const run $ bench $ file $ scheme_arg)
+
+(* ------------------------------------------------------------------ *)
+(* qpe                                                                *)
+
+let qpe_cmd =
+  let phase =
+    Arg.(value & opt float 0.3 & info [ "phase" ] ~doc:"Phase to estimate")
+  in
+  let bits =
+    Arg.(value & opt int 4 & info [ "bits" ] ~doc:"Precision bits")
+  in
+  let run phase bits =
+    let dt = Algorithms.Qpe.distribution `Traditional ~bits ~phase in
+    let di = Algorithms.Qpe.distribution `Iterative ~bits ~phase in
+    let best = Algorithms.Qpe.best_estimate ~bits ~phase in
+    Printf.printf
+      "phase %.6f, %d bits: best estimate %d (%.6f)\n\
+       P[best]: traditional %.4f, iterative (2 qubits) %.4f, TV %.2e\n"
+      phase bits best
+      (float_of_int best /. float_of_int (1 lsl bits))
+      (Sim.Dist.prob dt best) (Sim.Dist.prob di best)
+      (Sim.Dist.tv_distance dt di);
+    Circuit.Draw.print (Algorithms.Qpe.iterative ~bits ~phase)
+  in
+  Cmd.v
+    (Cmd.info "qpe" ~doc:"Run iterative (2-qubit) quantum phase estimation")
+    Term.(const run $ phase $ bits)
+
+(* ------------------------------------------------------------------ *)
+(* slots                                                              *)
+
+let slots_cmd =
+  let run name scheme =
+    match benchmark_circuit name with
+    | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
+    | Some c ->
+        let prepared = Dqc.Toffoli_scheme.prepare scheme c in
+        (match Dqc.Multi_transform.min_exact_slots prepared with
+        | Some k ->
+            let m =
+              Dqc.Multi_transform.transform ~mode:`Sound ~slots:k prepared
+            in
+            Printf.printf
+              "%s (%s): provably exact from %d data slot(s) — %d qubits total \
+               (traditional: %d), %d gates\n"
+              name
+              (Dqc.Toffoli_scheme.to_string scheme)
+              k
+              (Circuit.Circ.num_qubits m.circuit)
+              (Circuit.Circ.num_qubits c)
+              (Circuit.Metrics.gate_count m.circuit)
+        | None -> Printf.printf "%s: no certified width found\n" name)
+  in
+  Cmd.v
+    (Cmd.info "slots"
+       ~doc:"Find the smallest multi-slot width with a provably exact DQC")
+    Term.(const run $ benchmark_arg $ scheme_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simon                                                              *)
+
+let simon_cmd =
+  let secret =
+    Arg.(value & opt string "1011" & info [ "secret" ] ~doc:"Hidden shift")
+  in
+  let run secret =
+    let n = String.length secret in
+    match Algorithms.Simon.recover_secret ~dynamic:true secret with
+    | Some found ->
+        Printf.printf
+          "Simon on %d+1 qubits (traditionally %d): recovered %s (%s)\n"
+          n (2 * n)
+          (Sim.Bits.to_string ~width:n found)
+          (if found = Sim.Bits.of_string secret then "correct" else "WRONG")
+    | None -> print_endline "recovery did not converge"
+  in
+  Cmd.v
+    (Cmd.info "simon" ~doc:"Run Simon's algorithm on the dynamic realization")
+    Term.(const run $ secret)
+
+(* ------------------------------------------------------------------ *)
+(* grover                                                             *)
+
+let grover_cmd =
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of qubits") in
+  let marked =
+    Arg.(value & opt int 5 & info [ "marked" ] ~doc:"Marked basis state")
+  in
+  let run n marked =
+    Printf.printf "Grover n=%d marked=%d: success probability %.4f (%d iterations)\n"
+      n marked
+      (Algorithms.Grover.success_probability ~n ~marked)
+      (Algorithms.Grover.optimal_iterations n)
+  in
+  Cmd.v (Cmd.info "grover" ~doc:"Run the Grover extension example")
+    Term.(const run $ n $ marked)
+
+let () =
+  let info =
+    Cmd.info "dqc_cli" ~version:"1.0.0"
+      ~doc:"Dynamic quantum circuit transformation for Toffoli networks"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            tables_cmd;
+            fig7_cmd;
+            equivalence_cmd;
+            mct_cmd;
+            transform_cmd;
+            simulate_cmd;
+            analyze_cmd;
+            qpe_cmd;
+            simon_cmd;
+            slots_cmd;
+            grover_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/bv_dynamic.ml: Algorithms Array Circuit Dqc List Printf Sim String Sys Transpile

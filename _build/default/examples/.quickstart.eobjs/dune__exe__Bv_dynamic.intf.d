@@ -1,0 +1,1 @@
+examples/bv_dynamic.mli:

@@ -1,0 +1,1 @@
+examples/dj_toffoli_study.mli:

@@ -1,0 +1,1 @@
+examples/grover_dynamic.ml: Algorithms Circuit Decompose Dqc List Printf Sim String

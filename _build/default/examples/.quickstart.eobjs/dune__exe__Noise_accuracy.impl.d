@@ -1,0 +1,1 @@
+examples/noise_accuracy.ml: Algorithms Circuit Dqc List Option Printf Sim

@@ -1,0 +1,1 @@
+examples/qpe_dynamic.ml: Algorithms Array Circuit Format List Printf Sim String Sys

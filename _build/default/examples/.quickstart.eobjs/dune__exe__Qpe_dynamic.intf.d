@@ -1,0 +1,1 @@
+examples/qpe_dynamic.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algorithms Circuit Decompose Dqc Format List Option Printf Sim

@@ -1,0 +1,1 @@
+examples/reversible_arithmetic.ml: Algorithms Array Circuit Decompose Dqc Option Printf String

@@ -1,0 +1,1 @@
+examples/reversible_arithmetic.mli:

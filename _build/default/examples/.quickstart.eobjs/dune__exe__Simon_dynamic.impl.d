@@ -1,0 +1,1 @@
+examples/simon_dynamic.ml: Algorithms Array Circuit Dqc List Printf Sim String Sys

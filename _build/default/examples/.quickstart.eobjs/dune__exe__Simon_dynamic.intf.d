@@ -1,0 +1,1 @@
+examples/simon_dynamic.mli:

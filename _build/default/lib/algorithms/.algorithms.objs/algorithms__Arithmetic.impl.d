@@ -1,0 +1,1 @@
+lib/algorithms/arithmetic.ml: Array Circ Circuit Gate Instruction List Reversible Sim

@@ -1,0 +1,1 @@
+lib/algorithms/arithmetic.mli: Circ Circuit

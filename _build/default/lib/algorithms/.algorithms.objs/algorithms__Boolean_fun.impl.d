@@ -1,0 +1,1 @@
+lib/algorithms/boolean_fun.ml: Format

@@ -1,0 +1,1 @@
+lib/algorithms/bv.ml: Array Circ Circuit Dqc Instruction List Random Sim String

@@ -1,0 +1,1 @@
+lib/algorithms/bv.mli: Circ Circuit

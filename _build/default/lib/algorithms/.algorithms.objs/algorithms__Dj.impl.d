@@ -1,0 +1,1 @@
+lib/algorithms/dj.ml: Array Boolean_fun Circ Circuit Dqc Gate Instruction List Oracle Random Sim

@@ -1,0 +1,1 @@
+lib/algorithms/dj.mli: Circ Circuit Oracle

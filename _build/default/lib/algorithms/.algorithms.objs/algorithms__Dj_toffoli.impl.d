@@ -1,0 +1,1 @@
+lib/algorithms/dj_toffoli.ml: Boolean_fun Circuit Gate Instruction List Oracle

@@ -1,0 +1,1 @@
+lib/algorithms/dj_toffoli.mli: Oracle

@@ -1,0 +1,1 @@
+lib/algorithms/grover.ml: Array Circ Circuit Float Gate Instruction List Sim

@@ -1,0 +1,1 @@
+lib/algorithms/grover.mli: Circ Circuit

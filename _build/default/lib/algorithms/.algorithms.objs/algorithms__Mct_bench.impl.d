@@ -1,0 +1,1 @@
+lib/algorithms/mct_bench.ml: Boolean_fun Circuit Gate Instruction List Oracle Printf

@@ -1,0 +1,1 @@
+lib/algorithms/mct_bench.mli: Oracle

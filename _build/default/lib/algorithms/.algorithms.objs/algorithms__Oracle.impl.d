@@ -1,0 +1,1 @@
+lib/algorithms/oracle.ml: Array Boolean_fun Circuit Complex Gate Instruction Linalg List Printf Sim

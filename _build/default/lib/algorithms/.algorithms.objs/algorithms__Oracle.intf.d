@@ -1,0 +1,1 @@
+lib/algorithms/oracle.mli: Boolean_fun Circuit Instruction

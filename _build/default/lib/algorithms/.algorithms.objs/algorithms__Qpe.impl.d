@@ -1,0 +1,1 @@
+lib/algorithms/qpe.ml: Array Circ Circuit Float Gate List Sim

@@ -1,0 +1,1 @@
+lib/algorithms/reversible.ml: Circuit Gate Instruction

@@ -1,0 +1,1 @@
+lib/algorithms/reversible.mli: Circuit Instruction

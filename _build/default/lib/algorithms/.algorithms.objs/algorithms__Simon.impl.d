@@ -1,0 +1,1 @@
+lib/algorithms/simon.ml: Array Circ Circuit Dqc Gate Gf2 Instruction List Random Sim String

@@ -1,0 +1,1 @@
+lib/algorithms/teleport.ml: Circ Circuit Gate List Sim

@@ -1,0 +1,1 @@
+lib/algorithms/teleport.mli: Circ Circuit Gate

@@ -1,0 +1,60 @@
+open Circuit
+
+type layout = {
+  ancilla : int;
+  a : int array;
+  b : int array;
+  carry_out : int;
+}
+
+(* layout: [ancilla; b0; a0; b1; a1; ...; carry_out] — the Cuccaro
+   chain threads the carry through the a wires *)
+let adder n =
+  if n < 1 || n > 10 then invalid_arg "Arithmetic.adder: n outside 1..10";
+  let num_qubits = (2 * n) + 2 in
+  let ancilla = 0 in
+  let b = Array.init n (fun i -> 1 + (2 * i)) in
+  let a = Array.init n (fun i -> 2 + (2 * i)) in
+  let carry_out = num_qubits - 1 in
+  let roles =
+    Array.init num_qubits (fun q ->
+        if q = carry_out then Circ.Answer else Circ.Data)
+  in
+  let carry i = if i = 0 then ancilla else a.(i - 1) in
+  let instrs =
+    List.concat
+      (List.init n (fun i -> Reversible.maj ~c:(carry i) ~b:b.(i) ~a:a.(i)))
+    @ [
+        Instruction.Unitary
+          (Instruction.app ~controls:[ a.(n - 1) ] Gate.X carry_out);
+      ]
+    @ List.concat
+        (List.init n (fun k ->
+             let i = n - 1 - k in
+             Reversible.uma ~c:(carry i) ~b:b.(i) ~a:a.(i)))
+  in
+  (Circ.create ~roles ~num_bits:0 instrs, { ancilla; a; b; carry_out })
+
+let add_values ~n x y =
+  let c, layout = adder n in
+  let st = Sim.Statevector.create (Circ.num_qubits c) ~num_bits:0 in
+  for i = 0 to n - 1 do
+    if Sim.Bits.get x i then Sim.Statevector.apply_gate st Gate.X layout.a.(i);
+    if Sim.Bits.get y i then Sim.Statevector.apply_gate st Gate.X layout.b.(i)
+  done;
+  List.iter
+    (fun (i : Instruction.t) ->
+      match i with
+      | Unitary app -> Sim.Statevector.apply_app st app
+      | Conditioned _ | Measure _ | Reset _ | Barrier _ -> assert false)
+    (Circ.instructions c);
+  (* the state is a basis state: find it *)
+  let probs = Sim.Statevector.probabilities st in
+  let idx = ref (-1) in
+  Array.iteri (fun k p -> if p > 0.5 then idx := k) probs;
+  if !idx < 0 then failwith "Arithmetic.add_values: non-classical output";
+  let sum = ref 0 in
+  for i = 0 to n - 1 do
+    if Sim.Bits.get !idx layout.b.(i) then sum := Sim.Bits.set !sum i true
+  done;
+  (!sum, Sim.Bits.get !idx layout.carry_out)

@@ -1,0 +1,25 @@
+open Circuit
+
+(** Reversible arithmetic: the Cuccaro ripple-carry adder — a dense
+    Toffoli network whose data qubits interact in both directions,
+    making it the natural stress test for the dynamic transformation's
+    Case-2 analysis (unlike oracle circuits, adders are {e not}
+    2-qubit dynamizable; see {!Dqc.Analysis}). *)
+
+(** Qubit layout of {!adder}. *)
+type layout = {
+  ancilla : int;  (** carry-in scratch, starts and ends |0> *)
+  a : int array;  (** addend, unchanged *)
+  b : int array;  (** target register: receives a + b (mod 2^n) *)
+  carry_out : int;
+}
+
+(** [adder n] is the n-bit Cuccaro ripple-carry adder (2n + 2 qubits).
+    All qubits have role Data except [carry_out] (Answer).
+    @raise Invalid_argument unless 1 <= n <= 10. *)
+val adder : int -> Circ.t * layout
+
+(** [add_values ~n a b] runs the adder on basis inputs and returns
+    (sum mod 2^n, carry) read from the final state — exercised
+    exhaustively in the tests. *)
+val add_values : n:int -> int -> int -> int * bool

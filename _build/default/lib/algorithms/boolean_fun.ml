@@ -1,0 +1,32 @@
+type t = { arity : int; table : int }
+
+let create ~arity ~table =
+  if arity < 0 || arity > 20 then invalid_arg "Boolean_fun.create: arity";
+  { arity; table = table land ((1 lsl (1 lsl arity)) - 1) }
+
+let of_fun ~arity f =
+  let table = ref 0 in
+  for k = 0 to (1 lsl arity) - 1 do
+    if f k then table := !table lor (1 lsl k)
+  done;
+  create ~arity ~table:!table
+
+let arity f = f.arity
+let eval f k = (f.table lsr k) land 1 = 1
+
+let ones f =
+  let acc = ref 0 in
+  for k = 0 to (1 lsl f.arity) - 1 do
+    if eval f k then incr acc
+  done;
+  !acc
+
+let is_constant f = f.table = 0 || f.table = (1 lsl (1 lsl f.arity)) - 1
+let is_balanced f = 2 * ones f = 1 lsl f.arity
+let equal a b = a.arity = b.arity && a.table = b.table
+
+let pp fmt f =
+  Format.fprintf fmt "f/%d:" f.arity;
+  for k = 0 to (1 lsl f.arity) - 1 do
+    Format.pp_print_char fmt (if eval f k then '1' else '0')
+  done

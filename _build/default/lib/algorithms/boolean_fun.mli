@@ -1,0 +1,25 @@
+(** Boolean functions as truth tables — ground truth for oracle
+    validation and for classifying DJ benchmarks. *)
+
+type t
+
+(** [create ~arity ~table] with [table] bit [k] = f(k); inputs are
+    encoded little-endian (input bit [i] is variable [i]).
+    @raise Invalid_argument when arity is outside 0..20. *)
+val create : arity:int -> table:int -> t
+
+(** [of_fun ~arity f] tabulates [f]. *)
+val of_fun : arity:int -> (int -> bool) -> t
+
+val arity : t -> int
+val eval : t -> int -> bool
+val is_constant : t -> bool
+
+(** Exactly half the inputs map to 1. *)
+val is_balanced : t -> bool
+
+(** Number of inputs mapping to 1. *)
+val ones : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+open Circuit
+
+type variant = [ `Sparse | `Textbook ]
+
+let check s =
+  if s = "" then invalid_arg "Bv.circuit: empty hidden string";
+  String.iter
+    (fun c ->
+      if c <> '0' && c <> '1' then
+        invalid_arg "Bv.circuit: hidden string must be binary")
+    s
+
+let circuit ?(variant = `Sparse) s =
+  check s;
+  let n = String.length s in
+  let roles = Array.init (n + 1) (fun q -> if q < n then Circ.Data else Circ.Answer) in
+  let b = Circ.Builder.make ~roles ~num_bits:n () in
+  let answer = n in
+  Circ.Builder.x b answer;
+  Circ.Builder.h b answer;
+  let active q = s.[q] = '1' in
+  let touched q = match variant with `Sparse -> active q | `Textbook -> true in
+  for q = 0 to n - 1 do
+    if touched q then begin
+      Circ.Builder.h b q;
+      if active q then Circ.Builder.cx b q answer;
+      Circ.Builder.h b q
+    end
+  done;
+  Circ.Builder.build b
+
+let expected_outcome s =
+  check s;
+  Sim.Bits.of_string s
+
+let paper_benchmarks =
+  [
+    "111"; "110"; "101"; "011"; "100"; "010"; "001";
+    "1111"; "1110"; "1101"; "1011"; "0111"; "1010"; "1001"; "0110"; "0101";
+    "1000"; "0100"; "0010"; "0001";
+  ]
+
+let recover ?(seed = 0xB5) ?(dynamic = true) s =
+  check s;
+  let n = String.length s in
+  let rng = Random.State.make [| seed |] in
+  let outcome =
+    if dynamic then begin
+      let r = Dqc.Transform.transform (circuit s) in
+      let st = Sim.Statevector.run ~rng r.circuit in
+      Sim.Statevector.register st
+    end
+    else begin
+      let c = circuit s in
+      let measured =
+        Circ.create ~roles:(Circ.roles c) ~num_bits:n
+          (Circ.instructions c
+          @ List.init n (fun q -> Instruction.Measure { qubit = q; bit = q }))
+      in
+      let st = Sim.Statevector.run ~rng measured in
+      Sim.Statevector.register st
+    end
+  in
+  Sim.Bits.to_string ~width:n outcome

@@ -1,0 +1,30 @@
+open Circuit
+
+(** Bernstein–Vazirani circuits (Table I benchmarks).
+
+    The hidden string [s] is given as a binary string whose character
+    [i] belongs to data qubit [i].  The paper's generator only touches
+    data qubits inside the support of [s] ([`Sparse], the Table I
+    counting); [`Textbook] applies the Hadamard sandwich to every data
+    qubit. *)
+
+type variant = [ `Sparse | `Textbook ]
+
+(** [circuit ?variant s] builds the traditional BV circuit:
+    |s| data qubits plus one answer qubit prepared in |-> by X.H.
+    @raise Invalid_argument on non-binary [s] or empty [s]. *)
+val circuit : ?variant:variant -> string -> Circ.t
+
+(** The register value BV's data measurements should produce, i.e. [s]
+    itself in the {!Sim.Bits} encoding. *)
+val expected_outcome : string -> int
+
+(** The hidden-string benchmarks of Table I, in table order
+    (all 3-bit, then all 4-bit non-zero strings the paper lists). *)
+val paper_benchmarks : string list
+
+(** [recover ?seed ?dynamic s] runs one shot of the BV circuit for the
+    hidden string [s] ([dynamic], default true, uses the 2-qubit
+    realization) and returns the recovered string — always equal to
+    [s], since BV is deterministic. *)
+val recover : ?seed:int -> ?dynamic:bool -> string -> string

@@ -1,0 +1,74 @@
+open Circuit
+
+let circuit (o : Oracle.t) =
+  let n = o.arity in
+  let roles =
+    Array.init (n + 1) (fun q -> if q < n then Circ.Data else Circ.Answer)
+  in
+  let b = Circ.Builder.make ~roles ~num_bits:n () in
+  let answer = n in
+  Circ.Builder.x b answer;
+  Circ.Builder.h b answer;
+  for q = 0 to n - 1 do
+    Circ.Builder.h b q
+  done;
+  Circ.Builder.add_list b o.instrs;
+  for q = 0 to n - 1 do
+    Circ.Builder.h b q
+  done;
+  Circ.Builder.build b
+
+let data_distribution o =
+  let c = circuit o in
+  let measures = List.init o.Oracle.arity (fun q -> (q, q)) in
+  Sim.Exact.measured_distribution ~measures c
+
+let zero_outcome_probability o = Sim.Dist.prob (data_distribution o) 0
+let expected_outcome o = fst (Sim.Dist.mode (data_distribution o))
+
+let u ?controls g t = Instruction.Unitary (Instruction.app ?controls g t)
+let cx c t = u ~controls:[ c ] Gate.X t
+
+let oracle2 name table instrs =
+  Oracle.make ~name ~arity:2
+    ~truth:(Boolean_fun.create ~arity:2 ~table)
+    instrs
+
+(* truth tables are little-endian in the input index: bit k of the
+   table is f(k) with k = a + 2b for inputs (a, b) *)
+let toffoli_free_oracles =
+  [
+    oracle2 "DJ_CONST_0" 0b0000 [];
+    oracle2 "DJ_CONST_1" 0b1111 [ u Gate.X 2 ];
+    oracle2 "DJ_PASS_1" 0b1010 [ cx 0 2 ];
+    oracle2 "DJ_PASS_2" 0b1100 [ cx 1 2 ];
+    oracle2 "DJ_INVERT_1" 0b0101 [ cx 0 2; u Gate.X 2 ];
+    oracle2 "DJ_INVERT_2" 0b0011 [ cx 1 2; u Gate.X 2 ];
+    oracle2 "DJ_XOR" 0b0110 [ cx 0 2; cx 1 2 ];
+    oracle2 "DJ_XNOR" 0b1001 [ cx 0 2; cx 1 2; u Gate.X 2 ];
+  ]
+
+let oracle_by_name name =
+  List.find_opt (fun (o : Oracle.t) -> o.name = name) toffoli_free_oracles
+
+let classify ?(seed = 0xD1) ?(dynamic = true) o =
+  let rng = Random.State.make [| seed |] in
+  let outcome =
+    if dynamic then begin
+      let r = Dqc.Transform.transform (circuit o) in
+      let st = Sim.Statevector.run ~rng r.circuit in
+      Sim.Statevector.register st land ((1 lsl o.Oracle.arity) - 1)
+    end
+    else begin
+      let c = circuit o in
+      let measured =
+        Circ.create ~roles:(Circ.roles c) ~num_bits:o.Oracle.arity
+          (Circ.instructions c
+          @ List.init o.Oracle.arity (fun q ->
+                Instruction.Measure { qubit = q; bit = q }))
+      in
+      let st = Sim.Statevector.run ~rng measured in
+      Sim.Statevector.register st
+    end
+  in
+  if outcome = 0 then `Constant else `Balanced

@@ -1,0 +1,35 @@
+open Circuit
+
+(** Deutsch–Jozsa circuits around a bit-flip oracle.
+
+    Layout: data qubits 0..n-1, answer qubit n prepared in |-> by X.H;
+    Hadamards surround the oracle on every data qubit. *)
+
+(** [circuit oracle] is the traditional DJ circuit (Toffoli gates, if
+    any, are kept as 2-control X instructions — substitute them with a
+    {!Decompose.Pass} scheme for hardware-level counting). *)
+val circuit : Oracle.t -> Circ.t
+
+(** DJ decides constant-vs-balanced from the all-zero data outcome.
+    [zero_outcome_probability oracle] is the exact probability that
+    every data qubit measures 0 on the traditional circuit:
+    1 for constant oracles, 0 for balanced ones. *)
+val zero_outcome_probability : Oracle.t -> float
+
+(** The most probable data outcome of the ideal traditional circuit —
+    the "expected outcome" whose shot frequency Fig 7 plots. *)
+val expected_outcome : Oracle.t -> int
+
+(** The eight Toffoli-free oracles of Table I, in table order:
+    CONST_0, CONST_1, PASS_1, PASS_2, INVERT_1, INVERT_2, XOR, XNOR. *)
+val toffoli_free_oracles : Oracle.t list
+
+(** Look an oracle up by its table name (e.g. ["DJ_XOR"]). *)
+val oracle_by_name : string -> Oracle.t option
+
+(** [classify ?seed ?dynamic oracle] runs one shot of the DJ circuit
+    ([dynamic], default true, uses the 2-qubit realization) and decides
+    from the data outcome: all-zero means constant.  Deterministically
+    correct on promise-satisfying (constant or balanced) oracles. *)
+val classify :
+  ?seed:int -> ?dynamic:bool -> Oracle.t -> [ `Constant | `Balanced ]

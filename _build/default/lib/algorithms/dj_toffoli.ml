@@ -1,0 +1,38 @@
+open Circuit
+
+let u ?controls g t = Instruction.Unitary (Instruction.app ?controls g t)
+let cx c t = u ~controls:[ c ] Gate.X t
+let ccx c1 c2 t = u ~controls:[ c1; c2 ] Gate.X t
+
+let oracle2 name table instrs =
+  Oracle.make ~name ~arity:2
+    ~truth:(Boolean_fun.create ~arity:2 ~table)
+    instrs
+
+(* input index k = a + 2b; answer qubit is 2 *)
+let oracles =
+  [
+    oracle2 "AND" 0b1000 [ ccx 0 1 2 ];
+    oracle2 "NAND" 0b0111 [ ccx 0 1 2; u Gate.X 2 ];
+    oracle2 "OR" 0b1110 [ cx 0 2; cx 1 2; ccx 0 1 2 ];
+    oracle2 "NOR" 0b0001 [ cx 0 2; cx 1 2; ccx 0 1 2; u Gate.X 2 ];
+    (* a -> b  =  1 + a + ab *)
+    oracle2 "IMPLY_1" 0b1101 [ cx 0 2; ccx 0 1 2; u Gate.X 2 ];
+    (* b -> a  =  1 + b + ab *)
+    oracle2 "IMPLY_2" 0b1011 [ cx 1 2; ccx 0 1 2; u Gate.X 2 ];
+    (* a AND NOT b  =  a + ab *)
+    oracle2 "INHIB_1" 0b0010 [ cx 0 2; ccx 0 1 2 ];
+    (* b AND NOT a  =  b + ab *)
+    oracle2 "INHIB_2" 0b0100 [ cx 1 2; ccx 0 1 2 ];
+    (* majority(a, b, c) = ab + ac + bc; k = a + 2b + 4c; answer = 3 *)
+    Oracle.make ~name:"CARRY" ~arity:3
+      ~truth:(Boolean_fun.of_fun ~arity:3 (fun k ->
+          let a = k land 1 and b = (k lsr 1) land 1 and c = (k lsr 2) land 1 in
+          a + b + c >= 2))
+      [ ccx 0 1 3; ccx 0 2 3; ccx 1 2 3 ];
+  ]
+
+let names = List.map (fun (o : Oracle.t) -> o.name) oracles
+
+let oracle_by_name name =
+  List.find_opt (fun (o : Oracle.t) -> o.name = name) oracles

@@ -1,0 +1,12 @@
+(** The nine Toffoli-based DJ benchmarks of Table II / Fig 7:
+    AND, NAND, OR, NOR, IMPLY_1, IMPLY_2, INHIB_1, INHIB_2 over two
+    inputs, and the 3-input full-adder CARRY (majority), built from
+    2-control Toffoli instructions plus CX/X. *)
+
+(** All nine oracles in table order. *)
+val oracles : Oracle.t list
+
+val oracle_by_name : string -> Oracle.t option
+
+(** Oracle names in table order. *)
+val names : string list

@@ -1,0 +1,49 @@
+let dot a b =
+  let rec popcount acc v =
+    if v = 0 then acc else popcount (acc + (v land 1)) (v lsr 1)
+  in
+  popcount 0 (a land b) land 1 = 1
+
+(* Gaussian elimination: returns (pivot column, row) list in echelon
+   form, highest pivot first *)
+let echelon ~width vectors =
+  let rows = ref [] in
+  (* rows: (pivot, value) sorted by pivot descending *)
+  let reduce v =
+    List.fold_left
+      (fun v (pivot, row) ->
+        if (v lsr pivot) land 1 = 1 then v lxor row else v)
+      v !rows
+  in
+  List.iter
+    (fun v ->
+      let v = reduce (v land ((1 lsl width) - 1)) in
+      if v <> 0 then begin
+        let rec top k = if (v lsr k) land 1 = 1 then k else top (k - 1) in
+        let pivot = top (width - 1) in
+        rows :=
+          List.sort (fun (a, _) (b, _) -> compare b a) ((pivot, v) :: !rows)
+      end)
+    vectors;
+  !rows
+
+let rank ~width vectors = List.length (echelon ~width vectors)
+let independent ~width vectors = List.map snd (echelon ~width vectors)
+
+let nullspace ~width vectors =
+  let rows = echelon ~width vectors in
+  let pivots = List.map fst rows in
+  let free = List.filter (fun k -> not (List.mem k pivots)) (List.init width (fun k -> k)) in
+  (* for each free column f, build the solution with s_f = 1 and pivot
+     coordinates chosen to cancel *)
+  List.map
+    (fun f ->
+      let s = ref (1 lsl f) in
+      (* process rows bottom-up (lowest pivot first) so each pivot is
+         fixed after all coordinates it depends on *)
+      List.iter
+        (fun (pivot, row) ->
+          if dot row !s then s := !s lxor (1 lsl pivot))
+        (List.sort (fun (a, _) (b, _) -> compare a b) rows);
+      !s)
+    free

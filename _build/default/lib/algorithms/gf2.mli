@@ -1,0 +1,19 @@
+(** Linear algebra over GF(2) — the classical post-processing substrate
+    Simon's algorithm needs (and a useful tool besides: the ANF
+    transform, parity arguments, nullspace searches).
+
+    Vectors are ints (bit [k] = coordinate [k], as in [Sim.Bits]). *)
+
+(** [rank ~width vectors]. *)
+val rank : width:int -> int list -> int
+
+(** Row-reduce and drop dependent rows; the result is a basis of the
+    span, in echelon order. *)
+val independent : width:int -> int list -> int list
+
+(** [nullspace ~width vectors] is a basis of {s | v.s = 0 for all v}
+    (dot product = parity of AND). *)
+val nullspace : width:int -> int list -> int list
+
+(** Parity dot product over GF(2). *)
+val dot : int -> int -> bool

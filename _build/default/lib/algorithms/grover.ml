@@ -1,0 +1,58 @@
+open Circuit
+
+let optimal_iterations n =
+  let num = float_of_int (1 lsl n) in
+  max 1 (int_of_float (Float.round (Float.pi /. 4. *. sqrt num -. 0.5)))
+
+(* multi-control Z on qubits 0..n-1: H on the last, multi-control X,
+   H back *)
+let mcz b n =
+  let target = n - 1 in
+  let controls = List.init (n - 1) (fun q -> q) in
+  Circ.Builder.h b target;
+  Circ.Builder.add b
+    (Instruction.Unitary (Instruction.app ~controls Gate.X target));
+  Circ.Builder.h b target
+
+let phase_flip_on b n marked =
+  (* X-conjugate the zero bits so the MCZ fires exactly on |marked> *)
+  for q = 0 to n - 1 do
+    if not (Sim.Bits.get marked q) then Circ.Builder.x b q
+  done;
+  mcz b n;
+  for q = 0 to n - 1 do
+    if not (Sim.Bits.get marked q) then Circ.Builder.x b q
+  done
+
+let circuit ~n ~marked =
+  if n < 2 || n > 8 then invalid_arg "Grover.circuit: n outside 2..8";
+  if marked < 0 || marked >= 1 lsl n then
+    invalid_arg "Grover.circuit: marked state out of range";
+  let roles = Array.make n Circ.Data in
+  let b = Circ.Builder.make ~roles ~num_bits:n () in
+  for q = 0 to n - 1 do
+    Circ.Builder.h b q
+  done;
+  for _ = 1 to optimal_iterations n do
+    phase_flip_on b n marked;
+    (* diffuser: H X (MCZ) X H *)
+    for q = 0 to n - 1 do
+      Circ.Builder.h b q
+    done;
+    for q = 0 to n - 1 do
+      Circ.Builder.x b q
+    done;
+    mcz b n;
+    for q = 0 to n - 1 do
+      Circ.Builder.x b q
+    done;
+    for q = 0 to n - 1 do
+      Circ.Builder.h b q
+    done
+  done;
+  Circ.Builder.build b
+
+let success_probability ~n ~marked =
+  let c = circuit ~n ~marked in
+  let dist = Sim.Exact.measure_all_distribution c in
+  Sim.Dist.prob dist marked

@@ -1,0 +1,22 @@
+open Circuit
+
+(** Grover search (extension beyond the paper's evaluation): the
+    paper's introduction motivates Toffoli networks with Grover; this
+    generator exercises the multi-control machinery end-to-end.
+
+    The oracle marks a single basis state with a phase flip; the
+    diffuser inverts about the mean.  Multi-control Z gates are built
+    as H-conjugated multi-control X, so circuits with [n >= 3] contain
+    gates the {!Decompose.Mct} pass must reduce. *)
+
+(** [circuit ~n ~marked] searches for [marked] among 2^n items with
+    the optimal ⌊π/4·√(2^n)⌋ iterations.  All [n] qubits have role
+    Data.  @raise Invalid_argument when [marked] is out of range or
+    [n] outside 2..8. *)
+val circuit : n:int -> marked:int -> Circ.t
+
+(** Exact success probability (probability of measuring [marked]). *)
+val success_probability : n:int -> marked:int -> float
+
+(** Optimal iteration count for [n] qubits. *)
+val optimal_iterations : int -> int

@@ -1,0 +1,47 @@
+open Circuit
+
+let check_n n =
+  if n < 1 || n > 8 then invalid_arg "Mct_bench: arity outside 1..8"
+
+let popcount k =
+  let rec go acc k = if k = 0 then acc else go (acc + (k land 1)) (k lsr 1) in
+  go 0 k
+
+let and_n n =
+  check_n n;
+  let truth =
+    Boolean_fun.of_fun ~arity:n (fun k -> k = (1 lsl n) - 1)
+  in
+  let controls = List.init n (fun v -> v) in
+  Oracle.make
+    ~name:(Printf.sprintf "AND_%d" n)
+    ~arity:n ~truth
+    [ Instruction.Unitary (Instruction.app ~controls Gate.X n) ]
+
+let nand_n n =
+  check_n n;
+  let truth = Boolean_fun.of_fun ~arity:n (fun k -> k <> (1 lsl n) - 1) in
+  let controls = List.init n (fun v -> v) in
+  Oracle.make
+    ~name:(Printf.sprintf "NAND_%d" n)
+    ~arity:n ~truth
+    [
+      Instruction.Unitary (Instruction.app ~controls Gate.X n);
+      Instruction.Unitary (Instruction.app Gate.X n);
+    ]
+
+let or_n n =
+  check_n n;
+  Oracle.synthesize
+    ~name:(Printf.sprintf "OR_%d" n)
+    (Boolean_fun.of_fun ~arity:n (fun k -> k <> 0))
+
+let majority_n n =
+  check_n n;
+  if n mod 2 = 0 then invalid_arg "Mct_bench.majority_n: even arity";
+  Oracle.synthesize
+    ~name:(Printf.sprintf "MAJ_%d" n)
+    (Boolean_fun.of_fun ~arity:n (fun k -> 2 * popcount k > n))
+
+let suite =
+  [ and_n 2; and_n 3; and_n 4; and_n 5; majority_n 3; majority_n 5 ]

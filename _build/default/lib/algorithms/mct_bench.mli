@@ -1,0 +1,28 @@
+(** Multiple-control Toffoli benchmark oracles — workloads for the
+    paper's stated future work ("dynamic realization of Multiple
+    Control Toffoli gates and their networks").
+
+    Each generator produces an [n]-input oracle whose body is one or a
+    few [C^nX] gates, exercising both the direct dynamic MCT
+    realization ([Dqc.Transform.transform ~mct:true] /
+    [Toffoli_scheme.Direct_mct]) and the decomposition route
+    (V-chain reduction followed by dynamic-1 / dynamic-2). *)
+
+(** [and_n n] : f = x0 AND ... AND x_{n-1}, a single C^nX.
+    @raise Invalid_argument unless 1 <= n <= 8. *)
+val and_n : int -> Oracle.t
+
+(** [or_n n] : f = x0 OR ... OR x_{n-1}, via the ANF synthesizer
+    (2^n - 1 monomials — the worst case). *)
+val or_n : int -> Oracle.t
+
+(** [nand_n n] : NOT of {!and_n}. *)
+val nand_n : int -> Oracle.t
+
+(** [majority_n n] : 1 when more than half the inputs are 1 (odd [n]),
+    via the ANF synthesizer. *)
+val majority_n : int -> Oracle.t
+
+(** The benchmark set used in the future-work experiment:
+    AND_n for n = 2..5 plus MAJ_3 and MAJ_5. *)
+val suite : Oracle.t list

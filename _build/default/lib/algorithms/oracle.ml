@@ -1,0 +1,85 @@
+open Circuit
+
+type t = {
+  name : string;
+  arity : int;
+  instrs : Instruction.t list;
+  truth : Boolean_fun.t;
+}
+
+let make ~name ~arity ~truth instrs =
+  if Boolean_fun.arity truth <> arity then
+    invalid_arg "Oracle.make: truth-table arity mismatch";
+  let num_qubits = arity + 1 in
+  List.iter
+    (fun i ->
+      if not (Instruction.well_formed ~num_qubits ~num_bits:0 i) then
+        invalid_arg
+          (Printf.sprintf "Oracle.make(%s): instruction %s out of range" name
+             (Instruction.to_string i)))
+    instrs;
+  { name; arity; instrs; truth }
+
+(* ANF coefficient of monomial S: XOR of f(x) over all x subseteq S
+   (binary Moebius transform). *)
+let anf_monomials truth =
+  let n = Boolean_fun.arity truth in
+  let size = 1 lsl n in
+  (* in-place Moebius transform over a copy of the truth table *)
+  let coeff = Array.init size (fun k -> Boolean_fun.eval truth k) in
+  for v = 0 to n - 1 do
+    let bit = 1 lsl v in
+    for k = 0 to size - 1 do
+      if k land bit <> 0 then coeff.(k) <- coeff.(k) <> coeff.(k lxor bit)
+    done
+  done;
+  let monomial_of_mask mask =
+    List.filter (fun v -> mask land (1 lsl v) <> 0) (List.init n (fun v -> v))
+  in
+  List.filter_map
+    (fun mask -> if coeff.(mask) then Some (monomial_of_mask mask) else None)
+    (List.init size (fun mask -> mask))
+
+let synthesize ~name truth =
+  let arity = Boolean_fun.arity truth in
+  let answer = arity in
+  let gate_of_monomial vars =
+    match vars with
+    | [] -> Instruction.Unitary (Instruction.app Gate.X answer)
+    | controls -> Instruction.Unitary (Instruction.app ~controls Gate.X answer)
+  in
+  make ~name ~arity ~truth (List.map gate_of_monomial (anf_monomials truth))
+
+let implements_truth o =
+  let n = o.arity + 1 in
+  let ok = ref true in
+  for x = 0 to (1 lsl o.arity) - 1 do
+    let st = Sim.Statevector.create n ~num_bits:0 in
+    for q = 0 to o.arity - 1 do
+      if Sim.Bits.get x q then Sim.Statevector.apply_gate st Gate.X q
+    done;
+    List.iter
+      (fun (i : Instruction.t) ->
+        match i with
+        | Unitary a -> Sim.Statevector.apply_app st a
+        | Conditioned _ | Measure _ | Reset _ | Barrier _ ->
+            invalid_arg "Oracle.implements_truth: non-unitary oracle")
+      o.instrs;
+    let expected =
+      x lor (if Boolean_fun.eval o.truth x then 1 lsl o.arity else 0)
+    in
+    let amps = Sim.Statevector.amplitudes st in
+    let amp = Linalg.Cvec.get amps expected in
+    if not (Linalg.Complex_ext.approx_equal amp Complex.one) then ok := false
+  done;
+  !ok
+
+let toffoli_count o =
+  List.length
+    (List.filter
+       (fun (i : Instruction.t) ->
+         match i with
+         | Unitary { gate = Gate.X; controls = [ _; _ ]; _ } -> true
+         | Unitary _ | Conditioned _ | Measure _ | Reset _ | Barrier _ ->
+             false)
+       o.instrs)

@@ -1,0 +1,36 @@
+open Circuit
+
+(** Bit-flip oracles U_f : |x>|y> -> |x>|y XOR f(x)> over [arity] data
+    qubits (0..arity-1) and one answer qubit ([arity]). *)
+
+type t = {
+  name : string;
+  arity : int;
+  instrs : Instruction.t list;
+      (** over qubits 0..arity (answer = [arity]) *)
+  truth : Boolean_fun.t;
+}
+
+(** [make ~name ~arity ~truth instrs]; shapes must agree.
+    @raise Invalid_argument on arity mismatch. *)
+val make :
+  name:string -> arity:int -> truth:Boolean_fun.t -> Instruction.t list -> t
+
+(** [synthesize ~name truth] builds an oracle for an arbitrary boolean
+    function from its algebraic normal form (positive-polarity
+    Reed-Muller): one multi-control Toffoli per ANF monomial, an [X]
+    for the constant term.  The result may contain gates with more
+    than two controls; reduce them with {!Decompose.Pass.reduce_mct}
+    or transform directly with [Dqc.Transform.transform ~mct:true]. *)
+val synthesize : name:string -> Boolean_fun.t -> t
+
+(** The ANF monomials of a boolean function: each entry is the list of
+    variable indices of one monomial (empty list = constant 1 term). *)
+val anf_monomials : Boolean_fun.t -> int list list
+
+(** Check by exact simulation that [instrs] maps every basis input
+    |x>|0> to |x>|f(x)> (no residual phases, data unchanged). *)
+val implements_truth : t -> bool
+
+(** Number of 2-control Toffoli gates in the oracle body. *)
+val toffoli_count : t -> int

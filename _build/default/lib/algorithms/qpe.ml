@@ -1,0 +1,76 @@
+open Circuit
+
+let two_pi = 2. *. Float.pi
+
+let check_bits bits =
+  if bits < 1 || bits > 10 then invalid_arg "Qpe: bits outside 1..10"
+
+(* Counting qubit k accumulates the kickback phase 2.pi.phase.2^k; the
+   inverse QFT below then leaves binary digit j on qubit (bits-1-j)
+   (bit-reversed order, resolved by the measurement mapping in
+   [distribution]). *)
+let traditional ~bits ~phase =
+  check_bits bits;
+  let eigen = bits in
+  let roles =
+    Array.init (bits + 1) (fun q ->
+        if q < bits then Circ.Data else Circ.Answer)
+  in
+  let b = Circ.Builder.make ~roles ~num_bits:bits () in
+  Circ.Builder.x b eigen;
+  for k = 0 to bits - 1 do
+    Circ.Builder.h b k
+  done;
+  for k = 0 to bits - 1 do
+    let angle = two_pi *. phase *. float_of_int (1 lsl k) in
+    Circ.Builder.cgate b (Gate.Phase angle) k eigen
+  done;
+  (* inverse QFT: digit j lands on qubit (bits-1-j) *)
+  for j = 0 to bits - 1 do
+    let q = bits - 1 - j in
+    for i = 0 to j - 1 do
+      let control = bits - 1 - i in
+      let angle = -.Float.pi /. float_of_int (1 lsl (j - i)) in
+      Circ.Builder.cgate b (Gate.Phase angle) control q
+    done;
+    Circ.Builder.h b q
+  done;
+  Circ.Builder.build b
+
+(* One work qubit re-used across [bits] iterations, LSB first; each
+   iteration's phase corrections are conditioned on every earlier
+   measured digit — the gate-dependent iteration structure of [3]. *)
+let iterative ~bits ~phase =
+  check_bits bits;
+  let work = 0 and eigen = 1 in
+  let roles = [| Circ.Data; Circ.Answer |] in
+  let b = Circ.Builder.make ~roles ~num_bits:bits () in
+  Circ.Builder.x b eigen;
+  for j = 0 to bits - 1 do
+    if j > 0 then Circ.Builder.reset b work;
+    Circ.Builder.h b work;
+    let angle = two_pi *. phase *. float_of_int (1 lsl (bits - 1 - j)) in
+    Circ.Builder.cgate b (Gate.Phase angle) work eigen;
+    for i = 0 to j - 1 do
+      let correction = -.Float.pi /. float_of_int (1 lsl (j - i)) in
+      Circ.Builder.conditioned b ~bit:i (Gate.Phase correction) work
+    done;
+    Circ.Builder.h b work;
+    Circ.Builder.measure b ~qubit:work ~bit:j
+  done;
+  Circ.Builder.build b
+
+let distribution kind ~bits ~phase =
+  match kind with
+  | `Traditional ->
+      let c = traditional ~bits ~phase in
+      (* undo the IQFT bit reversal: qubit q holds digit (bits-1-q) *)
+      let measures = List.init bits (fun q -> (q, bits - 1 - q)) in
+      Sim.Exact.measured_distribution ~measures c
+  | `Iterative ->
+      Sim.Exact.register_distribution (iterative ~bits ~phase)
+
+let best_estimate ~bits ~phase =
+  check_bits bits;
+  let scaled = phase *. float_of_int (1 lsl bits) in
+  int_of_float (Float.round scaled) land ((1 lsl bits) - 1)

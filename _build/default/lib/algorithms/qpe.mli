@@ -1,0 +1,38 @@
+open Circuit
+
+(** Quantum phase estimation, traditional and iterative.
+
+    The paper's §III contrasts BV (iterations freely reorderable) with
+    QPE (iterations gate-dependent), citing the dynamic-circuit QPE
+    demonstration of Córcoles et al. [3].  This module provides both
+    forms for the diagonal unitary [U = P(2.pi.phase)], whose
+    eigenstate |1> is trivial to prepare:
+
+    - {!traditional}: [bits] counting qubits, controlled powers of
+      [U], inverse QFT, final measurement — a static circuit;
+    - {!iterative}: the 2-qubit dynamic realization — one work qubit
+      re-used across [bits] iterations with measurement-conditioned
+      phase corrections (each iteration depends on every earlier
+      outcome, so unlike BV the iterations cannot be permuted).
+
+    Both estimate [phase] as a [bits]-bit binary fraction; when
+    [phase = m / 2^bits] exactly, both yield [m] with certainty. *)
+
+(** [traditional ~bits ~phase] — counting qubits 0..bits-1 (role Data,
+    qubit k weighting 2^k), eigenstate qubit [bits] (role Answer).
+    @raise Invalid_argument unless 1 <= bits <= 10. *)
+val traditional : bits:int -> phase:float -> Circ.t
+
+(** [iterative ~bits ~phase] — qubit 0: work qubit (Data), qubit 1:
+    eigenstate (Answer); classical bits k holds the k-th binary digit
+    (same outcome encoding as {!traditional}). *)
+val iterative : bits:int -> phase:float -> Circ.t
+
+(** Exact outcome distribution over the counting register.
+    [`Traditional] measures the counting qubits; [`Iterative] reads the
+    mid-circuit measurement record. *)
+val distribution :
+  [ `Traditional | `Iterative ] -> bits:int -> phase:float -> Sim.Dist.t
+
+(** Best [bits]-bit estimate of [phase] (the ideal peak outcome). *)
+val best_estimate : bits:int -> phase:float -> int

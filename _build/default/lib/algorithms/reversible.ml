@@ -1,0 +1,18 @@
+open Circuit
+
+let cx c t = Instruction.Unitary (Instruction.app ~controls:[ c ] Gate.X t)
+
+let ccx c1 c2 t =
+  Instruction.Unitary (Instruction.app ~controls:[ c1; c2 ] Gate.X t)
+
+let swap a b = [ cx a b; cx b a; cx a b ]
+let fredkin ~control ~t1 ~t2 = [ cx t2 t1; ccx control t1 t2; cx t2 t1 ]
+let peres ~a ~b ~c = [ ccx a b c; cx a b ]
+let half_adder ~a ~b ~carry = [ ccx a b carry; cx a b ]
+
+(* sum = a XOR b XOR cin (left in cin), carry-out = majority *)
+let full_adder ~a ~b ~cin ~carry =
+  [ ccx a b carry; cx a b; ccx b cin carry; cx b cin; cx a b ]
+
+let maj ~c ~b ~a = [ cx a b; cx a c; ccx c b a ]
+let uma ~c ~b ~a = [ ccx c b a; cx a c; cx c b ]

@@ -1,0 +1,32 @@
+open Circuit
+
+(** Classic reversible-logic gadgets — the building blocks of the
+    "Toffoli based networks" in the paper's title.  Each gadget is an
+    instruction list over caller-chosen qubits; semantics are verified
+    in the test suite against truth tables. *)
+
+(** SWAP as three CX. *)
+val swap : int -> int -> Instruction.t list
+
+(** Fredkin (controlled-SWAP): swaps [t1] and [t2] when [control] is 1,
+    via CX·Toffoli·CX. *)
+val fredkin : control:int -> t1:int -> t2:int -> Instruction.t list
+
+(** Peres gate on (a, b, c): a' = a, b' = a XOR b, c' = c XOR ab —
+    a Toffoli followed by a CX, the cheapest universal reversible
+    gate. *)
+val peres : a:int -> b:int -> c:int -> Instruction.t list
+
+(** Half adder: (a, b, carry) with [carry] a clean ancilla becomes
+    (a, a XOR b, ab) — sum in [b], carry out in [carry]. *)
+val half_adder : a:int -> b:int -> carry:int -> Instruction.t list
+
+(** Full adder: (a, b, cin, carry) with [carry] clean becomes
+    (a, b, a XOR b XOR cin, carry-out) — sum in [cin]. *)
+val full_adder : a:int -> b:int -> cin:int -> carry:int -> Instruction.t list
+
+(** MAJ gadget of the Cuccaro adder. *)
+val maj : c:int -> b:int -> a:int -> Instruction.t list
+
+(** UMA (unmajority-and-add) gadget of the Cuccaro adder. *)
+val uma : c:int -> b:int -> a:int -> Instruction.t list

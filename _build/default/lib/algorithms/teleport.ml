@@ -1,0 +1,50 @@
+open Circuit
+
+let circuit prep =
+  let roles = [| Circ.Data; Circ.Data; Circ.Answer |] in
+  let b = Circ.Builder.make ~roles ~num_bits:2 () in
+  Circ.Builder.gate b prep 0;
+  Circ.Builder.h b 1;
+  Circ.Builder.cx b 1 2;
+  Circ.Builder.cx b 0 1;
+  Circ.Builder.h b 0;
+  Circ.Builder.measure b ~qubit:0 ~bit:0;
+  Circ.Builder.measure b ~qubit:1 ~bit:1;
+  Circ.Builder.conditioned b ~bit:1 Gate.X 2;
+  Circ.Builder.conditioned b ~bit:0 Gate.Z 2;
+  Circ.Builder.build b
+
+(* project the target expectation values against the prepared state:
+   fidelity of a pure qubit state = (1 + <psi|sigma|psi>.<sigma>) / 2 *)
+let fidelity prep =
+  let leaves = Sim.Exact.leaves (circuit prep) in
+  (* reference Bloch vector of prep|0> *)
+  let reference = Sim.Statevector.create 1 ~num_bits:0 in
+  Sim.Statevector.apply_gate reference prep 0;
+  let bloch obs st q =
+    Sim.Observable.expectation st
+      (match obs with
+      | `X -> Sim.Observable.x q
+      | `Y -> Sim.Observable.y q
+      | `Z -> Sim.Observable.z q)
+  in
+  let rx = bloch `X reference 0
+  and ry = bloch `Y reference 0
+  and rz = bloch `Z reference 0 in
+  let tx =
+    List.fold_left
+      (fun acc (l : Sim.Exact.leaf) ->
+        acc +. (l.probability *. bloch `X l.state 2))
+      0. leaves
+  and ty =
+    List.fold_left
+      (fun acc (l : Sim.Exact.leaf) ->
+        acc +. (l.probability *. bloch `Y l.state 2))
+      0. leaves
+  and tz =
+    List.fold_left
+      (fun acc (l : Sim.Exact.leaf) ->
+        acc +. (l.probability *. bloch `Z l.state 2))
+      0. leaves
+  in
+  (1. +. (rx *. tx) +. (ry *. ty) +. (rz *. tz)) /. 2.

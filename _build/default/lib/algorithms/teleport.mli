@@ -1,0 +1,15 @@
+open Circuit
+
+(** Quantum teleportation — the primordial dynamic quantum circuit
+    (mid-circuit measurement + classically controlled corrections),
+    packaged as a library algorithm and verified by state fidelity. *)
+
+(** [circuit prep] teleports the state [prep]|0> from qubit 0 to
+    qubit 2: Bell pair on (1,2), Bell measurement of (0,1) into bits
+    (0,1), conditioned X/Z corrections on qubit 2. *)
+val circuit : Gate.t -> Circ.t
+
+(** Fidelity |<psi|phi>|^2 between the teleported qubit-2 state and
+    [prep]|0>, averaged over measurement branches (1 for a correct
+    implementation). *)
+val fidelity : Gate.t -> float

@@ -1,0 +1,1 @@
+lib/circuit/circ.ml: Array Format Gate Instruction List Printf

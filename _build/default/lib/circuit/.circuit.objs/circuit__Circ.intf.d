@@ -1,0 +1,1 @@
+lib/circuit/circ.mli: Format Gate Instruction

@@ -1,0 +1,1 @@
+lib/circuit/draw.ml: Array Buffer Circ Format Gate Hashtbl Instruction List Printf String

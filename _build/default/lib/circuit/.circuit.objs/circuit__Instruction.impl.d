@@ -1,0 +1,1 @@
+lib/circuit/instruction.ml: Format Gate List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/instruction.mli: Format Gate

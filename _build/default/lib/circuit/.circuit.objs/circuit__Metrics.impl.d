@@ -1,0 +1,1 @@
+lib/circuit/metrics.ml: Array Circ Float Gate Instruction List

@@ -1,0 +1,1 @@
+lib/circuit/qasm.ml: Array Buffer Circ Float Gate Instruction List Printf String

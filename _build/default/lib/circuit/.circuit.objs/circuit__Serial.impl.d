@@ -1,0 +1,1 @@
+lib/circuit/serial.ml: Array Buffer Circ Gate Instruction List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/serial.mli: Circ

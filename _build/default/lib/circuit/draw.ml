@@ -1,0 +1,159 @@
+(* Rendering grid: one text row per qubit wire, one (initially blank)
+   inter-row between adjacent wires for vertical connectors. *)
+
+let layers c =
+  let qlevel = Array.make (max 1 (Circ.num_qubits c)) 0 in
+  let blevel = Array.make (max 1 (Circ.num_bits c)) 0 in
+  let cols : (int, Instruction.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  let place i =
+    match (i : Instruction.t) with
+    | Barrier _ -> ()
+    | _ ->
+        let qs = Instruction.qubits i and bs = Instruction.bits i in
+        let base =
+          List.fold_left
+            (fun acc b -> max acc blevel.(b))
+            (List.fold_left (fun acc q -> max acc qlevel.(q)) 0 qs)
+            bs
+        in
+        let lvl = base + 1 in
+        List.iter (fun q -> qlevel.(q) <- lvl) qs;
+        (match i with
+        | Measure { bit; _ } -> blevel.(bit) <- lvl
+        | Unitary _ | Conditioned _ | Reset _ | Barrier _ -> ());
+        let cell =
+          match Hashtbl.find_opt cols lvl with
+          | Some r -> r
+          | None ->
+              let r = ref [] in
+              Hashtbl.add cols lvl r;
+              r
+        in
+        cell := i :: !cell
+  in
+  List.iter place (Circ.instructions c);
+  let depth = Array.fold_left max 0 qlevel in
+  let depth = Array.fold_left max depth blevel in
+  List.init depth (fun k ->
+      match Hashtbl.find_opt cols (k + 1) with
+      | Some r -> List.rev !r
+      | None -> [])
+
+let box_label (i : Instruction.t) =
+  match i with
+  | Unitary a | Conditioned (_, a) ->
+      let base = Printf.sprintf "[%s]" (Gate.name a.gate) in
+      (match i with
+      | Conditioned (c, _) ->
+          let test (bit, value) =
+            Printf.sprintf "%sc%d" (if value then "" else "!") bit
+          in
+          Printf.sprintf "[%s?%s]" (Gate.name a.gate)
+            (String.concat "&" (List.map test c.bits))
+      | Unitary _ | Measure _ | Reset _ | Barrier _ -> base)
+  | Measure { bit; _ } -> Printf.sprintf "[M%d]" bit
+  | Reset _ -> "[R]"
+  | Barrier _ -> ""
+
+(* For each column produce, per qubit row, an optional cell string, and
+   per inter-row (between q and q+1) whether a connector crosses it. *)
+let column_cells num_qubits instrs =
+  let cells = Array.make num_qubits None in
+  let inter = Array.make (max 0 (num_qubits - 1)) false in
+  let mark_span qmin qmax =
+    for r = qmin to qmax - 1 do
+      inter.(r) <- true
+    done
+  in
+  let place (i : Instruction.t) =
+    match i with
+    | Barrier _ -> ()
+    | Unitary a | Conditioned (_, a) ->
+        List.iter (fun q -> cells.(q) <- Some "*") a.controls;
+        cells.(a.target) <- Some (box_label i);
+        let qs = Instruction.qubits i in
+        let qmin = List.fold_left min a.target qs
+        and qmax = List.fold_left max a.target qs in
+        mark_span qmin qmax;
+        (* wires strictly inside the span but uninvolved get a cross *)
+        for q = qmin + 1 to qmax - 1 do
+          if cells.(q) = None then cells.(q) <- Some "|"
+        done
+    | Measure { qubit; _ } -> cells.(qubit) <- Some (box_label i)
+    | Reset q -> cells.(q) <- Some (box_label i)
+  in
+  List.iter place instrs;
+  (cells, inter)
+
+let to_string ?max_width c =
+  let n = Circ.num_qubits c in
+  let all_cols = List.map (column_cells n) (layers c) in
+  let width_of (cells, _) =
+    Array.fold_left
+      (fun acc cell ->
+        match cell with None -> acc | Some s -> max acc (String.length s))
+      1 cells
+  in
+  let prefix q =
+    Printf.sprintf "q%-2d %s: " q
+      (match Circ.role c q with
+      | Circ.Data -> "D"
+      | Circ.Ancilla -> "0"
+      | Circ.Answer -> "A")
+  in
+  let prefix_len = String.length (prefix 0) in
+  (* split columns into panels that fit max_width *)
+  let panels =
+    match max_width with
+    | None -> [ all_cols ]
+    | Some limit ->
+        let budget = max 8 (limit - prefix_len) in
+        let rec split acc cur cur_w = function
+          | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+          | col :: rest ->
+              let w = width_of col + 2 in
+              if cur <> [] && cur_w + w > budget then
+                split (List.rev cur :: acc) [ col ] w rest
+              else split acc (col :: cur) (cur_w + w) rest
+        in
+        split [] [] 0 all_cols
+  in
+  let buf = Buffer.create 1024 in
+  let pad_center w s fill =
+    let len = String.length s in
+    let left = (w - len) / 2 in
+    let right = w - len - left in
+    String.make left fill ^ s ^ String.make right fill
+  in
+  let render_panel cols =
+    let widths = List.map width_of cols in
+    for q = 0 to n - 1 do
+      Buffer.add_string buf (prefix q);
+      List.iter2
+        (fun (cells, _) w ->
+          let s = match cells.(q) with None -> "" | Some s -> s in
+          Buffer.add_string buf (pad_center w s '-');
+          Buffer.add_string buf "--")
+        cols widths;
+      Buffer.add_char buf '\n';
+      if q < n - 1 then begin
+        Buffer.add_string buf (String.make prefix_len ' ');
+        List.iter2
+          (fun (_, inter) w ->
+            let s = if inter.(q) then "|" else "" in
+            Buffer.add_string buf (pad_center w s ' ');
+            Buffer.add_string buf "  ")
+          cols widths;
+        Buffer.add_char buf '\n'
+      end
+    done
+  in
+  List.iteri
+    (fun k panel ->
+      if k > 0 then Buffer.add_string buf "...\n";
+      render_panel panel)
+    panels;
+  Buffer.contents buf
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+let print c = print_string (to_string c); print_newline ()

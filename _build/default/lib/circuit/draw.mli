@@ -1,0 +1,17 @@
+(** Plain-ASCII circuit rendering for terminals and docs.
+
+    Qubits are horizontal wires, instructions are packed into layers
+    (same ASAP layering as {!Metrics.depth}).  Symbols: [*] quantum
+    control, [[x]] gate box, [[M0]] measurement into bit 0, [[R]]
+    active reset, [[x?c0]] gate classically controlled on bit c0, [|]
+    vertical connector. *)
+
+(** Render the circuit as a multi-line string.  [max_width] (default
+    unlimited) wraps the drawing into stacked panels of at most that
+    many characters, for long dynamic circuits. *)
+val to_string : ?max_width:int -> Circ.t -> string
+
+val pp : Format.formatter -> Circ.t -> unit
+
+(** Print to stdout with a trailing newline. *)
+val print : Circ.t -> unit

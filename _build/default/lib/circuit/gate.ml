@@ -1,0 +1,104 @@
+type t =
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | V
+  | Vdg
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | Phase of float
+
+let sq2 = 1. /. sqrt 2.
+
+let matrix = function
+  | H -> Linalg.Cmat.of_reim_lists [ [ (sq2, 0.); (sq2, 0.) ]; [ (sq2, 0.); (-.sq2, 0.) ] ]
+  | X -> Linalg.Cmat.of_reim_lists [ [ (0., 0.); (1., 0.) ]; [ (1., 0.); (0., 0.) ] ]
+  | Y -> Linalg.Cmat.of_reim_lists [ [ (0., 0.); (0., -1.) ]; [ (0., 1.); (0., 0.) ] ]
+  | Z -> Linalg.Cmat.of_reim_lists [ [ (1., 0.); (0., 0.) ]; [ (0., 0.); (-1., 0.) ] ]
+  | S -> Linalg.Cmat.of_reim_lists [ [ (1., 0.); (0., 0.) ]; [ (0., 0.); (0., 1.) ] ]
+  | Sdg -> Linalg.Cmat.of_reim_lists [ [ (1., 0.); (0., 0.) ]; [ (0., 0.); (0., -1.) ] ]
+  | T ->
+      Linalg.Cmat.of_reim_lists
+        [ [ (1., 0.); (0., 0.) ]; [ (0., 0.); (sq2, sq2) ] ]
+  | Tdg ->
+      Linalg.Cmat.of_reim_lists
+        [ [ (1., 0.); (0., 0.) ]; [ (0., 0.); (sq2, -.sq2) ] ]
+  | V ->
+      (* sqrt(X) = 1/2 [[1+i, 1-i]; [1-i, 1+i]] *)
+      Linalg.Cmat.of_reim_lists
+        [ [ (0.5, 0.5); (0.5, -0.5) ]; [ (0.5, -0.5); (0.5, 0.5) ] ]
+  | Vdg ->
+      Linalg.Cmat.of_reim_lists
+        [ [ (0.5, -0.5); (0.5, 0.5) ]; [ (0.5, 0.5); (0.5, -0.5) ] ]
+  | Rx a ->
+      let c = cos (a /. 2.) and s = sin (a /. 2.) in
+      Linalg.Cmat.of_reim_lists [ [ (c, 0.); (0., -.s) ]; [ (0., -.s); (c, 0.) ] ]
+  | Ry a ->
+      let c = cos (a /. 2.) and s = sin (a /. 2.) in
+      Linalg.Cmat.of_reim_lists [ [ (c, 0.); (-.s, 0.) ]; [ (s, 0.); (c, 0.) ] ]
+  | Rz a ->
+      let c = cos (a /. 2.) and s = sin (a /. 2.) in
+      Linalg.Cmat.of_reim_lists [ [ (c, -.s); (0., 0.) ]; [ (0., 0.); (c, s) ] ]
+  | Phase a ->
+      Linalg.Cmat.of_reim_lists
+        [ [ (1., 0.); (0., 0.) ]; [ (0., 0.); (cos a, sin a) ] ]
+
+let name = function
+  | H -> "h"
+  | X -> "x"
+  | Y -> "y"
+  | Z -> "z"
+  | S -> "s"
+  | Sdg -> "sdg"
+  | T -> "t"
+  | Tdg -> "tdg"
+  | V -> "v"
+  | Vdg -> "vdg"
+  | Rx a -> Printf.sprintf "rx(%g)" a
+  | Ry a -> Printf.sprintf "ry(%g)" a
+  | Rz a -> Printf.sprintf "rz(%g)" a
+  | Phase a -> Printf.sprintf "p(%g)" a
+
+let adjoint = function
+  | H -> H
+  | X -> X
+  | Y -> Y
+  | Z -> Z
+  | S -> Sdg
+  | Sdg -> S
+  | T -> Tdg
+  | Tdg -> T
+  | V -> Vdg
+  | Vdg -> V
+  | Rx a -> Rx (-.a)
+  | Ry a -> Ry (-.a)
+  | Rz a -> Rz (-.a)
+  | Phase a -> Phase (-.a)
+
+let is_diagonal = function
+  | Z | S | Sdg | T | Tdg | Rz _ | Phase _ -> true
+  | H | X | Y | V | Vdg | Rx _ | Ry _ -> false
+
+let equal a b =
+  match (a, b) with
+  | H, H | X, X | Y, Y | Z, Z | S, S | Sdg, Sdg | T, T | Tdg, Tdg | V, V
+  | Vdg, Vdg ->
+      true
+  | Rx x, Rx y | Ry x, Ry y | Rz x, Rz y | Phase x, Phase y ->
+      abs_float (x -. y) <= 1e-12
+  | ( ( H | X | Y | Z | S | Sdg | T | Tdg | V | Vdg | Rx _ | Ry _ | Rz _
+      | Phase _ ),
+      _ ) ->
+      false
+
+let is_clifford_t = function
+  | H | X | Y | Z | S | Sdg | T | Tdg -> true
+  | V | Vdg | Rx _ | Ry _ | Rz _ | Phase _ -> false
+
+let pp fmt g = Format.pp_print_string fmt (name g)

@@ -1,0 +1,45 @@
+(** Single-qubit gate library.
+
+    Controlled versions are expressed at the instruction level
+    ({!Instruction.app} carries a control list), so the gate type only
+    covers the 1-qubit unitaries the paper's netlists use: the
+    Clifford+T set of Fig 2/6, [V = sqrt(X)] and its adjoint from
+    Eqn (1), and parametric rotations for generality. *)
+
+type t =
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | V  (** square root of X *)
+  | Vdg  (** inverse square root of X *)
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | Phase of float  (** diag(1, e^{i.theta}) *)
+
+(** 2x2 unitary of the gate. *)
+val matrix : t -> Linalg.Cmat.t
+
+(** Short mnemonic, e.g. ["h"], ["tdg"], ["v"], ["rz(0.5)"]. *)
+val name : t -> string
+
+(** Inverse gate. *)
+val adjoint : t -> t
+
+(** Gates whose matrix is diagonal commute with each other and with any
+    control wire; used as a commutation fast path. *)
+val is_diagonal : t -> bool
+
+(** Structural equality with angle tolerance 1e-12. *)
+val equal : t -> t -> bool
+
+(** Whether the gate belongs to the Clifford+T set
+    {H, X, Y, Z, S, S†, T, T†}. *)
+val is_clifford_t : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,106 @@
+type app = { gate : Gate.t; controls : int list; target : int }
+type cond = { bits : (int * bool) list }
+
+type t =
+  | Unitary of app
+  | Conditioned of cond * app
+  | Measure of { qubit : int; bit : int }
+  | Reset of int
+  | Barrier of int list
+
+let app ?(controls = []) gate target = { gate; controls; target }
+let cond_bit bit value = { bits = [ (bit, value) ] }
+let cond_all bits = { bits = List.map (fun b -> (b, true)) bits }
+
+let cond_holds c register =
+  List.for_all
+    (fun (bit, value) -> (register lsr bit) land 1 = 1 = value)
+    c.bits
+let app_qubits a = a.controls @ [ a.target ]
+
+let qubits = function
+  | Unitary a | Conditioned (_, a) -> app_qubits a
+  | Measure { qubit; _ } -> [ qubit ]
+  | Reset q -> [ q ]
+  | Barrier qs -> qs
+
+let bits = function
+  | Unitary _ | Reset _ | Barrier _ -> []
+  | Conditioned (c, _) -> List.map fst c.bits
+  | Measure { bit; _ } -> [ bit ]
+
+let map_app f a =
+  { a with controls = List.map f a.controls; target = f a.target }
+
+let map_qubits f = function
+  | Unitary a -> Unitary (map_app f a)
+  | Conditioned (c, a) -> Conditioned (c, map_app f a)
+  | Measure { qubit; bit } -> Measure { qubit = f qubit; bit }
+  | Reset q -> Reset (f q)
+  | Barrier qs -> Barrier (List.map f qs)
+
+let adjoint = function
+  | Unitary a -> Unitary { a with gate = Gate.adjoint a.gate }
+  | Conditioned (c, a) -> Conditioned (c, { a with gate = Gate.adjoint a.gate })
+  | Measure _ | Reset _ | Barrier _ ->
+      invalid_arg "Instruction.adjoint: non-unitary instruction"
+
+let rec distinct = function
+  | [] -> true
+  | x :: rest -> (not (List.mem x rest)) && distinct rest
+
+let well_formed ~num_qubits ~num_bits t =
+  let q_ok q = q >= 0 && q < num_qubits in
+  let b_ok b = b >= 0 && b < num_bits in
+  List.for_all q_ok (qubits t)
+  && List.for_all b_ok (bits t)
+  &&
+  match t with
+  | Unitary a | Conditioned (_, a) -> distinct (app_qubits a)
+  | Measure _ | Reset _ -> true
+  | Barrier qs -> distinct qs
+
+let counts_as_gate = function
+  | Unitary _ | Conditioned _ | Reset _ -> true
+  | Measure _ | Barrier _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Unitary x, Unitary y ->
+      Gate.equal x.gate y.gate && x.controls = y.controls && x.target = y.target
+  | Conditioned (c, x), Conditioned (d, y) ->
+      c = d && Gate.equal x.gate y.gate && x.controls = y.controls
+      && x.target = y.target
+  | Measure { qubit = q1; bit = b1 }, Measure { qubit = q2; bit = b2 } ->
+      q1 = q2 && b1 = b2
+  | Reset x, Reset y -> x = y
+  | Barrier x, Barrier y -> x = y
+  | (Unitary _ | Conditioned _ | Measure _ | Reset _ | Barrier _), _ -> false
+
+let pp fmt t =
+  let pp_app fmt a =
+    match a.controls with
+    | [] -> Format.fprintf fmt "%s q%d" (Gate.name a.gate) a.target
+    | cs ->
+        Format.fprintf fmt "%s%s %s, q%d"
+          (String.concat "" (List.map (fun _ -> "c") cs))
+          (Gate.name a.gate)
+          (String.concat ", " (List.map (Printf.sprintf "q%d") cs))
+          a.target
+  in
+  match t with
+  | Unitary a -> pp_app fmt a
+  | Conditioned (c, a) ->
+      let test (bit, value) =
+        Printf.sprintf "c%d == %d" bit (if value then 1 else 0)
+      in
+      Format.fprintf fmt "if (%s) %a"
+        (String.concat " && " (List.map test c.bits))
+        pp_app a
+  | Measure { qubit; bit } -> Format.fprintf fmt "measure q%d -> c%d" qubit bit
+  | Reset q -> Format.fprintf fmt "reset q%d" q
+  | Barrier qs ->
+      Format.fprintf fmt "barrier %s"
+        (String.concat ", " (List.map (Printf.sprintf "q%d") qs))
+
+let to_string t = Format.asprintf "%a" pp t

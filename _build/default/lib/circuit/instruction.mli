@@ -1,0 +1,63 @@
+(** Circuit instructions: unitary applications (with optional quantum
+    controls), the non-unitary primitives of dynamic quantum circuits
+    (mid-circuit measurement, active reset), classically controlled
+    applications, and barriers. *)
+
+(** A unitary application: [gate] on [target], quantum-controlled by the
+    qubits in [controls] (empty for a plain 1-qubit gate, one entry for
+    CX/CV-style gates, two for a Toffoli). *)
+type app = { gate : Gate.t; controls : int list; target : int }
+
+(** Classical condition: a conjunction of register-bit tests; the
+    empty conjunction is always true.  Single-bit conditions (the
+    common case, IBM's [c_if]) are built with {!cond_bit};
+    multi-bit conjunctions support the dynamic realization of
+    multiple-control Toffoli gates. *)
+type cond = { bits : (int * bool) list }
+
+type t =
+  | Unitary of app
+  | Conditioned of cond * app
+      (** classically controlled application, e.g. [if (c0 == 1) x q];
+          the application may itself carry quantum controls *)
+  | Measure of { qubit : int; bit : int }
+  | Reset of int
+  | Barrier of int list
+
+val app : ?controls:int list -> Gate.t -> int -> app
+
+(** [cond_bit bit value] is the single-bit condition [c_bit == value]. *)
+val cond_bit : int -> bool -> cond
+
+(** [cond_all bits] requires every bit in [bits] to read 1. *)
+val cond_all : int list -> cond
+
+(** [cond_holds cond register] evaluates the conjunction against a
+    register value (encoded as in [Sim.Bits]: bit [k] of the int). *)
+val cond_holds : cond -> int -> bool
+
+(** Qubits the instruction touches (controls then target; measurement
+    and reset qubits; barrier qubits). *)
+val qubits : t -> int list
+
+(** Classical bits the instruction reads or writes. *)
+val bits : t -> int list
+
+(** [map_qubits f t] renames every qubit through [f]. *)
+val map_qubits : (int -> int) -> t -> t
+
+(** [adjoint t] inverts a unitary or conditioned application.
+    @raise Invalid_argument on measure/reset/barrier. *)
+val adjoint : t -> t
+
+(** Validity within a circuit of [num_qubits] x [num_bits]: indices in
+    range, controls distinct from each other and from the target. *)
+val well_formed : num_qubits:int -> num_bits:int -> t -> bool
+
+(** Counts toward the paper's gate-count convention: unitaries,
+    conditioned gates and resets do; measurements and barriers do not. *)
+val counts_as_gate : t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,205 @@
+exception Parse_error of string
+
+let parse_fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Minimal s-expressions                                              *)
+
+type sexp = Atom of string | List of sexp list
+
+let rec pp_sexp buf = function
+  | Atom a -> Buffer.add_string buf a
+  | List items ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun k item ->
+          if k > 0 then Buffer.add_char buf ' ';
+          pp_sexp buf item)
+        items;
+      Buffer.add_char buf ')'
+
+let sexp_to_string s =
+  let buf = Buffer.create 256 in
+  pp_sexp buf s;
+  Buffer.contents buf
+
+let sexp_of_string src =
+  let n = String.length src in
+  let rec skip i =
+    if i < n && (src.[i] = ' ' || src.[i] = '\n' || src.[i] = '\t' || src.[i] = '\r')
+    then skip (i + 1)
+    else i
+  in
+  (* returns (sexp, next position) *)
+  let rec parse i =
+    let i = skip i in
+    if i >= n then parse_fail "unexpected end of input"
+    else if src.[i] = '(' then parse_list (i + 1) []
+    else if src.[i] = ')' then parse_fail "unexpected ')'"
+    else begin
+      let rec atom_end j =
+        if
+          j < n && src.[j] <> ' ' && src.[j] <> '(' && src.[j] <> ')'
+          && src.[j] <> '\n' && src.[j] <> '\t' && src.[j] <> '\r'
+        then atom_end (j + 1)
+        else j
+      in
+      let j = atom_end i in
+      (Atom (String.sub src i (j - i)), j)
+    end
+  and parse_list i acc =
+    let i = skip i in
+    if i >= n then parse_fail "unterminated list"
+    else if src.[i] = ')' then (List (List.rev acc), i + 1)
+    else begin
+      let item, j = parse i in
+      parse_list j (item :: acc)
+    end
+  in
+  let s, j = parse 0 in
+  if skip j <> n then parse_fail "trailing input";
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Gates                                                              *)
+
+let sexp_of_gate (g : Gate.t) =
+  match g with
+  | Gate.H -> Atom "h"
+  | Gate.X -> Atom "x"
+  | Gate.Y -> Atom "y"
+  | Gate.Z -> Atom "z"
+  | Gate.S -> Atom "s"
+  | Gate.Sdg -> Atom "sdg"
+  | Gate.T -> Atom "t"
+  | Gate.Tdg -> Atom "tdg"
+  | Gate.V -> Atom "v"
+  | Gate.Vdg -> Atom "vdg"
+  | Gate.Rx a -> List [ Atom "rx"; Atom (Printf.sprintf "%.17g" a) ]
+  | Gate.Ry a -> List [ Atom "ry"; Atom (Printf.sprintf "%.17g" a) ]
+  | Gate.Rz a -> List [ Atom "rz"; Atom (Printf.sprintf "%.17g" a) ]
+  | Gate.Phase a -> List [ Atom "p"; Atom (Printf.sprintf "%.17g" a) ]
+
+let float_of_atom a =
+  match float_of_string_opt a with
+  | Some f -> f
+  | None -> parse_fail "expected a number, got %S" a
+
+let int_of_atom a =
+  match int_of_string_opt a with
+  | Some k -> k
+  | None -> parse_fail "expected an integer, got %S" a
+
+let gate_of_sexp = function
+  | Atom "h" -> Gate.H
+  | Atom "x" -> Gate.X
+  | Atom "y" -> Gate.Y
+  | Atom "z" -> Gate.Z
+  | Atom "s" -> Gate.S
+  | Atom "sdg" -> Gate.Sdg
+  | Atom "t" -> Gate.T
+  | Atom "tdg" -> Gate.Tdg
+  | Atom "v" -> Gate.V
+  | Atom "vdg" -> Gate.Vdg
+  | List [ Atom "rx"; Atom a ] -> Gate.Rx (float_of_atom a)
+  | List [ Atom "ry"; Atom a ] -> Gate.Ry (float_of_atom a)
+  | List [ Atom "rz"; Atom a ] -> Gate.Rz (float_of_atom a)
+  | List [ Atom "p"; Atom a ] -> Gate.Phase (float_of_atom a)
+  | s -> parse_fail "unknown gate %s" (sexp_to_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Instructions                                                       *)
+
+let ints_of_sexp = function
+  | List items ->
+      List.map
+        (function Atom a -> int_of_atom a | List _ -> parse_fail "expected int")
+        items
+  | Atom _ -> parse_fail "expected a list of ints"
+
+let sexp_of_ints ks = List (List.map (fun k -> Atom (string_of_int k)) ks)
+
+let sexp_of_app (a : Instruction.app) =
+  [ sexp_of_gate a.gate; sexp_of_ints a.controls; Atom (string_of_int a.target) ]
+
+let app_of_sexps gate controls target =
+  Instruction.app ~controls:(ints_of_sexp controls) (gate_of_sexp gate)
+    (int_of_atom target)
+
+let sexp_of_instr (i : Instruction.t) =
+  match i with
+  | Unitary a -> List (Atom "u" :: sexp_of_app a)
+  | Conditioned (cond, a) ->
+      let bits =
+        List
+          (List.map
+             (fun (b, v) ->
+               List
+                 [ Atom (string_of_int b); Atom (if v then "1" else "0") ])
+             cond.Instruction.bits)
+      in
+      List (Atom "cond" :: bits :: sexp_of_app a)
+  | Measure { qubit; bit } ->
+      List [ Atom "measure"; Atom (string_of_int qubit); Atom (string_of_int bit) ]
+  | Reset q -> List [ Atom "reset"; Atom (string_of_int q) ]
+  | Barrier qs -> List [ Atom "barrier"; sexp_of_ints qs ]
+
+let instr_of_sexp = function
+  | List [ Atom "u"; gate; controls; Atom target ] ->
+      Instruction.Unitary (app_of_sexps gate controls target)
+  | List [ Atom "cond"; List bits; gate; controls; Atom target ] ->
+      let parse_bit = function
+        | List [ Atom b; Atom v ] ->
+            (int_of_atom b,
+             match v with
+             | "1" -> true
+             | "0" -> false
+             | other -> parse_fail "bad condition value %S" other)
+        | s -> parse_fail "bad condition %s" (sexp_to_string s)
+      in
+      Instruction.Conditioned
+        ({ Instruction.bits = List.map parse_bit bits },
+         app_of_sexps gate controls target)
+  | List [ Atom "measure"; Atom q; Atom b ] ->
+      Instruction.Measure { qubit = int_of_atom q; bit = int_of_atom b }
+  | List [ Atom "reset"; Atom q ] -> Instruction.Reset (int_of_atom q)
+  | List [ Atom "barrier"; qs ] -> Instruction.Barrier (ints_of_sexp qs)
+  | s -> parse_fail "unknown instruction %s" (sexp_to_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Circuits                                                           *)
+
+let role_to_atom = function
+  | Circ.Data -> Atom "data"
+  | Circ.Ancilla -> Atom "ancilla"
+  | Circ.Answer -> Atom "answer"
+
+let role_of_sexp = function
+  | Atom "data" -> Circ.Data
+  | Atom "ancilla" -> Circ.Ancilla
+  | Atom "answer" -> Circ.Answer
+  | s -> parse_fail "unknown role %s" (sexp_to_string s)
+
+let to_string c =
+  let roles =
+    List (Atom "roles" :: Array.to_list (Array.map role_to_atom (Circ.roles c)))
+  in
+  let bits = List [ Atom "bits"; Atom (string_of_int (Circ.num_bits c)) ] in
+  let instrs =
+    List (Atom "instrs" :: List.map sexp_of_instr (Circ.instructions c))
+  in
+  sexp_to_string (List [ Atom "circuit"; roles; bits; instrs ])
+
+let of_string src =
+  match sexp_of_string src with
+  | List
+      [
+        Atom "circuit";
+        List (Atom "roles" :: role_sexps);
+        List [ Atom "bits"; Atom bits ];
+        List (Atom "instrs" :: instr_sexps);
+      ] ->
+      let roles = Array.of_list (List.map role_of_sexp role_sexps) in
+      Circ.create ~roles ~num_bits:(int_of_atom bits)
+        (List.map instr_of_sexp instr_sexps)
+  | _ -> parse_fail "expected (circuit (roles ...) (bits n) (instrs ...))"

@@ -1,0 +1,26 @@
+(** S-expression serialization of circuits.
+
+    Unlike {!Qasm}, this format round-trips the full circuit record:
+    qubit roles (which the DQC transformation depends on), register
+    width, and every instruction form, including conjunctive classical
+    conditions.  Grammar (informal):
+
+    {v
+    (circuit
+      (roles data data answer)
+      (bits 2)
+      (instrs
+        (u h () 0)
+        (u (rz 0.5) (0) 1)
+        (cond ((0 1) (2 0)) x () 1)
+        (measure 0 0)
+        (reset 0)
+        (barrier (0 1))))
+    v} *)
+
+exception Parse_error of string
+
+val to_string : Circ.t -> string
+
+(** @raise Parse_error on malformed input. *)
+val of_string : string -> Circ.t

@@ -1,0 +1,1 @@
+lib/decompose/ancilla_unroll.ml: Circuit Gate Instruction List

@@ -1,0 +1,1 @@
+lib/decompose/barenco.ml: Circuit Gate Instruction

@@ -1,0 +1,1 @@
+lib/decompose/barenco.mli: Circuit Instruction

@@ -1,0 +1,1 @@
+lib/decompose/clifford_t.mli: Circuit Instruction

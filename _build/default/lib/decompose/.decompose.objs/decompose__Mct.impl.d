@@ -1,0 +1,1 @@
+lib/decompose/mct.ml: Array Circuit Gate Instruction List

@@ -1,0 +1,1 @@
+lib/decompose/mct.mli: Circuit Instruction

@@ -1,0 +1,1 @@
+lib/decompose/pass.ml: Ancilla_unroll Array Barenco Circ Circuit Clifford_t Gate Hashtbl Instruction List Mct Printf

@@ -1,0 +1,1 @@
+lib/decompose/pass.mli: Circ Circuit

@@ -1,0 +1,1 @@
+lib/decompose/peephole.ml: Array Circ Circuit Float Gate Hashtbl Instruction List

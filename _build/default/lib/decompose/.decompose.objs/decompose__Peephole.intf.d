@@ -1,0 +1,1 @@
+lib/decompose/peephole.mli: Circ Circuit

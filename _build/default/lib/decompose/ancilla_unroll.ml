@@ -1,0 +1,27 @@
+open Circuit
+
+let cg g c t = Instruction.Unitary (Instruction.app ~controls:[ c ] g t)
+
+let morph ~parity ~controls ~ancilla =
+  let symdiff =
+    List.filter (fun q -> not (List.mem q controls)) parity
+    @ List.filter (fun q -> not (List.mem q parity)) controls
+  in
+  List.map (fun q -> cg Gate.X q ancilla) (List.sort compare symdiff)
+
+let release ~parity ~ancilla = morph ~parity ~controls:[] ~ancilla
+
+let toffoli_shared ~parity ~c1 ~c2 ~target ~ancilla =
+  let instrs =
+    (cg Gate.V c2 target :: morph ~parity ~controls:[ c1; c2 ] ~ancilla)
+    @ [ cg Gate.Vdg ancilla target; cg Gate.V c1 target ]
+  in
+  (instrs, [ c1; c2 ])
+
+let toffoli ~c1 ~c2 ~target ~ancilla =
+  let computed, parity = toffoli_shared ~parity:[] ~c1 ~c2 ~target ~ancilla in
+  (* uncompute before the trailing CV so the netlist reads as Eqn (3) *)
+  match List.rev computed with
+  | last_cv :: rev_prefix ->
+      List.rev rev_prefix @ release ~parity ~ancilla @ [ last_cv ]
+  | [] -> assert false

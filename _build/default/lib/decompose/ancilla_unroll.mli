@@ -1,0 +1,43 @@
+open Circuit
+
+(** Ancilla-unrolled Toffoli realization — the paper's Eqn (3), the
+    netlist behind the {e dynamic-2} scheme.
+
+    A clean ancilla [a] receives the parity [c1 XOR c2], the CV†'s
+    control moves from a data qubit to the ancilla, and the parity is
+    uncomputed afterwards.  This removes the CX sandwich between data
+    qubits: after DQC transformation every classically controlled gate
+    lands in the ancilla's own iteration, at the price of one extra
+    iteration, one active reset and two extra conditioned X gates per
+    Toffoli (the overhead the paper quotes against dynamic-1).
+
+    Lemma 1: consecutive Toffoli gates can share one ancilla; chaining
+    {!toffoli_shared} emits only the {!morph} CXs (the symmetric
+    difference of the parities) instead of a full
+    uncompute-then-recompute, and {!release} restores |0> at the end. *)
+
+(** [CV(c2,t) . CX(c1,a) . CX(c2,a) . CV†(a,t) . CX(c1,a) . CX(c2,a)
+    . CV(c1,t)] — self-contained, ancilla returned to |0>. *)
+val toffoli :
+  c1:int -> c2:int -> target:int -> ancilla:int -> Instruction.t list
+
+(** [morph ~parity ~controls ~ancilla] emits the CX gates turning an
+    ancilla holding the XOR of [parity] into one holding the XOR of
+    [controls] (their symmetric difference). *)
+val morph :
+  parity:int list -> controls:int list -> ancilla:int -> Instruction.t list
+
+(** [toffoli_shared ~parity ~c1 ~c2 ~target ~ancilla] is the Eqn (5)
+    form: morph the ancilla's current parity instead of recomputing,
+    and leave the new parity in place.  Returns the instructions and
+    the new parity [c1; c2]. *)
+val toffoli_shared :
+  parity:int list ->
+  c1:int ->
+  c2:int ->
+  target:int ->
+  ancilla:int ->
+  Instruction.t list * int list
+
+(** Uncompute a leftover parity, restoring the ancilla to |0>. *)
+val release : parity:int list -> ancilla:int -> Instruction.t list

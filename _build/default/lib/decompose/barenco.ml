@@ -1,0 +1,12 @@
+open Circuit
+
+let cg g c t = Instruction.Unitary (Instruction.app ~controls:[ c ] g t)
+
+let toffoli ~c1 ~c2 ~target =
+  [
+    cg Gate.V c2 target;
+    cg Gate.X c1 c2;
+    cg Gate.Vdg c2 target;
+    cg Gate.X c1 c2;
+    cg Gate.V c1 target;
+  ]

@@ -1,0 +1,7 @@
+open Circuit
+
+(** Barenco et al. CV/CV†/CX realization of the Toffoli gate — the
+    paper's Eqn (1), the netlist behind the {e dynamic-1} scheme. *)
+
+(** [CV(c2,t) . CX(c1,c2) . CV†(c2,t) . CX(c1,c2) . CV(c1,t)]. *)
+val toffoli : c1:int -> c2:int -> target:int -> Instruction.t list

@@ -1,0 +1,44 @@
+open Circuit
+
+let u ?controls g t = Instruction.Unitary (Instruction.app ?controls g t)
+let cx c t = u ~controls:[ c ] Gate.X t
+
+(* Nielsen & Chuang Fig 4.9 — the network the paper's Fig 2 shows. *)
+let toffoli ~c1 ~c2 ~target =
+  [
+    u Gate.H target;
+    cx c2 target;
+    u Gate.Tdg target;
+    cx c1 target;
+    u Gate.T target;
+    cx c2 target;
+    u Gate.Tdg target;
+    cx c1 target;
+    u Gate.T c2;
+    u Gate.T target;
+    u Gate.H target;
+    cx c1 c2;
+    u Gate.T c1;
+    u Gate.Tdg c2;
+    cx c1 c2;
+  ]
+
+let cphase ~theta ~control ~target =
+  let half = theta /. 2. in
+  [
+    u (Gate.Phase half) control;
+    u (Gate.Phase half) target;
+    cx control target;
+    u (Gate.Phase (-.half)) target;
+    cx control target;
+  ]
+
+(* CV = (I ⊗ H) . CP(pi/2) . (I ⊗ H); with P(pi/4) = T this is the
+   7-gate network of Fig 6a. *)
+let cv ~control ~target =
+  (u Gate.H target :: cphase ~theta:(Float.pi /. 2.) ~control ~target)
+  @ [ u Gate.H target ]
+
+let cvdg ~control ~target =
+  (u Gate.H target :: cphase ~theta:(-.Float.pi /. 2.) ~control ~target)
+  @ [ u Gate.H target ]

@@ -1,0 +1,19 @@
+open Circuit
+
+(** Clifford+T realizations (paper Fig 2 and Fig 6).
+
+    All decompositions are exact (not merely up to global phase), so
+    they remain correct under quantum controls. *)
+
+(** The 15-gate Toffoli network of Fig 2. *)
+val toffoli : c1:int -> c2:int -> target:int -> Instruction.t list
+
+(** Controlled-sqrt(X), Fig 6a: [H . T(c) . T(t) . CX . T†(t) . CX . H]. *)
+val cv : control:int -> target:int -> Instruction.t list
+
+(** Controlled-inverse-sqrt(X), Fig 6b. *)
+val cvdg : control:int -> target:int -> Instruction.t list
+
+(** Controlled-phase(theta) as [P(t/2) P(t/2) CX P(-t/2) CX] — the
+    building block behind {!cv}. *)
+val cphase : theta:float -> control:int -> target:int -> Instruction.t list

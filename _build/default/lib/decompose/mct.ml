@@ -1,0 +1,78 @@
+open Circuit
+
+let ancillas_needed n = max 0 (n - 2)
+
+let ccx c1 c2 t = Instruction.Unitary (Instruction.app ~controls:[ c1; c2 ] Gate.X t)
+let cx c t = Instruction.Unitary (Instruction.app ~controls:[ c ] Gate.X t)
+let x t = Instruction.Unitary (Instruction.app Gate.X t)
+
+let rec distinct = function
+  | [] -> true
+  | q :: rest -> (not (List.mem q rest)) && distinct rest
+
+(* a.(0) = c0 & c1; a.(k) = a.(k-1) & c.(k+1); target ^= last;
+   then uncompute the chain in reverse. *)
+let v_chain_general ~uncompute ~controls ~target ~ancillas =
+  let n = List.length controls in
+  if List.length ancillas < ancillas_needed n then
+    invalid_arg "Mct.v_chain: not enough ancillas";
+  if not (distinct (controls @ ancillas @ [ target ])) then
+    invalid_arg "Mct.v_chain: repeated qubit";
+  match controls with
+  | [] -> [ x target ]
+  | [ c ] -> [ cx c target ]
+  | [ c1; c2 ] -> [ ccx c1 c2 target ]
+  | c1 :: c2 :: rest ->
+      (* a0 = c1 AND c2; a_{k+1} = a_k AND c_{k+3}; the final control
+         feeds the Toffoli onto the target directly *)
+      let rec split_last acc = function
+        | [] -> assert false
+        | [ last ] -> (List.rev acc, last)
+        | c :: more -> split_last (c :: acc) more
+      in
+      let chain_controls, final_control = split_last [] rest in
+      let ancillas = Array.of_list ancillas in
+      let compute = ref [ ccx c1 c2 ancillas.(0) ] in
+      List.iteri
+        (fun k c -> compute := ccx c ancillas.(k) ancillas.(k + 1) :: !compute)
+        chain_controls;
+      let compute = List.rev !compute in
+      (* the chain is made of self-inverse gates, so uncomputation is
+         the computation reversed *)
+      compute
+      @ [ ccx final_control ancillas.(n - 3) target ]
+      @ (if uncompute then List.rev compute else [])
+
+let v_chain ~controls ~target ~ancillas =
+  v_chain_general ~uncompute:true ~controls ~target ~ancillas
+
+let v_chain_no_uncompute ~controls ~target ~ancillas =
+  v_chain_general ~uncompute:false ~controls ~target ~ancillas
+
+(* Barenco et al. Lemma 7.2: the staircase block applied twice flips
+   the target on all-ones controls and restores the borrowed qubits.
+   Block: T(cn, b_m, t); down the stairs; T(c1, c2, b_1); up the
+   stairs — where stair i couples c_{i+2} and b_i into b_{i+1}. *)
+let dirty_staircase ~controls ~target ~borrowed =
+  let n = List.length controls in
+  if n < 3 then
+    invalid_arg "Mct.dirty_staircase: needs at least 3 controls";
+  if List.length borrowed < n - 2 then
+    invalid_arg "Mct.dirty_staircase: not enough borrowed qubits";
+  let borrowed = List.filteri (fun k _ -> k < n - 2) borrowed in
+  if not (distinct (controls @ borrowed @ [ target ])) then
+    invalid_arg "Mct.dirty_staircase: repeated qubit";
+  let c = Array.of_list controls in
+  let b = Array.of_list borrowed in
+  let m = n - 2 in
+  let top = ccx c.(n - 1) b.(m - 1) target in
+  let down =
+    List.init (m - 1) (fun k ->
+        let i = m - 1 - k in
+        (* couple c_{i+1} (0-based) and b_{i-1} into b_i *)
+        ccx c.(i + 1) b.(i - 1) b.(i))
+  in
+  let bottom = ccx c.(0) c.(1) b.(0) in
+  let up = List.rev down in
+  let block = (top :: down) @ (bottom :: up) in
+  block @ block

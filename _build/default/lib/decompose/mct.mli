@@ -1,0 +1,36 @@
+open Circuit
+
+(** Multiple-control Toffoli decomposition — the paper's stated future
+    work ("dynamic realization of Multiple Control Toffoli gates"),
+    included here as an extension.
+
+    The V-chain construction computes the AND of the controls into
+    clean ancilla qubits pairwise, applies one CX, and uncomputes.
+    [n] controls need [n - 2] clean ancillas (none for n <= 2). *)
+
+(** Number of clean ancillas {!v_chain} needs for [n] controls. *)
+val ancillas_needed : int -> int
+
+(** [v_chain ~controls ~target ~ancillas] realizes
+    [C^nX(controls, target)] with 2-control Toffoli gates, uncomputing
+    the AND chain afterwards.
+    @raise Invalid_argument when too few ancillas are supplied or a
+    qubit is repeated. *)
+val v_chain :
+  controls:int list -> target:int -> ancillas:int list -> Instruction.t list
+
+(** {!v_chain} without the uncomputation: the AND chain is left on the
+    ancillas (their values are classical functions of the controls) —
+    the form the DQC transformation needs, where ancillas are measured
+    instead of uncomputed. *)
+val v_chain_no_uncompute :
+  controls:int list -> target:int -> ancillas:int list -> Instruction.t list
+
+(** [dirty_staircase ~controls ~target ~borrowed] realizes
+    [C^nX(controls, target)] with [n - 2] {e borrowed} qubits whose
+    state is arbitrary and is restored afterwards (Barenco et al.
+    Lemma 7.2) — usable when the circuit has idle qubits, at roughly
+    twice the Toffoli count of the clean {!v_chain}.
+    @raise Invalid_argument on too few borrowed qubits or repeats. *)
+val dirty_staircase :
+  controls:int list -> target:int -> borrowed:int list -> Instruction.t list

@@ -1,0 +1,188 @@
+open Circuit
+
+type sharing = [ `Fresh | `Per_target | `Global ]
+type toffoli_scheme = [ `Clifford_t | `Barenco | `Ancilla of sharing ]
+
+let is_mct (i : Instruction.t) =
+  match i with
+  | Unitary { gate = Gate.X; controls; _ } -> List.length controls >= 3
+  | Unitary _ | Conditioned _ | Measure _ | Reset _ | Barrier _ -> false
+
+let reject_unsupported (i : Instruction.t) =
+  match i with
+  | Unitary { gate; controls; _ } when List.length controls >= 2 ->
+      if not (Gate.equal gate Gate.X) then
+        invalid_arg
+          (Printf.sprintf "Pass: unsupported multi-control gate %s"
+             (Instruction.to_string i))
+  | Conditioned (_, { controls; _ }) when controls <> [] ->
+      invalid_arg "Pass: conditioned gate with quantum controls"
+  | Unitary _ | Conditioned _ | Measure _ | Reset _ | Barrier _ -> ()
+
+(* With uncomputation the V-chain scratch qubits return to |0>, so one
+   pool sized for the widest gate serves every multi-control X; the
+   DQC-shaped variant leaves the chains computed on fresh, measured
+   (Data-role) qubits instead. *)
+let reduce_mct ?(for_dqc = false) c =
+  List.iter reject_unsupported (Circ.instructions c);
+  let needed (i : Instruction.t) =
+    match i with
+    | Unitary { gate = Gate.X; controls; _ } ->
+        Mct.ancillas_needed (List.length controls)
+    | Unitary _ | Conditioned _ | Measure _ | Reset _ | Barrier _ -> 0
+  in
+  let pool_size =
+    List.fold_left (fun acc i -> max acc (needed i)) 0 (Circ.instructions c)
+  in
+  if pool_size = 0 then c
+  else begin
+    let base = Circ.num_qubits c in
+    let next = ref base in
+    let scratch take =
+      if for_dqc then
+        (* fresh, never-uncomputed chain qubits *)
+        List.init take (fun k ->
+            let q = !next + k in
+            q)
+        |> fun qs ->
+        next := !next + take;
+        qs
+      else List.init take (fun k -> base + k)
+    in
+    if not for_dqc then next := base + pool_size;
+    let rewrite (i : Instruction.t) =
+      if not (is_mct i) then [ i ]
+      else
+        match i with
+        | Unitary { controls; target; _ } ->
+            let ancillas = scratch (needed i) in
+            if for_dqc then
+              Mct.v_chain_no_uncompute ~controls ~target ~ancillas
+            else Mct.v_chain ~controls ~target ~ancillas
+        | Conditioned _ | Measure _ | Reset _ | Barrier _ -> assert false
+    in
+    let instrs = List.concat_map rewrite (Circ.instructions c) in
+    let extra = !next - base in
+    let role = if for_dqc then Circ.Data else Circ.Ancilla in
+    let roles = Array.append (Circ.roles c) (Array.make extra role) in
+    Circ.create ~roles ~num_bits:(Circ.num_bits c) instrs
+  end
+
+let substitute_toffoli ?(mct_reduction = `Unitary) scheme c =
+  let c = reduce_mct ~for_dqc:(mct_reduction = `Dqc) c in
+  List.iter reject_unsupported (Circ.instructions c);
+  match scheme with
+  | `Clifford_t ->
+      let rewrite (i : Instruction.t) =
+        match i with
+        | Unitary { gate = Gate.X; controls = [ c1; c2 ]; target } ->
+            Clifford_t.toffoli ~c1 ~c2 ~target
+        | Unitary _ | Conditioned _ | Measure _ | Reset _ | Barrier _ -> [ i ]
+      in
+      Circ.map_instructions rewrite c
+  | `Barenco ->
+      let rewrite (i : Instruction.t) =
+        match i with
+        | Unitary { gate = Gate.X; controls = [ c1; c2 ]; target } ->
+            Barenco.toffoli ~c1 ~c2 ~target
+        | Unitary _ | Conditioned _ | Measure _ | Reset _ | Barrier _ -> [ i ]
+      in
+      Circ.map_instructions rewrite c
+  | `Ancilla sharing ->
+      let base = Circ.num_qubits c in
+      let next = ref base in
+      (* an unroll ancilla whose CV† targets a work (data) qubit — the
+         chain Toffolis of a DQC-shaped MCT reduction — must itself be
+         measured so the conditioned V† can reference its value: such
+         ancillas are promoted to role Data *)
+      let promoted : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+      let is_work q =
+        match Circ.role c q with
+        | Circ.Data | Circ.Ancilla -> true
+        | Circ.Answer -> false
+      in
+      (* allocation key: the Toffoli's target for `Per_target, a single
+         shared key for `Global; `Fresh never reuses an entry *)
+      let allocated : (int, int * int list ref) Hashtbl.t = Hashtbl.create 4 in
+      let fresh () =
+        let a = !next in
+        incr next;
+        (a, ref [])
+      in
+      let ancilla_for ~target =
+        let entry =
+          match sharing with
+          | `Fresh -> fresh ()
+          | `Per_target | `Global -> (
+              let key = match sharing with `Global -> -1 | _ -> target in
+              match Hashtbl.find_opt allocated key with
+              | Some entry -> entry
+              | None ->
+                  let entry = fresh () in
+                  Hashtbl.replace allocated key entry;
+                  entry)
+        in
+        if is_work target then Hashtbl.replace promoted (fst entry) ();
+        entry
+      in
+      (* Lemma-1 sharing keeps a live parity on each ancilla between
+         Toffoli gates of the same group.  The parity is only valid
+         while its control qubits are untouched, so any intervening
+         instruction on a parity qubit forces the ancilla back to |0>
+         (release) before that instruction runs; leftover parities are
+         released at the end of the circuit. *)
+      let release_all_touching qs =
+        Hashtbl.fold
+          (fun _ (ancilla, parity) acc ->
+            if List.exists (fun q -> List.mem q !parity) qs then begin
+              let instrs = Ancilla_unroll.release ~parity:!parity ~ancilla in
+              parity := [];
+              instrs @ acc
+            end
+            else acc)
+          allocated []
+      in
+      let rewrite (i : Instruction.t) =
+        match (sharing, i) with
+        | `Fresh, Unitary { gate = Gate.X; controls = [ c1; c2 ]; target } ->
+            let ancilla, _ = ancilla_for ~target in
+            Ancilla_unroll.toffoli ~c1 ~c2 ~target ~ancilla
+        | ( (`Per_target | `Global),
+            Unitary { gate = Gate.X; controls = [ c1; c2 ]; target } ) ->
+            let ancilla, parity = ancilla_for ~target in
+            let instrs, parity' =
+              Ancilla_unroll.toffoli_shared ~parity:!parity ~c1 ~c2 ~target
+                ~ancilla
+            in
+            parity := parity';
+            instrs
+        | _, (Unitary _ | Conditioned _ | Measure _ | Reset _ | Barrier _) ->
+            release_all_touching (Instruction.qubits i) @ [ i ]
+      in
+      let instrs = List.concat_map rewrite (Circ.instructions c) in
+      let final_releases =
+        Hashtbl.fold
+          (fun _ (ancilla, parity) acc ->
+            Ancilla_unroll.release ~parity:!parity ~ancilla @ acc)
+          allocated []
+      in
+      let new_roles =
+        Array.init (!next - base) (fun k ->
+            if Hashtbl.mem promoted (base + k) then Circ.Data
+            else Circ.Ancilla)
+      in
+      let roles = Array.append (Circ.roles c) new_roles in
+      Circ.create ~roles ~num_bits:(Circ.num_bits c) (instrs @ final_releases)
+
+(* Only quantum-controlled V/V† have a Fig 6 expansion; a plain or
+   classically conditioned V is already a primitive 1-qubit operation. *)
+let expand_cv c =
+  let rewrite (i : Instruction.t) =
+    match i with
+    | Unitary { gate = Gate.V; controls = [ ctl ]; target } ->
+        Clifford_t.cv ~control:ctl ~target
+    | Unitary { gate = Gate.Vdg; controls = [ ctl ]; target } ->
+        Clifford_t.cvdg ~control:ctl ~target
+    | Unitary _ | Conditioned _ | Measure _ | Reset _ | Barrier _ -> [ i ]
+  in
+  Circ.map_instructions rewrite c

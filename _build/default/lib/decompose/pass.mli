@@ -1,0 +1,50 @@
+open Circuit
+
+(** Whole-circuit substitution passes over Toffoli and CV gates.
+
+    The two dynamic Toffoli schemes of the paper correspond to running
+    {!substitute_toffoli} with [`Barenco] (dynamic-1) or
+    [`Ancilla ...] (dynamic-2) before the DQC transformation. *)
+
+(** Ancilla allocation policy for the unrolled scheme:
+    - [`Fresh]: one new ancilla per Toffoli (Eqn 3/4 literally);
+    - [`Per_target]: one ancilla per distinct target — Lemma 1;
+    - [`Global]: a single ancilla for the whole circuit (extension of
+      Lemma 1: the parity morph works across targets too). *)
+type sharing = [ `Fresh | `Per_target | `Global ]
+
+type toffoli_scheme =
+  [ `Clifford_t  (** Fig 2 network *)
+  | `Barenco  (** Eqn 1 CV/CV†/CX network *)
+  | `Ancilla of sharing  (** Eqn 3 network, ancillas appended *) ]
+
+(** [substitute_toffoli ?mct_reduction scheme c] rewrites every
+    2-control Toffoli.  With [`Ancilla _] the result gains ancilla
+    qubits (role {!Circ.Ancilla}) appended after the existing qubits.
+    Gates with three or more controls are first reduced with
+    {!reduce_mct}; [mct_reduction] selects the reduction shape
+    ([`Unitary], the default, or [`Dqc] — see {!reduce_mct}).
+    @raise Invalid_argument on multi-control gates other than X. *)
+val substitute_toffoli :
+  ?mct_reduction:[ `Unitary | `Dqc ] -> toffoli_scheme -> Circ.t -> Circ.t
+
+(** Expand CV/CV† instructions (including classically controlled ones)
+    into the Clifford+T networks of Fig 6. *)
+val expand_cv : Circ.t -> Circ.t
+
+(** [reduce_mct ?for_dqc c] rewrites gates with >= 3 controls into
+    2-control Toffolis with the V-chain, appending the needed clean
+    scratch qubits.
+
+    With the default [~for_dqc:false] the chain is uncomputed and the
+    scratch qubits (role {!Circ.Ancilla}) are shared across gates —
+    the standard unitary-preserving reduction.
+
+    With [~for_dqc:true] the reduction is shaped for the dynamic
+    transformation: no uncomputation, fresh scratch qubits per gate,
+    and the scratch qubits get role {!Circ.Data} so the transformation
+    measures them and their values can serve as classical controls.
+    (Uncomputed chains would require quantum gates between scratch
+    qubits living in different iterations, which no 2-qubit schedule
+    can realize.) *)
+val reduce_mct : ?for_dqc:bool -> Circ.t -> Circ.t

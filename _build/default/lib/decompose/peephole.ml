@@ -1,0 +1,141 @@
+open Circuit
+
+let inverse_apps (a : Instruction.app) (b : Instruction.app) =
+  a.target = b.target
+  && List.sort compare a.controls = List.sort compare b.controls
+  && Gate.equal (Gate.adjoint a.gate) b.gate
+
+(* i and j are mutually inverse on the same wires (and, when
+   conditioned, share the same condition)? *)
+let inverse_pair gi gj =
+  match ((gi : Instruction.t), (gj : Instruction.t)) with
+  | Unitary a, Unitary b -> inverse_apps a b
+  | Conditioned (ca, a), Conditioned (cb, b) -> ca = cb && inverse_apps a b
+  | (Unitary _ | Conditioned _ | Measure _ | Reset _ | Barrier _), _ -> false
+
+(* One sweep: for every live instruction, look at the next live
+   instruction sharing a wire; since an inverse partner has exactly the
+   same wires, only that neighbour can cancel with it.  Intervening
+   live instructions on disjoint wires may still write a conditioned
+   pair's bit, which blocks the cancellation. *)
+let cancel_pass instrs =
+  let n = Array.length instrs in
+  let dead = Array.make n false in
+  let changed = ref false in
+  let shares_wire wires k =
+    List.exists (fun q -> List.mem q wires) (Instruction.qubits instrs.(k))
+  in
+  let writes_bit bits k =
+    match instrs.(k) with
+    | Instruction.Measure { bit; _ } -> List.mem bit bits
+    | Instruction.Unitary _ | Instruction.Conditioned _ | Instruction.Reset _
+    | Instruction.Barrier _ ->
+        false
+  in
+  for i = 0 to n - 1 do
+    if not dead.(i) then begin
+      let wires = Instruction.qubits instrs.(i) in
+      let bits = Instruction.bits instrs.(i) in
+      let rec next j blocked =
+        if j >= n then None
+        else if dead.(j) then next (j + 1) blocked
+        else if shares_wire wires j then Some (j, blocked)
+        else next (j + 1) (blocked || writes_bit bits j)
+      in
+      match next (i + 1) false with
+      | Some (j, false) when inverse_pair instrs.(i) instrs.(j) ->
+          dead.(i) <- true;
+          dead.(j) <- true;
+          changed := true
+      | Some _ | None -> ()
+    end
+  done;
+  let kept = ref [] in
+  for k = n - 1 downto 0 do
+    if not dead.(k) then kept := instrs.(k) :: !kept
+  done;
+  (!changed, !kept)
+
+let rec fixpoint instrs =
+  let changed, kept = cancel_pass (Array.of_list instrs) in
+  if changed then fixpoint kept else kept
+
+let cancel_inverses c =
+  Circ.create ~roles:(Circ.roles c) ~num_bits:(Circ.num_bits c)
+    (fixpoint (Circ.instructions c))
+
+let removed_count c =
+  List.length (Circ.instructions c)
+  - List.length (Circ.instructions (cancel_inverses c))
+
+(* merge neighbouring Rz/Phase pairs on the same wire; a plain-unitary
+   rotation only merges with the next live instruction sharing its
+   wire when that is also a plain rotation of the same family *)
+let rotation_family (i : Instruction.t) =
+  match i with
+  | Unitary { gate = Gate.Rz a; controls = []; target } -> Some (`Rz, a, target)
+  | Unitary { gate = Gate.Phase a; controls = []; target } ->
+      Some (`Phase, a, target)
+  | Unitary _ | Conditioned _ | Measure _ | Reset _ | Barrier _ -> None
+
+let identity_angle a =
+  let two_pi = 2. *. Float.pi in
+  let r = Float.rem a two_pi in
+  Float.abs r < 1e-12 || Float.abs (Float.abs r -. two_pi) < 1e-12
+
+let merge_pass instrs =
+  let n = Array.length instrs in
+  let dead = Array.make n false in
+  let changed = ref false in
+  let replace = Hashtbl.create 4 in
+  let shares_wire wires k =
+    List.exists (fun q -> List.mem q wires) (Instruction.qubits instrs.(k))
+  in
+  for i = 0 to n - 1 do
+    if not (dead.(i) || Hashtbl.mem replace i) then
+      match rotation_family instrs.(i) with
+      | None -> ()
+      | Some (fam, a, target) -> (
+          let rec next j =
+            if j >= n then None
+            else if dead.(j) then next (j + 1)
+            else if shares_wire [ target ] j then Some j
+            else next (j + 1)
+          in
+          match next (i + 1) with
+          | Some j when not (Hashtbl.mem replace j) -> (
+              match rotation_family instrs.(j) with
+              | Some (fam2, b, t2) when fam = fam2 && t2 = target ->
+                  dead.(i) <- true;
+                  changed := true;
+                  let merged = a +. b in
+                  if identity_angle merged then dead.(j) <- true
+                  else
+                    Hashtbl.replace replace j
+                      (Instruction.Unitary
+                         (Instruction.app
+                            (match fam with
+                            | `Rz -> Gate.Rz merged
+                            | `Phase -> Gate.Phase merged)
+                            target))
+              | Some _ | None -> ())
+          | Some _ | None -> ())
+  done;
+  let kept = ref [] in
+  for k = n - 1 downto 0 do
+    if not dead.(k) then
+      kept :=
+        (match Hashtbl.find_opt replace k with
+        | Some i -> i
+        | None -> instrs.(k))
+        :: !kept
+  done;
+  (!changed, !kept)
+
+let rec merge_fixpoint instrs =
+  let changed, kept = merge_pass (Array.of_list instrs) in
+  if changed then merge_fixpoint kept else kept
+
+let merge_rotations c =
+  Circ.create ~roles:(Circ.roles c) ~num_bits:(Circ.num_bits c)
+    (merge_fixpoint (Circ.instructions c))

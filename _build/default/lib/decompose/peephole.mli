@@ -1,0 +1,26 @@
+open Circuit
+
+(** Peephole simplification: cancel adjacent inverse gate pairs.
+
+    Two unitary applications cancel when they act on the same wires
+    (same target, same control set), their gates are mutual adjoints,
+    and no instruction between them touches any of those wires.
+    Classically controlled pairs additionally require identical
+    conditions and no intervening write to the condition bit.
+
+    Running this after a dynamic transformation removes the H·H pairs
+    the CV/CV† expansions leave on the answer wire — the cleanup the
+    paper's dynamic-1 gate counts imply. *)
+
+(** Cancel inverse pairs until a fixpoint is reached. *)
+val cancel_inverses : Circ.t -> Circ.t
+
+(** Number of gates removed by {!cancel_inverses}. *)
+val removed_count : Circ.t -> int
+
+(** Merge adjacent Rz/Phase rotations on the same wire (same rules as
+    {!cancel_inverses} for adjacency), dropping rotations that reduce
+    to the identity modulo 2.pi.  Useful after a
+    {!Transpile.Basis.to_native} translation, which produces long Rz
+    runs. *)
+val merge_rotations : Circ.t -> Circ.t

@@ -1,0 +1,1 @@
+lib/dqc/analysis.ml: Circ Circuit Equivalence Float Format Interaction List Multi_transform Printf Transform

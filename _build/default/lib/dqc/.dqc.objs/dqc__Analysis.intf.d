@@ -1,0 +1,1 @@
+lib/dqc/analysis.mli: Circ Circuit Format

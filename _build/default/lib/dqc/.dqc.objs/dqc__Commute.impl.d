@@ -1,0 +1,1 @@
+lib/dqc/commute.ml: Circuit Gate Instruction Linalg List Sim

@@ -1,0 +1,1 @@
+lib/dqc/commute.mli: Circuit Instruction

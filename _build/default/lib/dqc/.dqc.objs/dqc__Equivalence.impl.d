@@ -1,0 +1,1 @@
+lib/dqc/equivalence.ml: Circuit List Sim Transform

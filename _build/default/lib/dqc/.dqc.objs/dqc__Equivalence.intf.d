@@ -1,0 +1,1 @@
+lib/dqc/equivalence.mli: Circ Circuit Sim Transform

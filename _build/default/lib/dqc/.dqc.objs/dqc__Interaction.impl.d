@@ -1,0 +1,1 @@
+lib/dqc/interaction.ml: Array Buffer Circ Circuit Hashtbl Instruction List Printf

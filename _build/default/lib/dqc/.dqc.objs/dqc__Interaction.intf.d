@@ -1,0 +1,1 @@
+lib/dqc/interaction.mli: Circ Circuit

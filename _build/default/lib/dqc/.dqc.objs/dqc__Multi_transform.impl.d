@@ -1,0 +1,1 @@
+lib/dqc/multi_transform.ml: Array Circ Circuit Commute Instruction Interaction List Option Printf Sim Transform

@@ -1,0 +1,1 @@
+lib/dqc/multi_transform.mli: Circ Circuit Sim Transform

@@ -1,0 +1,1 @@
+lib/dqc/order_search.ml: Circ Circuit Equivalence Interaction List Transform

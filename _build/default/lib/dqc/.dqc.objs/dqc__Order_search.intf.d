@@ -1,0 +1,1 @@
+lib/dqc/order_search.mli: Circ Circuit

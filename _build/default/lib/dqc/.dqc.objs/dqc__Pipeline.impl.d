@@ -1,0 +1,1 @@
+lib/dqc/pipeline.ml: Circ Circuit Decompose Equivalence Format List Metrics Multi_transform Printf Toffoli_scheme Transform Transpile

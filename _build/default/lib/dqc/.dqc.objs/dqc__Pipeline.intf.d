@@ -1,0 +1,1 @@
+lib/dqc/pipeline.mli: Circ Circuit Format Toffoli_scheme

@@ -1,0 +1,1 @@
+lib/dqc/toffoli_scheme.ml: Decompose Transform

@@ -1,0 +1,1 @@
+lib/dqc/toffoli_scheme.mli: Circ Circuit Decompose Transform

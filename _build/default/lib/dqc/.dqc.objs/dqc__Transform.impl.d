@@ -1,0 +1,1 @@
+lib/dqc/transform.ml: Array Circ Circuit Commute Instruction Interaction List Printf Seq

@@ -1,0 +1,1 @@
+lib/dqc/transform.mli: Circ Circuit Instruction

@@ -1,0 +1,58 @@
+open Circuit
+
+let disjoint xs ys = not (List.exists (fun x -> List.mem x ys) xs)
+
+let app_qubits (a : Instruction.app) = a.controls @ [ a.target ]
+
+(* Remap the two applications onto the union of their supports and
+   compare the commutator there; unions stay tiny (<= 6 qubits). *)
+let matrix_commute (a : Instruction.app) (b : Instruction.app) =
+  let union =
+    List.sort_uniq compare (app_qubits a @ app_qubits b)
+  in
+  let index q =
+    let rec find k = function
+      | [] -> assert false
+      | x :: rest -> if x = q then k else find (k + 1) rest
+    in
+    find 0 union
+  in
+  let remap (x : Instruction.app) =
+    {
+      x with
+      controls = List.map index x.controls;
+      target = index x.target;
+    }
+  in
+  let n = List.length union in
+  let ma = Sim.Unitary.of_app ~n (remap a)
+  and mb = Sim.Unitary.of_app ~n (remap b) in
+  Linalg.Cmat.commutator_norm ma mb <= 1e-9
+
+let unitary_apps (a : Instruction.app) (b : Instruction.app) =
+  if disjoint (app_qubits a) (app_qubits b) then true
+  else if
+    (* both act diagonally on every shared qubit: diagonal gates and
+       control wires preserve the computational basis *)
+    Gate.is_diagonal a.gate && Gate.is_diagonal b.gate
+  then true
+  else matrix_commute a b
+
+let instrs (x : Instruction.t) (y : Instruction.t) =
+  let qubits_disjoint =
+    disjoint (Instruction.qubits x) (Instruction.qubits y)
+  in
+  let bits_disjoint = disjoint (Instruction.bits x) (Instruction.bits y) in
+  match (x, y) with
+  | Unitary a, Unitary b -> unitary_apps a b
+  | Conditioned (_, a), Conditioned (_, b) ->
+      (* conditions are read-only, so ordering only matters on the
+         register values where both fire: the applications must
+         commute *)
+      unitary_apps a b
+  | Conditioned (_, a), Unitary b | Unitary a, Conditioned (_, b) ->
+      (* the plain unitary touches no classical bit *)
+      unitary_apps a b
+  | (Measure _ | Reset _ | Barrier _), _ | _, (Measure _ | Reset _ | Barrier _)
+    ->
+      qubits_disjoint && bits_disjoint

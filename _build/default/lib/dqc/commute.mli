@@ -1,0 +1,20 @@
+open Circuit
+
+(** Commutation oracle between instructions, used by the DQC scheduler
+    to decide whether moving a gate ahead of pending ones is sound.
+
+    Structural fast paths (disjoint supports, shared-control gates,
+    diagonal-diagonal pairs) avoid matrix work; everything else falls
+    back to computing the commutator on the joint support. *)
+
+(** [unitary_apps a b] decides commutation of two unitary applications
+    exactly (up to 1e-9 on the commutator norm). *)
+val unitary_apps : Instruction.app -> Instruction.app -> bool
+
+(** [instrs a b] is a sound (possibly conservative) commutation test
+    for arbitrary instructions.  Classically conditioned gates only
+    read the register, so two conditioned gates (or a conditioned and
+    a plain gate) commute exactly when their unitary applications do;
+    measurements and resets commute with anything only on disjoint
+    qubit and bit supports. *)
+val instrs : Instruction.t -> Instruction.t -> bool

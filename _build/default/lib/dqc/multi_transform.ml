@@ -1,0 +1,268 @@
+open Circuit
+
+type result = {
+  circuit : Circ.t;
+  data_bit : (int * int) list;
+  answer_phys : (int * int) list;
+  iteration_order : int list;
+  violations : Transform.violation list;
+  slots : int;
+}
+
+let fail fmt =
+  Printf.ksprintf (fun s -> raise (Transform.Not_transformable s)) fmt
+
+let check_input ~mct c =
+  List.iter
+    (fun (i : Instruction.t) ->
+      match i with
+      | Unitary { controls; _ } when List.length controls >= 2 ->
+          if not mct then
+            fail "multi-control gate %s: decompose it or pass ~mct:true"
+              (Instruction.to_string i)
+      | Unitary _ | Barrier _ -> ()
+      | Conditioned _ | Measure _ | Reset _ ->
+          fail "input must be a traditional (measurement-free) circuit, got %s"
+            (Instruction.to_string i))
+    (Circ.instructions c)
+
+let transform ?(mode = `Algorithm1) ?(mct = false) ~slots c =
+  if slots < 1 then invalid_arg "Multi_transform.transform: slots < 1";
+  check_input ~mct c;
+  let answers = Circ.qubits_with_role c Circ.Answer in
+  let data = Circ.qubits_with_role c Circ.Data in
+  if data = [] then fail "circuit has no data qubits";
+  let work =
+    List.filter
+      (fun q -> Circ.role c q <> Circ.Answer)
+      (List.init (Circ.num_qubits c) (fun q -> q))
+  in
+  let order =
+    match Interaction.iteration_order c with
+    | o -> o
+    | exception Interaction.Cyclic _ when slots >= 2 -> work
+  in
+  let slots = min slots (List.length work) in
+  let phys_of_answer q =
+    let rec find k = function
+      | [] -> assert false
+      | x :: rest -> if x = q then slots + k else find (k + 1) rest
+    in
+    find 0 answers
+  in
+  let bit_of_data q =
+    let rec find k = function
+      | [] -> assert false
+      | x :: rest -> if x = q then k else find (k + 1) rest
+    in
+    find 0 data
+  in
+  let gates =
+    Array.of_list
+      (List.filter
+         (fun (i : Instruction.t) ->
+           match i with Barrier _ -> false | _ -> true)
+         (Circ.instructions c))
+  in
+  let emitted = Array.make (Array.length gates) false in
+  let roles_out =
+    Array.append (Array.make slots Circ.Data)
+      (Array.of_list (List.map (fun _ -> Circ.Answer) answers))
+  in
+  let out =
+    Circ.Builder.make ~roles:roles_out ~num_bits:(List.length data) ()
+  in
+  let violations = ref [] in
+  let measured = ref [] in
+  (* slot -> hosted logical work qubit *)
+  let host = Array.make slots (-1) in
+  let slot_of_logical q =
+    let rec find s =
+      if s >= slots then None
+      else if host.(s) = q then Some s
+      else find (s + 1)
+    in
+    find 0
+  in
+  let non_commuting_before pos =
+    let acc = ref [] in
+    for k = pos - 1 downto 0 do
+      if (not emitted.(k)) && not (Commute.instrs gates.(k) gates.(pos)) then
+        acc := gates.(k) :: !acc
+    done;
+    !acc
+  in
+  (* eligibility under the current live set *)
+  let eligible (i : Instruction.t) : Instruction.t option =
+    let is_answer q = Circ.role c q = Circ.Answer in
+    let live q = is_answer q || slot_of_logical q <> None in
+    let dead q = (not (live q)) && List.mem_assoc q !measured in
+    let phys q =
+      if is_answer q then phys_of_answer q
+      else match slot_of_logical q with Some s -> s | None -> assert false
+    in
+    match i with
+    | Barrier _ -> Some (Instruction.Barrier [])
+    | Unitary { gate; controls; target } ->
+        if dead target then
+          fail "gate %s targets already-measured qubit q%d"
+            (Instruction.to_string i) target
+        else if not (live target) then None
+        else begin
+          let live_controls = List.filter live controls in
+          let measured_controls =
+            List.filter (fun q -> (not (live q)) && dead q) controls
+          in
+          let pending =
+            List.filter (fun q -> (not (live q)) && not (dead q)) controls
+          in
+          if pending <> [] then None
+          else begin
+            let app =
+              Instruction.app
+                ~controls:(List.map phys live_controls)
+                gate (phys target)
+            in
+            match measured_controls with
+            | [] -> Some (Instruction.Unitary app)
+            | _ ->
+                let bits =
+                  List.map (fun q -> List.assoc q !measured) measured_controls
+                in
+                Some (Instruction.Conditioned (Instruction.cond_all bits, app))
+          end
+        end
+    | Conditioned _ | Measure _ | Reset _ -> assert false
+  in
+  let greedy iter_idx =
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      Array.iteri
+        (fun pos gate ->
+          if not emitted.(pos) then
+            match eligible gate with
+            | None -> ()
+            | Some mapped ->
+                let blockers = non_commuting_before pos in
+                let emit () =
+                  (match mapped with
+                  | Instruction.Barrier _ -> ()
+                  | _ -> Circ.Builder.add out mapped);
+                  emitted.(pos) <- true;
+                  progress := true
+                in
+                (match (mode, blockers) with
+                | _, [] -> emit ()
+                | `Algorithm1, _ ->
+                    violations :=
+                      {
+                        Transform.iteration = iter_idx;
+                        emitted = gate;
+                        jumped_over = blockers;
+                      }
+                      :: !violations;
+                    emit ()
+                | `Sound, _ -> ()))
+        gates
+    done
+  in
+  let evict s =
+    let h = host.(s) in
+    if h >= 0 then begin
+      if Circ.role c h = Circ.Data then begin
+        let bit = bit_of_data h in
+        Circ.Builder.measure out ~qubit:s ~bit;
+        measured := (h, bit) :: !measured
+      end;
+      Circ.Builder.reset out s;
+      host.(s) <- -1
+    end
+  in
+  List.iteri
+    (fun iter_idx q_w ->
+      let s = iter_idx mod slots in
+      evict s;
+      host.(s) <- q_w;
+      greedy iter_idx)
+    order;
+  (* final measurements of still-live data qubits (order immaterial:
+     they are on distinct physical qubits) *)
+  for s = 0 to slots - 1 do
+    let h = host.(s) in
+    if h >= 0 && Circ.role c h = Circ.Data then begin
+      let bit = bit_of_data h in
+      Circ.Builder.measure out ~qubit:s ~bit;
+      measured := (h, bit) :: !measured
+    end;
+    host.(s) <- -1
+  done;
+  let leftover =
+    Array.exists (fun e -> not e) emitted
+  in
+  if leftover then begin
+    let g =
+      let rec first k = if emitted.(k) then first (k + 1) else gates.(k) in
+      first 0
+    in
+    fail "gate %s could not be scheduled%s" (Instruction.to_string g)
+      (match mode with
+      | `Sound -> " soundly (a non-commuting pending gate blocks it)"
+      | `Algorithm1 -> "")
+  end;
+  {
+    circuit = Circ.Builder.build out;
+    data_bit = List.map (fun q -> (q, bit_of_data q)) data;
+    answer_phys = List.map (fun q -> (q, phys_of_answer q)) answers;
+    iteration_order = order;
+    violations = List.rev !violations;
+    slots;
+  }
+
+(* distribution plumbing mirrors Equivalence, with the slot offset *)
+let shared_bits c (r : result) =
+  let num_data = List.length r.data_bit in
+  List.filter_map
+    (fun (q, bit) -> if q < Circ.num_qubits c then Some bit else None)
+    r.data_bit
+  @ List.mapi (fun k (_ : int * int) -> num_data + k) r.answer_phys
+
+let dynamic_distribution ?relative_to (r : result) =
+  let num_data = List.length r.data_bit in
+  let measures =
+    List.mapi (fun k (_, phys) -> (phys, num_data + k)) r.answer_phys
+  in
+  let full = Sim.Exact.measured_distribution ~measures r.circuit in
+  match relative_to with
+  | None -> full
+  | Some c -> Sim.Dist.marginal ~bits:(shared_bits c r) full
+
+let tv_distance c (r : result) =
+  let num_data = List.length r.data_bit in
+  let measures =
+    List.filter (fun (q, _) -> q < Circ.num_qubits c) r.data_bit
+    @ List.mapi (fun k (q, _) -> (q, num_data + k)) r.answer_phys
+  in
+  let traditional =
+    Sim.Dist.marginal ~bits:(shared_bits c r)
+      (Sim.Exact.measured_distribution ~measures c)
+  in
+  Sim.Dist.tv_distance traditional (dynamic_distribution ~relative_to:c r)
+
+let min_exact_slots ?max_slots ?(mct = false) c =
+  let work =
+    List.length
+      (List.filter
+         (fun q -> Circ.role c q <> Circ.Answer)
+         (List.init (Circ.num_qubits c) (fun q -> q)))
+  in
+  let max_slots = Option.value ~default:work max_slots in
+  let rec go k =
+    if k > max_slots then None
+    else
+      match transform ~mode:`Sound ~mct ~slots:k c with
+      | (_ : result) -> Some k
+      | exception Transform.Not_transformable _ -> go (k + 1)
+      | exception Interaction.Cyclic _ -> go (k + 1)
+  in
+  go 1

@@ -1,0 +1,54 @@
+open Circuit
+
+(** Generalized dynamic transformation with [slots] physical data
+    qubits — an extension interpolating between the paper's design
+    point and the traditional circuit.
+
+    Algorithm 1 re-uses {e one} physical data qubit, so every
+    data-data interaction must cross a measurement boundary — the root
+    of the dynamic-1 accuracy loss.  With [slots] = k, the k most
+    recent work qubits stay live simultaneously: gates between co-live
+    qubits remain quantum, and only longer-range interactions become
+    classically controlled.  [slots = 1] coincides with
+    {!Transform.transform} (asserted in the tests); [slots >= number
+    of work qubits] reproduces the traditional circuit up to layout.
+
+    The headline consequence, measured in the E11 experiment: with
+    just {e one extra} physical qubit the dynamic-1 scheme becomes
+    sound-certified exact on the Table II benchmarks. *)
+
+type result = {
+  circuit : Circ.t;
+      (** physical slots 0..slots-1 (role Data), then the answers *)
+  data_bit : (int * int) list;
+  answer_phys : (int * int) list;
+  iteration_order : int list;
+  violations : Transform.violation list;
+  slots : int;
+}
+
+(** [transform ?mode ?mct ~slots c].  When the Case-2 digraph is
+    cyclic and [slots >= 2], iteration order falls back to qubit-index
+    order and the greedy scheduler decides feasibility.
+    @raise Transform.Not_transformable / {!Interaction.Cyclic} as in
+    {!Transform.transform}.
+    @raise Invalid_argument when [slots < 1]. *)
+val transform :
+  ?mode:[ `Algorithm1 | `Sound ] ->
+  ?mct:bool ->
+  slots:int ->
+  Circ.t ->
+  result
+
+(** Exact joint distribution of the multi-slot DQC over (data bits,
+    answer bits), comparable with
+    {!Equivalence.traditional_distribution}. *)
+val dynamic_distribution : ?relative_to:Circ.t -> result -> Sim.Dist.t
+
+(** TV distance to the original circuit (as {!Equivalence}). *)
+val tv_distance : Circ.t -> result -> float
+
+(** Smallest [slots] for which [`Sound] scheduling succeeds, searched
+    in 1..max_slots (default: the number of work qubits).  [None] when
+    even the traditional width fails. *)
+val min_exact_slots : ?max_slots:int -> ?mct:bool -> Circ.t -> int option

@@ -1,0 +1,73 @@
+open Circuit
+
+type candidate = {
+  order : int list;
+  violations : int;
+  conditioned : int;
+  tv : float;
+}
+
+(* enumerate topological orders of the work-qubit digraph by repeated
+   choice of any zero-indegree vertex *)
+let all_orders ~limit c =
+  let work =
+    List.filter
+      (fun q -> Circ.role c q <> Circ.Answer)
+      (List.init (Circ.num_qubits c) (fun q -> q))
+  in
+  let edges = Interaction.edges c in
+  let acc = ref [] in
+  let count = ref 0 in
+  let rec go remaining prefix =
+    if !count < limit then
+      if remaining = [] then begin
+        acc := List.rev prefix :: !acc;
+        incr count
+      end
+      else begin
+        let available =
+          List.filter
+            (fun q ->
+              not
+                (List.exists
+                   (fun (ctl, target) ->
+                     target = q && List.mem ctl remaining)
+                   edges))
+            remaining
+        in
+        List.iter
+          (fun q -> go (List.filter (( <> ) q) remaining) (q :: prefix))
+          available
+      end
+  in
+  go work [];
+  if !acc = [] then raise (Interaction.Cyclic work);
+  List.rev !acc
+
+let search ?(mct = false) ?(limit = 720) c =
+  let candidates =
+    List.filter_map
+      (fun order ->
+        match Transform.transform ~mct ~order c with
+        | r ->
+            Some
+              {
+                order;
+                violations = List.length r.violations;
+                conditioned = Transform.conditioned_count r;
+                tv = Equivalence.tv_distance c r;
+              }
+        | exception Transform.Not_transformable _ -> None)
+      (all_orders ~limit c)
+  in
+  List.sort
+    (fun a b ->
+      match compare a.tv b.tv with
+      | 0 -> compare a.violations b.violations
+      | k -> k)
+    candidates
+
+let best ?mct ?limit c =
+  match search ?mct ?limit c with
+  | [] -> invalid_arg "Order_search.best: no transformable order"
+  | first :: _ -> first

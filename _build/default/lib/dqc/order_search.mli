@@ -1,0 +1,28 @@
+open Circuit
+
+(** Exhaustive search over legal iteration orders.
+
+    The paper fixes no iteration order beyond the Case-2 constraints;
+    different topological orders of the interaction digraph yield
+    different unsound-reordering counts and accuracies.  This module
+    enumerates every legal order (capped) and scores the resulting
+    DQCs — an ablation the paper does not attempt. *)
+
+type candidate = {
+  order : int list;
+  violations : int;
+  conditioned : int;
+  tv : float;  (** exact TV distance to the traditional circuit *)
+}
+
+(** [search ?mct ?limit c] transforms [c] under every legal iteration
+    order (at most [limit], default 720) and returns the candidates
+    sorted by (tv, violations).  The circuit must satisfy
+    {!Transform.transform}'s preconditions and be small enough for
+    exact evaluation.
+    @raise Interaction.Cyclic when no legal order exists. *)
+val search : ?mct:bool -> ?limit:int -> Circ.t -> candidate list
+
+(** Best candidate of {!search} (head of the sorted list).
+    @raise Invalid_argument when the search is empty. *)
+val best : ?mct:bool -> ?limit:int -> Circ.t -> candidate

@@ -1,0 +1,111 @@
+open Circuit
+
+type options = {
+  scheme : Toffoli_scheme.t;
+  mode : [ `Algorithm1 | `Sound ];
+  slots : int;
+  expand_cv : bool;
+  peephole : bool;
+  native : bool;
+  check_equivalence : bool;
+}
+
+let default =
+  {
+    scheme = Toffoli_scheme.Dynamic_2;
+    mode = `Algorithm1;
+    slots = 1;
+    expand_cv = true;
+    peephole = false;
+    native = false;
+    check_equivalence = true;
+  }
+
+type output = {
+  circuit : Circ.t;
+  data_bit : (int * int) list;
+  answer_phys : (int * int) list;
+  iterations : int;
+  violations : int;
+  qubits : int;
+  gates : int;
+  depth : int;
+  duration_ns : float;
+  tv : float option;
+}
+
+let compile ?(options = default) traditional =
+  let prepared =
+    match options.scheme with
+    | Toffoli_scheme.Direct_mct -> traditional
+    | s -> Toffoli_scheme.prepare s traditional
+  in
+  let mct = options.scheme = Toffoli_scheme.Direct_mct in
+  let transformed, data_bit, answer_phys, iterations, violations, tv =
+    if options.slots = 1 then begin
+      let r = Transform.transform ~mode:options.mode ~mct prepared in
+      let tv =
+        if options.check_equivalence && Circ.num_qubits prepared <= 12 then
+          Some (Equivalence.tv_distance prepared r)
+        else None
+      in
+      ( r.circuit,
+        r.data_bit,
+        r.answer_phys,
+        List.length r.iteration_order,
+        List.length r.violations,
+        tv )
+    end
+    else begin
+      let m =
+        Multi_transform.transform ~mode:options.mode ~mct
+          ~slots:options.slots prepared
+      in
+      let tv =
+        if options.check_equivalence && Circ.num_qubits prepared <= 12 then
+          Some (Multi_transform.tv_distance prepared m)
+        else None
+      in
+      ( m.circuit,
+        m.data_bit,
+        m.answer_phys,
+        List.length m.iteration_order,
+        List.length m.violations,
+        tv )
+    end
+  in
+  let lowered =
+    let c = transformed in
+    let c = if options.expand_cv then Decompose.Pass.expand_cv c else c in
+    let c =
+      if options.peephole then
+        Decompose.Peephole.merge_rotations (Decompose.Peephole.cancel_inverses c)
+      else c
+    in
+    if options.native then Transpile.Basis.to_native c else c
+  in
+  {
+    circuit = lowered;
+    data_bit;
+    answer_phys;
+    iterations;
+    violations;
+    qubits = Circ.num_qubits lowered;
+    gates = Metrics.gate_count lowered;
+    depth = Metrics.dynamic_depth lowered;
+    duration_ns = Metrics.duration lowered;
+    tv;
+  }
+
+let pp fmt o =
+  Format.fprintf fmt
+    "@[<v>qubits: %d, gates: %d, depth: %d, duration: %.2f us@,\
+     iterations: %d, unsound reorderings: %d@,%s@]"
+    o.qubits o.gates o.depth
+    (o.duration_ns /. 1000.)
+    o.iterations o.violations
+    (match o.tv with
+    | Some tv -> Printf.sprintf "exact TV distance: %.6f" tv
+    | None -> "equivalence check skipped")
+
+let to_string o = Format.asprintf "%a" pp o

@@ -1,0 +1,43 @@
+open Circuit
+
+(** End-to-end compilation pipeline: the convenience layer a
+    downstream user drives.
+
+    [compile] chains: Toffoli-scheme substitution -> dynamic
+    transformation (single- or multi-slot) -> optional CV expansion ->
+    optional peephole cleanup -> optional native-basis lowering, and
+    returns the circuit together with the metrics and equivalence
+    evidence accumulated along the way. *)
+
+type options = {
+  scheme : Toffoli_scheme.t;  (** defaults to [Dynamic_2] in {!default} *)
+  mode : [ `Algorithm1 | `Sound ];
+  slots : int;  (** physical data qubits; 1 = the paper's design *)
+  expand_cv : bool;  (** lower CV/CV† to Clifford+T (Fig 6) *)
+  peephole : bool;  (** cancel inverse pairs and merge rotations *)
+  native : bool;  (** lower to the IBM basis {rz, sx, x, cx} *)
+  check_equivalence : bool;  (** exact TV distance (<= 12 qubits) *)
+}
+
+val default : options
+
+type output = {
+  circuit : Circ.t;
+  data_bit : (int * int) list;
+  answer_phys : (int * int) list;
+  iterations : int;
+  violations : int;
+  qubits : int;
+  gates : int;
+  depth : int;
+  duration_ns : float;
+  tv : float option;  (** None when the check was skipped *)
+}
+
+(** [compile ?options traditional].
+    @raise Transform.Not_transformable / Interaction.Cyclic as the
+    underlying stages do. *)
+val compile : ?options:options -> Circ.t -> output
+
+val pp : Format.formatter -> output -> unit
+val to_string : output -> string

@@ -1,0 +1,33 @@
+type t =
+  | Traditional
+  | Dynamic_1
+  | Dynamic_2
+  | Dynamic_2_shared of Decompose.Pass.sharing
+  | Direct_mct
+
+let to_string = function
+  | Traditional -> "traditional"
+  | Dynamic_1 -> "dynamic-1"
+  | Dynamic_2 -> "dynamic-2"
+  | Dynamic_2_shared `Fresh -> "dynamic-2(fresh)"
+  | Dynamic_2_shared `Per_target -> "dynamic-2(per-target)"
+  | Dynamic_2_shared `Global -> "dynamic-2(global)"
+  | Direct_mct -> "direct-mct"
+
+let prepare scheme c =
+  match scheme with
+  | Traditional -> c
+  | Dynamic_1 -> Decompose.Pass.substitute_toffoli ~mct_reduction:`Dqc `Barenco c
+  | Dynamic_2 ->
+      Decompose.Pass.substitute_toffoli ~mct_reduction:`Dqc
+        (`Ancilla `Per_target) c
+  | Dynamic_2_shared sharing ->
+      Decompose.Pass.substitute_toffoli ~mct_reduction:`Dqc (`Ancilla sharing) c
+  | Direct_mct -> c
+
+let transform ?mode scheme c =
+  match scheme with
+  | Traditional -> invalid_arg "Toffoli_scheme.transform: Traditional"
+  | Dynamic_1 | Dynamic_2 | Dynamic_2_shared _ ->
+      Transform.transform ?mode (prepare scheme c)
+  | Direct_mct -> Transform.transform ?mode ~mct:true c

@@ -1,0 +1,31 @@
+open Circuit
+
+(** The paper's two dynamic realizations of Toffoli-based circuits:
+
+    - {e dynamic-1}: substitute every Toffoli with the Barenco
+      CV/CV†/CX netlist (Eqn 1) and transform — Eqn 2;
+    - {e dynamic-2}: substitute with the ancilla-unrolled netlist
+      (Eqn 3) and transform — Eqn 4.  The default ancilla sharing is
+      [`Per_target] (Lemma 1: one extra iteration per target). *)
+
+type t =
+  | Traditional  (** no transformation; returned unchanged *)
+  | Dynamic_1
+  | Dynamic_2
+  | Dynamic_2_shared of Decompose.Pass.sharing
+      (** dynamic-2 with an explicit ancilla-sharing policy *)
+  | Direct_mct
+      (** no decomposition: multi-control gates become conjunctively
+          conditioned gates ([Transform.transform ~mct:true]) — the
+          dynamic multiple-control Toffoli realization of the paper's
+          future work *)
+
+val to_string : t -> string
+
+(** The substitution pass of the scheme (identity for [Traditional]). *)
+val prepare : t -> Circ.t -> Circ.t
+
+(** [transform ?mode scheme c] = prepare then {!Transform.transform}.
+    @raise Invalid_argument on [Traditional]. *)
+val transform :
+  ?mode:[ `Algorithm1 | `Sound ] -> t -> Circ.t -> Transform.result

@@ -1,0 +1,235 @@
+open Circuit
+
+exception Not_transformable of string
+
+type violation = {
+  iteration : int;
+  emitted : Instruction.t;
+  jumped_over : Instruction.t list;
+}
+
+type result = {
+  circuit : Circ.t;
+  data_bit : (int * int) list;
+  answer_phys : (int * int) list;
+  iteration_order : int list;
+  violations : violation list;
+}
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Not_transformable s)) fmt
+
+let check_input ~mct c =
+  List.iter
+    (fun (i : Instruction.t) ->
+      match i with
+      | Unitary { controls = [] | [ _ ]; _ } -> ()
+      | Unitary _ ->
+          if not mct then
+            fail
+              "multi-control gate %s: decompose it first \
+               (Pass.substitute_toffoli) or pass ~mct:true for the direct \
+               dynamic MCT realization"
+              (Instruction.to_string i)
+      | Conditioned _ | Measure _ | Reset _ ->
+          fail "input must be a traditional (measurement-free) circuit, got %s"
+            (Instruction.to_string i)
+      | Barrier _ -> ())
+    (Circ.instructions c)
+
+(* Eligibility of a pending gate during the iteration hosting work
+   qubit [q_w].  [measured] maps already-measured data qubits to their
+   register bit.  Returns the mapped output instruction, or [None] when
+   the gate must wait for a later iteration.
+
+   The logic is uniform in the number of quantum controls, which gives
+   the direct dynamic realization of multiple-control Toffoli gates
+   (the paper's future work): controls on live qubits stay quantum,
+   controls on measured data qubits join a conjunctive classical
+   condition, and the gate waits until no control is pending. *)
+let eligible ~c ~phys_of_answer ~measured ~q_w (i : Instruction.t) :
+    Instruction.t option =
+  let is_answer q = Circ.role c q = Circ.Answer in
+  let phys q = if q = q_w then 0 else phys_of_answer q in
+  let live q = q = q_w || is_answer q in
+  let dead q = (not (live q)) && List.mem_assoc q measured in
+  match i with
+  | Barrier _ -> Some (Instruction.Barrier [])
+  | Unitary { gate; controls; target } ->
+      if dead target then
+        fail "gate %s targets already-measured qubit q%d"
+          (Instruction.to_string i) target
+      else if not (live target) then None
+      else begin
+        let live_controls = List.filter live controls in
+        let measured_controls =
+          List.filter (fun q -> (not (live q)) && dead q) controls
+        in
+        let pending_controls =
+          List.filter (fun q -> (not (live q)) && not (dead q)) controls
+        in
+        if pending_controls <> [] then None
+        else begin
+          let app =
+            Instruction.app
+              ~controls:(List.map phys live_controls)
+              gate (phys target)
+          in
+          match measured_controls with
+          | [] -> Some (Instruction.Unitary app)
+          | _ ->
+              let bits =
+                List.map (fun q -> List.assoc q measured) measured_controls
+              in
+              Some (Instruction.Conditioned (Instruction.cond_all bits, app))
+        end
+      end
+  | Conditioned _ | Measure _ | Reset _ ->
+      (* ruled out by [check_input] *)
+      assert false
+
+(* a legal iteration order is a permutation of the work qubits that
+   respects every Case-2 edge (control before target) *)
+let valid_order c order =
+  let work =
+    List.filter
+      (fun q -> Circ.role c q <> Circ.Answer)
+      (List.init (Circ.num_qubits c) (fun q -> q))
+  in
+  let index q =
+    let rec go k = function
+      | [] -> -1
+      | x :: rest -> if x = q then k else go (k + 1) rest
+    in
+    go 0 order
+  in
+  List.sort compare order = List.sort compare work
+  && List.for_all
+       (fun (ctl, target) -> index ctl < index target)
+       (Interaction.edges c)
+
+let transform ?(mode = `Algorithm1) ?(mct = false) ?order c =
+  check_input ~mct c;
+  let order =
+    match order with
+    | None -> Interaction.iteration_order c
+    | Some o ->
+        if not (valid_order c o) then
+          fail "supplied iteration order violates Case-2 constraints";
+        o
+  in
+  let answers = Circ.qubits_with_role c Circ.Answer in
+  let data = Circ.qubits_with_role c Circ.Data in
+  if data = [] then fail "circuit has no data qubits";
+  let phys_of_answer q =
+    let rec find k = function
+      | [] -> assert false
+      | x :: rest -> if x = q then k + 1 else find (k + 1) rest
+    in
+    find 0 answers
+  in
+  let bit_of_data q =
+    let rec find k = function
+      | [] -> assert false
+      | x :: rest -> if x = q then k else find (k + 1) rest
+    in
+    find 0 data
+  in
+  (* pending gates keep their input position for violation reporting *)
+  let gates =
+    Array.of_list
+      (List.filter
+         (fun (i : Instruction.t) ->
+           match i with Barrier _ -> false | _ -> true)
+         (Circ.instructions c))
+  in
+  let emitted = Array.make (Array.length gates) false in
+  let roles_out =
+    Array.of_list
+      (Circ.Data :: List.map (fun _ -> Circ.Answer) answers)
+  in
+  let out = Circ.Builder.make ~roles:roles_out ~num_bits:(List.length data) () in
+  let violations = ref [] in
+  let measured = ref [] in
+  let non_commuting_before pos =
+    let acc = ref [] in
+    for k = pos - 1 downto 0 do
+      if (not emitted.(k)) && not (Commute.instrs gates.(k) gates.(pos)) then
+        acc := gates.(k) :: !acc
+    done;
+    !acc
+  in
+  let run_iteration iter_idx q_w =
+    if iter_idx > 0 then Circ.Builder.reset out 0;
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      Array.iteri
+        (fun pos gate ->
+          if not emitted.(pos) then
+            match
+              eligible ~c ~phys_of_answer ~measured:!measured ~q_w gate
+            with
+            | None -> ()
+            | Some mapped ->
+                let blockers = non_commuting_before pos in
+                let emit () =
+                  (match mapped with
+                  | Instruction.Barrier _ -> ()
+                  | _ -> Circ.Builder.add out mapped);
+                  emitted.(pos) <- true;
+                  progress := true
+                in
+                (match (mode, blockers) with
+                | _, [] -> emit ()
+                | `Algorithm1, _ ->
+                    violations :=
+                      {
+                        iteration = iter_idx;
+                        emitted = gate;
+                        jumped_over = blockers;
+                      }
+                      :: !violations;
+                    emit ()
+                | `Sound, _ -> (* wait for blockers to clear *) ()))
+        gates
+    done;
+    (* ancilla iterations are simply discarded: no measurement, and any
+       later gate referencing the ancilla can never be scheduled *)
+    if Circ.role c q_w = Circ.Data then begin
+      let bit = bit_of_data q_w in
+      Circ.Builder.measure out ~qubit:0 ~bit;
+      measured := (q_w, bit) :: !measured
+    end
+  in
+  List.iteri run_iteration order;
+  let leftovers =
+    Array.to_list
+      (Array.of_seq
+         (Seq.filter_map
+            (fun (k, g) -> if emitted.(k) then None else Some g)
+            (Array.to_seqi gates)))
+  in
+  (match leftovers with
+  | [] -> ()
+  | g :: _ ->
+      fail "gate %s could not be scheduled%s"
+        (Instruction.to_string g)
+        (match mode with
+        | `Sound -> " soundly (a non-commuting pending gate blocks it)"
+        | `Algorithm1 -> ""));
+  {
+    circuit = Circ.Builder.build out;
+    data_bit = List.map (fun q -> (q, bit_of_data q)) data;
+    answer_phys = List.map (fun q -> (q, phys_of_answer q)) answers;
+    iteration_order = order;
+    violations = List.rev !violations;
+  }
+
+let conditioned_count r =
+  List.length
+    (List.filter
+       (fun (i : Instruction.t) ->
+         match i with
+         | Conditioned _ -> true
+         | Unitary _ | Measure _ | Reset _ | Barrier _ -> false)
+       (Circ.instructions r.circuit))

@@ -1,0 +1,77 @@
+open Circuit
+
+(** The paper's Algorithm 1: transform an n-qubit traditional circuit
+    into a dynamic quantum circuit over one physical data qubit plus
+    the answer qubits, using mid-circuit measurement, active reset and
+    classically controlled gates.
+
+    The input must be measurement-free and contain only gates with at
+    most one quantum control (run {!Decompose.Pass.substitute_toffoli}
+    first — choosing the Barenco or ancilla-unrolled netlist there is
+    exactly the paper's dynamic-1 / dynamic-2 choice).
+
+    {2 Soundness modes}
+
+    Algorithm 1 scans the input in program order each iteration and
+    emits every gate whose operands match the current work qubit,
+    {e without checking} that skipped-over pending gates commute with
+    it.  For circuits whose data qubits only interact with answer
+    qubits (BV, Toffoli-free DJ) every such reordering happens to be
+    sound and the DQC is exactly equivalent.  When data qubits interact
+    with each other (the CX sandwich of Eqn 1, the parity CXs of
+    Eqn 3), the trailing Hadamard of a DJ data qubit is emitted past a
+    pending non-commuting CX: the resulting DQC is {e not} exactly
+    equivalent, which is the real source of the accuracy loss the paper
+    plots in Fig 7 (its simulator is noiseless).
+
+    - [`Algorithm1] reproduces the paper faithfully and records each
+      unsound emission as a {!violation};
+    - [`Sound] only emits a gate once every earlier pending gate
+      commutes with it, raising {!Not_transformable} when the circuit
+      cannot be scheduled soundly — useful as a static certificate that
+      a DQC is exactly equivalent. *)
+
+exception Not_transformable of string
+
+(** An emission that jumped over earlier, non-commuting pending gates. *)
+type violation = {
+  iteration : int;  (** index in the iteration order *)
+  emitted : Instruction.t;  (** gate (input indexing) that was emitted *)
+  jumped_over : Instruction.t list;
+      (** earlier pending gates that do not commute with it *)
+}
+
+type result = {
+  circuit : Circ.t;  (** the DQC: qubit 0 is the physical data qubit *)
+  data_bit : (int * int) list;
+      (** input data qubit -> classical register bit *)
+  answer_phys : (int * int) list;  (** input answer qubit -> DQC qubit *)
+  iteration_order : int list;  (** work qubits in iteration order *)
+  violations : violation list;  (** empty in [`Sound] mode *)
+}
+
+(** [transform ?mode ?mct c] runs the transformation ([mode] defaults
+    to [`Algorithm1]).  With [~mct:true] gates with two or more quantum
+    controls are realized {e directly}: controls on measured data
+    qubits become a conjunctive classical condition and live controls
+    stay quantum — the dynamic multiple-control Toffoli realization the
+    paper lists as future work.  With the default [~mct:false] such
+    gates are rejected (decompose them first, as the paper does).
+    @raise Not_transformable when a gate can never be emitted (e.g. a
+    quantum gate targets an already-measured data qubit, an unmeasured
+    ancilla would need to serve as a classical control, a multi-control
+    gate was not decomposed, or [`Sound] scheduling gets stuck).
+    @raise Interaction.Cyclic when Case-2 ordering is impossible. *)
+val transform :
+  ?mode:[ `Algorithm1 | `Sound ] ->
+  ?mct:bool ->
+  ?order:int list ->
+  Circ.t ->
+  result
+(** [?order] overrides the default (smallest-index-first topological)
+    iteration order; it must be a permutation of the work qubits
+    respecting every Case-2 edge, else {!Not_transformable}. *)
+
+(** Count of classically controlled gates in the result — the metric
+    the paper uses to contrast dynamic-1 and dynamic-2. *)
+val conditioned_count : result -> int

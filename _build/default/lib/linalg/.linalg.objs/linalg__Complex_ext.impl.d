@@ -1,0 +1,1 @@
+lib/linalg/complex_ext.ml: Complex Format Printf

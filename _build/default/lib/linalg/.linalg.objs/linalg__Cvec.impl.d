@@ -1,0 +1,1 @@
+lib/linalg/cvec.ml: Array Complex Complex_ext Format

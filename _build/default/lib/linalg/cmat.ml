@@ -1,0 +1,146 @@
+type t = { nr : int; nc : int; data : Complex.t array }
+
+let make nr nc =
+  if nr < 0 || nc < 0 then invalid_arg "Cmat.make";
+  { nr; nc; data = Array.make (nr * nc) Complex.zero }
+
+let identity n =
+  let m = make n n in
+  for k = 0 to n - 1 do
+    m.data.((k * n) + k) <- Complex.one
+  done;
+  m
+
+let rows m = m.nr
+let cols m = m.nc
+let get m r c = m.data.((r * m.nc) + c)
+let set m r c z = m.data.((r * m.nc) + c) <- z
+let copy m = { m with data = Array.copy m.data }
+
+let of_lists rows_l =
+  match rows_l with
+  | [] -> make 0 0
+  | first :: _ ->
+      let nr = List.length rows_l and nc = List.length first in
+      let m = make nr nc in
+      List.iteri
+        (fun r row ->
+          if List.length row <> nc then invalid_arg "Cmat.of_lists: ragged";
+          List.iteri (fun c z -> set m r c z) row)
+        rows_l;
+      m
+
+let of_reim_lists rows_l =
+  of_lists
+    (List.map (List.map (fun (re, im) -> { Complex.re; im })) rows_l)
+
+let map2 f a b =
+  if a.nr <> b.nr || a.nc <> b.nc then invalid_arg "Cmat: shape mismatch";
+  { a with data = Array.map2 f a.data b.data }
+
+let add a b = map2 Complex.add a b
+let sub a b = map2 Complex.sub a b
+
+let mul a b =
+  if a.nc <> b.nr then invalid_arg "Cmat.mul: shape mismatch";
+  let m = make a.nr b.nc in
+  for r = 0 to a.nr - 1 do
+    for k = 0 to a.nc - 1 do
+      let ark = get a r k in
+      if not (Complex_ext.is_zero ~eps:0. ark) then
+        for c = 0 to b.nc - 1 do
+          set m r c (Complex.add (get m r c) (Complex.mul ark (get b k c)))
+        done
+    done
+  done;
+  m
+
+let scale a m = { m with data = Array.map (Complex.mul a) m.data }
+
+let adjoint m =
+  let r = make m.nc m.nr in
+  for i = 0 to m.nr - 1 do
+    for j = 0 to m.nc - 1 do
+      set r j i (Complex.conj (get m i j))
+    done
+  done;
+  r
+
+let transpose m =
+  let r = make m.nc m.nr in
+  for i = 0 to m.nr - 1 do
+    for j = 0 to m.nc - 1 do
+      set r j i (get m i j)
+    done
+  done;
+  r
+
+let kron a b =
+  let m = make (a.nr * b.nr) (a.nc * b.nc) in
+  for i = 0 to a.nr - 1 do
+    for j = 0 to a.nc - 1 do
+      let aij = get a i j in
+      for k = 0 to b.nr - 1 do
+        for l = 0 to b.nc - 1 do
+          set m ((i * b.nr) + k) ((j * b.nc) + l) (Complex.mul aij (get b k l))
+        done
+      done
+    done
+  done;
+  m
+
+let apply m v =
+  if m.nc <> Cvec.dim v then invalid_arg "Cmat.apply: shape mismatch";
+  let out = Cvec.make m.nr in
+  for r = 0 to m.nr - 1 do
+    let acc = ref Complex.zero in
+    for c = 0 to m.nc - 1 do
+      acc := Complex.add !acc (Complex.mul (get m r c) (Cvec.get v c))
+    done;
+    Cvec.set out r !acc
+  done;
+  out
+
+let max_abs m =
+  Array.fold_left (fun acc z -> max acc (Complex.norm z)) 0. m.data
+
+let approx_equal ?(eps = 1e-9) a b =
+  a.nr = b.nr && a.nc = b.nc && max_abs (sub a b) <= eps
+
+(* Find the first entry of b with significant modulus, derive the phase
+   ratio from the matching entry of a, then compare a against phase.b. *)
+let approx_equal_up_to_phase ?(eps = 1e-9) a b =
+  a.nr = b.nr && a.nc = b.nc
+  &&
+  let n = Array.length b.data in
+  let rec find k =
+    if k >= n then None
+    else if Complex.norm b.data.(k) > eps then Some k
+    else find (k + 1)
+  in
+  match find 0 with
+  | None -> max_abs a <= eps
+  | Some k ->
+      let ratio = Complex.div a.data.(k) b.data.(k) in
+      abs_float (Complex.norm ratio -. 1.) <= eps
+      && approx_equal ~eps a (scale ratio b)
+
+let is_unitary ?(eps = 1e-9) m =
+  m.nr = m.nc && approx_equal ~eps (mul m (adjoint m)) (identity m.nr)
+
+let frobenius m = sqrt (Array.fold_left (fun acc z -> acc +. Complex.norm2 z) 0. m.data)
+
+let commutator_norm a b = frobenius (sub (mul a b) (mul b a))
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for r = 0 to m.nr - 1 do
+    Format.fprintf fmt "[@[";
+    for c = 0 to m.nc - 1 do
+      if c > 0 then Format.fprintf fmt ";@ ";
+      Complex_ext.pp fmt (get m r c)
+    done;
+    Format.fprintf fmt "@]]";
+    if r < m.nr - 1 then Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

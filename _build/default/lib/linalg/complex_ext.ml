@@ -1,0 +1,22 @@
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+let of_float x = { Complex.re = x; im = 0. }
+let scale a z = { Complex.re = a *. z.Complex.re; im = a *. z.Complex.im }
+let exp_i theta = { Complex.re = cos theta; im = sin theta }
+let norm2 z = Complex.norm2 z
+
+let approx_equal ?(eps = 1e-9) a b =
+  abs_float (a.Complex.re -. b.Complex.re) <= eps
+  && abs_float (a.Complex.im -. b.Complex.im) <= eps
+
+let is_zero ?(eps = 1e-9) z = Complex.norm z <= eps
+
+let to_string z =
+  if abs_float z.Complex.im < 1e-12 then Printf.sprintf "%g" z.Complex.re
+  else if abs_float z.Complex.re < 1e-12 then Printf.sprintf "%gi" z.Complex.im
+  else if z.Complex.im < 0. then
+    Printf.sprintf "%g-%gi" z.Complex.re (-.z.Complex.im)
+  else Printf.sprintf "%g+%gi" z.Complex.re z.Complex.im
+
+let pp fmt z = Format.pp_print_string fmt (to_string z)

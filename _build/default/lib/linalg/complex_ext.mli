@@ -1,0 +1,30 @@
+(** Helpers over [Complex.t] used throughout the simulator and the
+    linear-algebra substrate. *)
+
+val zero : Complex.t
+val one : Complex.t
+val i : Complex.t
+
+(** [of_float x] is the complex number [x + 0i]. *)
+val of_float : float -> Complex.t
+
+(** [scale a z] multiplies [z] by the real scalar [a]. *)
+val scale : float -> Complex.t -> Complex.t
+
+(** [exp_i theta] is [e^{i.theta}]. *)
+val exp_i : float -> Complex.t
+
+(** Squared modulus |z|^2. *)
+val norm2 : Complex.t -> float
+
+(** [approx_equal ?eps a b] holds when both components differ by at most
+    [eps] (default [1e-9]). *)
+val approx_equal : ?eps:float -> Complex.t -> Complex.t -> bool
+
+(** [is_zero ?eps z] holds when |z| <= eps. *)
+val is_zero : ?eps:float -> Complex.t -> bool
+
+(** Render as ["a+bi"] with a compact float format. *)
+val to_string : Complex.t -> string
+
+val pp : Format.formatter -> Complex.t -> unit

@@ -1,0 +1,64 @@
+type t = Complex.t array
+
+let make n = Array.make n Complex.zero
+
+let basis n k =
+  if k < 0 || k >= n then invalid_arg "Cvec.basis";
+  let v = make n in
+  v.(k) <- Complex.one;
+  v
+
+let of_array a = Array.copy a
+let to_array v = Array.copy v
+let copy = Array.copy
+let dim = Array.length
+let get v k = v.(k)
+let set v k z = v.(k) <- z
+
+let norm2 v =
+  let acc = ref 0. in
+  for k = 0 to Array.length v - 1 do
+    acc := !acc +. Complex.norm2 v.(k)
+  done;
+  !acc
+
+let scale a v =
+  for k = 0 to Array.length v - 1 do
+    v.(k) <- Complex.mul a v.(k)
+  done
+
+let normalize v =
+  let n = sqrt (norm2 v) in
+  if n <= 0. then invalid_arg "Cvec.normalize: zero vector";
+  scale (Complex_ext.of_float (1. /. n)) v
+
+let dot a b =
+  if dim a <> dim b then invalid_arg "Cvec.dot: dimension mismatch";
+  let acc = ref Complex.zero in
+  for k = 0 to Array.length a - 1 do
+    acc := Complex.add !acc (Complex.mul (Complex.conj a.(k)) b.(k))
+  done;
+  !acc
+
+let approx_equal ?(eps = 1e-9) a b =
+  dim a = dim b
+  && Array.for_all2 (fun x y -> Complex_ext.approx_equal ~eps x y) a b
+
+(* |<a|b>| = |a||b| iff the vectors are parallel; compare against the
+   product of norms so zero vectors are handled too. *)
+let approx_equal_up_to_phase ?(eps = 1e-9) a b =
+  dim a = dim b
+  &&
+  let na = sqrt (norm2 a) and nb = sqrt (norm2 b) in
+  if na <= eps && nb <= eps then true
+  else abs_float (Complex.norm (dot a b) -. (na *. nb)) <= eps
+      && abs_float (na -. nb) <= eps
+
+let pp fmt v =
+  Format.fprintf fmt "[@[";
+  Array.iteri
+    (fun k z ->
+      if k > 0 then Format.fprintf fmt ";@ ";
+      Complex_ext.pp fmt z)
+    v;
+  Format.fprintf fmt "@]]"

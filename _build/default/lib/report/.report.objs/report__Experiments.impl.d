@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Algorithms Circ Circuit Decompose Dqc Float List Metrics Option Paper_data Printf Random Sim String Sys Table Transpile

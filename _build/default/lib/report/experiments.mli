@@ -1,0 +1,154 @@
+(** Experiment runners that regenerate every table and figure of the
+    paper's evaluation (Section V), printing measured values next to
+    the published ones.
+
+    - {!table1_report}: Table I — Toffoli-free circuits (BV + DJ);
+    - {!table2_report}: Table II — Toffoli-based DJ circuits;
+    - {!fig7_report}: Fig 7 — computational accuracy of traditional /
+      dynamic-1 / dynamic-2 under 1024-shot noiseless simulation;
+    - {!equivalence_report}: the §V-A functional-equivalence claim,
+      checked exactly (TV distance of exact distributions).
+
+    Conventions are documented in DESIGN.md; measured dynamic gate
+    counts are taken after expanding CV/CV† with Fig 6. *)
+
+type table1_row = {
+  name : string;
+  qubits_trad : int;
+  qubits_dyn : int;
+  gates_trad : int;
+  gates_dyn : int;
+  depth_trad : int;
+  depth_dyn : int;
+  tv : float;  (** exact TV distance traditional vs dynamic *)
+}
+
+type table2_row = {
+  name : string;
+  qubits_trad : int;
+  qubits_dyn : int;
+  gates_trad : int;
+  gates_dyn1 : int;
+  gates_dyn2 : int;
+  depth_trad : int;
+  depth_dyn1 : int;
+  depth_dyn2 : int;
+  tv_dyn1 : float;
+  tv_dyn2 : float;
+  violations_dyn1 : int;
+  violations_dyn2 : int;
+}
+
+type fig7_row = {
+  name : string;
+  accuracy_trad : float;
+  accuracy_dyn1 : float;
+  accuracy_dyn2 : float;
+      (** 1 - TV(1024-shot empirical joint, exact ideal joint) *)
+  exact_dyn1 : float;
+  exact_dyn2 : float;  (** sampling-free accuracies, 1 - exact TV *)
+}
+
+type mct_row = {
+  name : string;
+  arity : int;
+  gates_trad : int;
+  direct_gates : int;
+  direct_iters : int;
+  direct_conditioned : int;
+  direct_tv : float;
+  dyn1_gates : int;
+  dyn1_iters : int;
+  dyn1_tv : float;
+  dyn2_gates : int;
+  dyn2_iters : int;
+  dyn2_tv : float;
+}
+
+val table1_rows : unit -> table1_row list
+val table2_rows : unit -> table2_row list
+val fig7_rows : ?shots:int -> ?seed:int -> unit -> fig7_row list
+
+(** The future-work experiment: dynamic realizations of
+    multiple-control Toffoli oracles — the direct conjunctive-condition
+    scheme versus the V-chain-reduction + dynamic-1/2 routes.  Every
+    realization uses exactly 2 physical qubits. *)
+val mct_rows : unit -> mct_row list
+
+val table1_report : unit -> string
+val table2_report : unit -> string
+val fig7_report : ?shots:int -> ?seed:int -> unit -> string
+val equivalence_report : unit -> string
+
+val mct_report : unit -> string
+
+type routing_row = {
+  hidden_bits : int;
+  trad_qubits : int;
+  trad_gates : int;
+  trad_swaps : int;  (** identity initial layout *)
+  trad_swaps_placed : int;  (** greedy interaction-aware layout *)
+  trad_routed_gates : int;
+  dyn_qubits : int;
+  dyn_gates : int;
+  dyn_swaps : int;
+}
+
+(** Routing study (extension): traditional BV_1..1 routed onto a
+    linear-topology device versus the 2-qubit dynamic realization,
+    which never needs a SWAP — the scalability argument of DQC made
+    quantitative. *)
+val routing_rows : unit -> routing_row list
+
+val routing_report : unit -> string
+
+type duration_row = {
+  benchmark : string;
+  trad_us : float;
+  dyn1_us : float option;  (** None for Toffoli-free benchmarks *)
+  dyn2_us : float option;
+  dyn_us : float option;  (** the single dynamic form, when schemes coincide *)
+}
+
+(** Wall-clock study (extension): critical-path duration under the
+    device timing model of {!Circuit.Metrics.default_timing} — the
+    time cost of trading qubits for mid-circuit measurement, reset and
+    feed-forward. *)
+val duration_rows : unit -> duration_row list
+
+val duration_report : unit -> string
+
+type scale_row = {
+  bits : int;
+  trad_tableau_qubits : int;
+  dyn_tableau_qubits : int;
+  dyn_gate_total : int;
+  recovered : bool;  (** hidden string read back deterministically *)
+  ms_per_shot : float;
+}
+
+(** Scalability study (extension): BV far beyond the statevector limit
+    via the stabilizer tableau — one shot of the 2-qubit dynamic
+    realization recovers an n-bit hidden string deterministically. *)
+val scale_rows : unit -> scale_row list
+
+val scale_report : unit -> string
+
+type slots_row = {
+  benchmark : string;
+  scheme : string;
+  trad_qubits : int;
+  tv_at_1 : float;  (** Algorithm 1 at the paper's design point *)
+  min_slots : int option;  (** smallest sound-certified slot count *)
+  certified_qubits : int option;  (** total qubits at that point *)
+}
+
+(** E11 (extension): the qubit-accuracy frontier of the generalized
+    multi-slot transformation — how many physical data qubits each
+    benchmark needs before the dynamic realization is provably exact. *)
+val slots_rows : unit -> slots_row list
+
+val slots_report : unit -> string
+
+(** All reports concatenated. *)
+val full_report : ?shots:int -> ?seed:int -> unit -> string

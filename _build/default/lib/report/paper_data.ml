@@ -1,0 +1,88 @@
+type table1_row = {
+  name : string;
+  qubits_trad : int;
+  qubits_dyn : int;
+  gates_trad : int;
+  gates_dyn : int;
+  depth_trad : int;
+  depth_dyn : int;
+}
+
+type table2_row = {
+  name : string;
+  qubits_trad : int;
+  qubits_dyn : int;
+  gates_trad : int;
+  gates_dyn1 : int;
+  gates_dyn2 : int;
+  depth_trad : int;
+  depth_dyn1 : int;
+  depth_dyn2 : int;
+}
+
+let t1 name qubits_trad qubits_dyn gates_trad gates_dyn depth_trad depth_dyn =
+  { name; qubits_trad; qubits_dyn; gates_trad; gates_dyn; depth_trad; depth_dyn }
+
+let table1 =
+  [
+    t1 "BV_111" 4 2 11 13 6 15;
+    t1 "BV_110" 4 2 8 10 5 13;
+    t1 "BV_101" 4 2 8 10 5 12;
+    t1 "BV_011" 4 2 8 10 5 12;
+    t1 "BV_100" 4 2 5 7 4 10;
+    t1 "BV_010" 4 2 5 7 4 10;
+    t1 "BV_001" 4 2 5 7 4 9;
+    t1 "BV_1111" 5 2 14 17 7 20;
+    t1 "BV_1110" 5 2 11 14 6 18;
+    t1 "BV_1101" 5 2 11 14 6 17;
+    t1 "BV_1011" 5 2 11 14 6 17;
+    t1 "BV_0111" 5 2 11 14 6 17;
+    t1 "BV_1010" 5 2 8 11 5 15;
+    t1 "BV_1001" 5 2 8 11 5 14;
+    t1 "BV_0110" 5 2 8 11 5 15;
+    t1 "BV_0101" 5 2 8 11 5 14;
+    t1 "BV_1000" 5 2 5 9 4 12;
+    t1 "BV_0100" 5 2 5 8 4 12;
+    t1 "BV_0010" 5 2 5 8 4 12;
+    t1 "BV_0001" 5 2 5 8 4 11;
+    t1 "DJ_CONST_0" 3 2 6 7 3 7;
+    t1 "DJ_CONST_1" 3 2 7 8 3 7;
+    t1 "DJ_PASS_1" 3 2 7 8 5 9;
+    t1 "DJ_PASS_2" 3 2 7 8 5 8;
+    t1 "DJ_INVERT_1" 3 2 8 9 6 10;
+    t1 "DJ_INVERT_2" 3 2 8 9 6 8;
+    t1 "DJ_XOR" 3 2 8 9 6 10;
+    t1 "DJ_XNOR" 3 2 9 10 7 11;
+  ]
+
+let t2 name qubits_trad qubits_dyn gates_trad gates_dyn1 gates_dyn2 depth_trad
+    depth_dyn1 depth_dyn2 =
+  {
+    name;
+    qubits_trad;
+    qubits_dyn;
+    gates_trad;
+    gates_dyn1;
+    gates_dyn2;
+    depth_trad;
+    depth_dyn1;
+    depth_dyn2;
+  }
+
+let table2 =
+  [
+    t2 "AND" 3 2 21 28 33 16 23 26;
+    t2 "NAND" 3 2 22 29 34 17 24 27;
+    t2 "OR" 3 2 23 30 35 18 26 29;
+    t2 "NOR" 3 2 24 31 36 19 27 30;
+    t2 "IMPLY_1" 3 2 23 30 35 18 26 29;
+    t2 "IMPLY_2" 3 2 23 30 35 18 25 28;
+    t2 "INHIB_1" 3 2 22 29 34 17 24 27;
+    t2 "INHIB_2" 3 2 22 29 34 17 25 28;
+    t2 "CARRY" 4 2 53 73 82 36 60 68;
+  ]
+
+let table1_find name =
+  List.find_opt (fun (r : table1_row) -> r.name = name) table1
+let table2_find name =
+  List.find_opt (fun (r : table2_row) -> r.name = name) table2

@@ -1,0 +1,29 @@
+(** Reference values transcribed from the paper's Table I and Table II,
+    used to print side-by-side comparisons. *)
+
+type table1_row = {
+  name : string;
+  qubits_trad : int;
+  qubits_dyn : int;
+  gates_trad : int;
+  gates_dyn : int;
+  depth_trad : int;
+  depth_dyn : int;
+}
+
+type table2_row = {
+  name : string;
+  qubits_trad : int;
+  qubits_dyn : int;
+  gates_trad : int;
+  gates_dyn1 : int;
+  gates_dyn2 : int;
+  depth_trad : int;
+  depth_dyn1 : int;
+  depth_dyn2 : int;
+}
+
+val table1 : table1_row list
+val table2 : table2_row list
+val table1_find : string -> table1_row option
+val table2_find : string -> table2_row option

@@ -1,0 +1,41 @@
+type align = Left | Right
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+')
+       s
+
+let render ?aligns ~headers ~rows () =
+  let ncols = List.length headers in
+  List.iter
+    (fun r ->
+      if List.length r <> ncols then invalid_arg "Table.render: ragged row")
+    rows;
+  let width k =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row k)))
+      (String.length (List.nth headers k))
+      rows
+  in
+  let widths = List.init ncols width in
+  let align_of k cell =
+    match aligns with
+    | Some l when List.length l > k -> List.nth l k
+    | _ -> if looks_numeric cell then Right else Left
+  in
+  let pad k cell =
+    let w = List.nth widths k in
+    let fill = String.make (w - String.length cell) ' ' in
+    match align_of k cell with Left -> cell ^ fill | Right -> fill ^ cell
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line headers :: sep :: List.map line rows) ^ "\n"
+
+let render_titled ?aligns ~title ~headers ~rows () =
+  Printf.sprintf "%s\n%s\n%s" title
+    (String.make (String.length title) '=')
+    (render ?aligns ~headers ~rows ())

@@ -1,0 +1,14 @@
+(** Minimal text-table rendering for experiment reports. *)
+
+type align = Left | Right
+
+(** [render ~headers ~rows] pads columns to fit; numeric-looking cells
+    default to right alignment unless [aligns] overrides. *)
+val render :
+  ?aligns:align list -> headers:string list -> rows:string list list ->
+  unit -> string
+
+(** Render with a title line above the table. *)
+val render_titled :
+  ?aligns:align list -> title:string -> headers:string list ->
+  rows:string list list -> unit -> string

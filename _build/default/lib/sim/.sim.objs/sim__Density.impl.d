@@ -1,0 +1,1 @@
+lib/sim/density.ml: Bits Circ Circuit Complex Dist Gate Hashtbl Instruction Linalg List Noise Option Printf Unitary

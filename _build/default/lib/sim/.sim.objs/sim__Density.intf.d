@@ -1,0 +1,1 @@
+lib/sim/density.mli: Circ Circuit Dist Noise

@@ -1,0 +1,1 @@
+lib/sim/dist.ml: Array Bits Format Hashtbl List Option Queue Random

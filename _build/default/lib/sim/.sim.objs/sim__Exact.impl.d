@@ -1,0 +1,1 @@
+lib/sim/exact.ml: Circ Circuit Dist Gate Instruction List Statevector

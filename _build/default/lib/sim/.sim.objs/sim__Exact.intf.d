@@ -1,0 +1,1 @@
+lib/sim/exact.mli: Circ Circuit Dist Statevector

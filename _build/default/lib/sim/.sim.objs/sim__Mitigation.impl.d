@@ -1,0 +1,1 @@
+lib/sim/mitigation.ml: Array Bits Circ Circuit Dist Float List Noise Runner

@@ -1,0 +1,1 @@
+lib/sim/mitigation.mli: Dist Noise

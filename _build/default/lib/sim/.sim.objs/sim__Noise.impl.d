@@ -1,0 +1,1 @@
+lib/sim/noise.ml: Circ Circuit Gate Instruction Linalg List Printf Random Runner Statevector

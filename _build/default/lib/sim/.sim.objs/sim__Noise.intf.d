@@ -1,0 +1,1 @@
+lib/sim/noise.mli: Circ Circuit Random Runner

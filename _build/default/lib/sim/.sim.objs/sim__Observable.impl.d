@@ -1,0 +1,1 @@
+lib/sim/observable.ml: Circuit Complex Exact Gate Linalg List Statevector

@@ -1,0 +1,1 @@
+lib/sim/observable.mli: Exact Statevector

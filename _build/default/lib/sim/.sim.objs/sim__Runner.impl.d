@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Bits Circ Circuit Dist Format Hashtbl Instruction List Option Random Statevector

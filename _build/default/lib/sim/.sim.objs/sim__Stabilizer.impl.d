@@ -1,0 +1,1 @@
+lib/sim/stabilizer.ml: Array Bits Circ Circuit Gate Instruction List Printf Random Runner

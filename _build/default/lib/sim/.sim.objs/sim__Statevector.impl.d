@@ -1,0 +1,1 @@
+lib/sim/statevector.ml: Array Bits Circ Circuit Complex Gate Instruction Linalg List Printf Random

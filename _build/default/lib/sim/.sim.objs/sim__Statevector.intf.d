@@ -1,0 +1,1 @@
+lib/sim/statevector.mli: Circ Circuit Gate Instruction Linalg Random

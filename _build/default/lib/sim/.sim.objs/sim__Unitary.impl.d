@@ -1,0 +1,1 @@
+lib/sim/unitary.ml: Bits Circ Circuit Gate Instruction Linalg List Statevector

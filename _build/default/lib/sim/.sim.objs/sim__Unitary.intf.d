@@ -1,0 +1,1 @@
+lib/sim/unitary.mli: Circ Circuit Instruction Linalg

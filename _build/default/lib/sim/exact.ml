@@ -1,0 +1,86 @@
+open Circuit
+
+type leaf = {
+  probability : float;
+  register : int;
+  state : Statevector.t;
+}
+
+let prune_threshold = 1e-12
+
+(* Depth-first enumeration: unitaries and conditioned gates act in
+   place; measure and reset fork into the outcomes with non-negligible
+   Born probability. *)
+let leaves c =
+  let acc = ref [] in
+  let rec go st prob instrs =
+    if prob > prune_threshold then
+      match instrs with
+      | [] ->
+          acc :=
+            { probability = prob; register = Statevector.register st; state = st }
+            :: !acc
+      | i :: rest -> step st prob i rest
+  and step st prob (i : Instruction.t) rest =
+    match i with
+    | Unitary a ->
+        Statevector.apply_app st a;
+        go st prob rest
+    | Conditioned (cnd, a) ->
+        if Instruction.cond_holds cnd (Statevector.register st) then
+          Statevector.apply_app st a;
+        go st prob rest
+    | Barrier _ -> go st prob rest
+    | Measure { qubit; bit } ->
+        fork st prob qubit rest ~on_branch:(fun st' outcome ->
+            Statevector.set_bit st' bit outcome)
+    | Reset q ->
+        fork st prob q rest ~on_branch:(fun st' outcome ->
+            if outcome then Statevector.apply_gate st' Gate.X q)
+  and fork st prob qubit rest ~on_branch =
+    let p1 = Statevector.prob_one st qubit in
+    let branch outcome p st' =
+      if p *. prob > prune_threshold then begin
+        ignore (Statevector.project st' qubit outcome);
+        on_branch st' outcome;
+        go st' (prob *. p) rest
+      end
+    in
+    (* reuse [st] for the second branch to halve copying *)
+    if p1 *. prob > prune_threshold && (1. -. p1) *. prob > prune_threshold
+    then begin
+      branch false (1. -. p1) (Statevector.copy st);
+      branch true p1 st
+    end
+    else if p1 *. prob > prune_threshold then branch true p1 st
+    else branch false (1. -. p1) st
+  in
+  let st0 =
+    Statevector.create (Circ.num_qubits c) ~num_bits:(Circ.num_bits c)
+  in
+  go st0 1.0 (Circ.instructions c);
+  List.rev !acc
+
+let register_distribution c =
+  Dist.create ~width:(Circ.num_bits c)
+    (List.map (fun l -> (l.register, l.probability)) (leaves c))
+
+let measured_distribution ~measures c =
+  let extra =
+    List.map
+      (fun (qubit, bit) -> Instruction.Measure { qubit; bit })
+      measures
+  in
+  let max_bit =
+    List.fold_left (fun acc (_, b) -> max acc (b + 1)) (Circ.num_bits c)
+      measures
+  in
+  let widened =
+    Circ.create ~roles:(Circ.roles c) ~num_bits:max_bit
+      (Circ.instructions c @ extra)
+  in
+  register_distribution widened
+
+let measure_all_distribution c =
+  let n = Circ.num_qubits c in
+  measured_distribution ~measures:(List.init n (fun q -> (q, q))) c

@@ -1,0 +1,30 @@
+open Circuit
+
+(** Exact evaluation of circuits with mid-circuit measurement and
+    active reset, by enumerating measurement branches with their Born
+    probabilities.  This is the distribution a shot-based simulator
+    (the paper uses AER with 1024 shots) converges to, computed without
+    sampling noise — the basis of the functional-equivalence checks. *)
+
+(** A leaf of the branching execution. *)
+type leaf = {
+  probability : float;
+  register : int;  (** classical register at the end *)
+  state : Statevector.t;  (** final (normalized) quantum state *)
+}
+
+(** All leaves with probability above the pruning threshold 1e-12. *)
+val leaves : Circ.t -> leaf list
+
+(** Exact distribution over the classical register. *)
+val register_distribution : Circ.t -> Dist.t
+
+(** [measured_distribution ~measures c] appends terminal measurements
+    [(qubit, bit)] to the circuit and returns the exact register
+    distribution. *)
+val measured_distribution : measures:(int * int) list -> Circ.t -> Dist.t
+
+(** [measure_all_distribution c] measures every qubit at the end,
+    qubit [q] into bit [q]; requires [num_bits >= num_qubits] or widens
+    the register. *)
+val measure_all_distribution : Circ.t -> Dist.t

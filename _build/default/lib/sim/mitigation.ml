@@ -1,0 +1,101 @@
+open Circuit
+
+(* a.(observed).(prepared) = P(observe | prepared) *)
+type t = { k : int; a : float array array }
+
+let bits t = t.k
+let confusion t ~observed ~prepared = t.a.(observed).(prepared)
+
+let ideal_confusion ~p_flip ~bits:k =
+  if k < 1 || k > 10 then invalid_arg "Mitigation: 1..10 bits";
+  let dim = 1 lsl k in
+  let a = Array.make_matrix dim dim 0. in
+  for prepared = 0 to dim - 1 do
+    for observed = 0 to dim - 1 do
+      let flips =
+        let rec popcount acc v =
+          if v = 0 then acc else popcount (acc + (v land 1)) (v lsr 1)
+        in
+        popcount 0 (prepared lxor observed)
+      in
+      a.(observed).(prepared) <-
+        (p_flip ** float_of_int flips)
+        *. ((1. -. p_flip) ** float_of_int (k - flips))
+    done
+  done;
+  { k; a }
+
+let calibrate ?(seed = 0xCA11B) ?(shots = 2048) ~model ~qubits ~num_qubits () =
+  let k = List.length qubits in
+  if k < 1 || k > 10 then invalid_arg "Mitigation.calibrate: 1..10 qubits";
+  let dim = 1 lsl k in
+  let a = Array.make_matrix dim dim 0. in
+  for prepared = 0 to dim - 1 do
+    let roles = Array.make num_qubits Circ.Data in
+    let b = Circ.Builder.make ~roles ~num_bits:k () in
+    List.iteri
+      (fun pos q -> if Bits.get prepared pos then Circ.Builder.x b q)
+      qubits;
+    List.iteri (fun pos q -> Circ.Builder.measure b ~qubit:q ~bit:pos) qubits;
+    let h =
+      Noise.run_shots ~seed:(seed + prepared) ~model ~shots (Circ.Builder.build b)
+    in
+    for observed = 0 to dim - 1 do
+      a.(observed).(prepared) <- Runner.frequency h observed
+    done
+  done;
+  { k; a }
+
+(* dense Gaussian elimination with partial pivoting *)
+let solve a_in y_in =
+  let n = Array.length y_in in
+  let a = Array.map Array.copy a_in in
+  let y = Array.copy y_in in
+  for col = 0 to n - 1 do
+    (* pivot *)
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs a.(row).(col) > Float.abs a.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs a.(!pivot).(col) < 1e-12 then
+      invalid_arg "Mitigation.apply: singular confusion matrix";
+    if !pivot <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let ty = y.(col) in
+      y.(col) <- y.(!pivot);
+      y.(!pivot) <- ty
+    end;
+    for row = col + 1 to n - 1 do
+      let f = a.(row).(col) /. a.(col).(col) in
+      if f <> 0. then begin
+        for c2 = col to n - 1 do
+          a.(row).(c2) <- a.(row).(c2) -. (f *. a.(col).(c2))
+        done;
+        y.(row) <- y.(row) -. (f *. y.(col))
+      end
+    done
+  done;
+  let x = Array.make n 0. in
+  for row = n - 1 downto 0 do
+    let acc = ref y.(row) in
+    for c2 = row + 1 to n - 1 do
+      acc := !acc -. (a.(row).(c2) *. x.(c2))
+    done;
+    x.(row) <- !acc /. a.(row).(row)
+  done;
+  x
+
+let apply t dist =
+  if Dist.width dist <> t.k then
+    invalid_arg "Mitigation.apply: distribution width mismatch";
+  let dim = 1 lsl t.k in
+  let y = Array.init dim (fun o -> Dist.prob dist o) in
+  let x = solve t.a y in
+  (* clip negatives and renormalize back onto the simplex *)
+  let clipped = Array.map (fun v -> Float.max 0. v) x in
+  let total = Array.fold_left ( +. ) 0. clipped in
+  if total <= 0. then invalid_arg "Mitigation.apply: empty mitigated mass";
+  Dist.create ~width:t.k
+    (List.init dim (fun o -> (o, clipped.(o) /. total)))

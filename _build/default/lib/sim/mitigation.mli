@@ -1,0 +1,36 @@
+(** Measurement-error mitigation by confusion-matrix inversion — the
+    standard readout-calibration procedure on IBM devices, built here
+    on the noise stack: calibrate by preparing every basis state of
+    the measured qubits under the noise model, estimate the confusion
+    matrix A (A[observed][prepared]), then un-mix observed histograms
+    by solving A x = y and projecting back onto the simplex. *)
+
+type t
+
+(** Number of classical bits the calibration covers. *)
+val bits : t -> int
+
+(** Confusion-matrix entry P(observe | prepared). *)
+val confusion : t -> observed:int -> prepared:int -> float
+
+(** Analytic calibration for independent symmetric readout flips. *)
+val ideal_confusion : p_flip:float -> bits:int -> t
+
+(** [calibrate ?seed ?shots ~model ~qubits ~num_qubits ()] estimates
+    the confusion matrix empirically: for each basis state of
+    [qubits] (within a [num_qubits] device), prepare it with X gates,
+    measure under [model], and tally.  [shots] defaults to 2048 per
+    basis state.  At most 10 qubits. *)
+val calibrate :
+  ?seed:int ->
+  ?shots:int ->
+  model:Noise.model ->
+  qubits:int list ->
+  num_qubits:int ->
+  unit ->
+  t
+
+(** [apply t dist] solves the linear system and clips/renormalizes;
+    [dist] must be over exactly [bits t] bits.
+    @raise Invalid_argument on width mismatch or a singular matrix. *)
+val apply : t -> Dist.t -> Dist.t

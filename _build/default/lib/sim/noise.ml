@@ -1,0 +1,138 @@
+open Circuit
+
+type scope = [ `Target | `All_qubits ]
+
+type model = {
+  p_depol1 : float;
+  p_depol2 : float;
+  p_meas_flip : float;
+  p_reset_flip : float;
+  p_feedforward_z : float;
+  p_amp_damp : float;
+  feedforward_scope : scope;
+}
+
+let ideal =
+  {
+    p_depol1 = 0.;
+    p_depol2 = 0.;
+    p_meas_flip = 0.;
+    p_reset_flip = 0.;
+    p_feedforward_z = 0.;
+    p_amp_damp = 0.;
+    feedforward_scope = `Target;
+  }
+
+let default =
+  {
+    p_depol1 = 0.0005;
+    p_depol2 = 0.01;
+    p_meas_flip = 0.02;
+    p_reset_flip = 0.01;
+    p_feedforward_z = 0.04;
+    p_amp_damp = 0.;
+    feedforward_scope = `Target;
+  }
+
+let validate m =
+  let check name p =
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg (Printf.sprintf "Noise: %s = %g outside [0,1]" name p)
+  in
+  check "p_depol1" m.p_depol1;
+  check "p_depol2" m.p_depol2;
+  check "p_meas_flip" m.p_meas_flip;
+  check "p_reset_flip" m.p_reset_flip;
+  check "p_feedforward_z" m.p_feedforward_z;
+  check "p_amp_damp" m.p_amp_damp
+
+let random_pauli rng =
+  match Random.State.int rng 3 with
+  | 0 -> Gate.X
+  | 1 -> Gate.Y
+  | _ -> Gate.Z
+
+let maybe_depolarize ~rng ~p st q =
+  if p > 0. && Random.State.float rng 1.0 < p then
+    Statevector.apply_gate st (random_pauli rng) q
+
+(* quantum-trajectory unraveling of amplitude damping: jump with
+   probability gamma.P(1) (relax to |0>), otherwise apply the no-jump
+   operator diag(1, sqrt(1-gamma)) and renormalize *)
+let maybe_amp_damp ~rng ~gamma st q =
+  if gamma > 0. then begin
+    let p_jump = gamma *. Statevector.prob_one st q in
+    if p_jump > 0. && Random.State.float rng 1.0 < p_jump then begin
+      ignore (Statevector.project st q true);
+      Statevector.apply_gate st Gate.X q
+    end
+    else
+      Statevector.apply_kraus1 st
+        (Linalg.Cmat.of_reim_lists
+           [ [ (1., 0.); (0., 0.) ]; [ (0., 0.); (sqrt (1. -. gamma), 0.) ] ])
+        q
+  end
+
+let maybe_dephase ~rng ~p st q =
+  if p > 0. && Random.State.float rng 1.0 < p then
+    Statevector.apply_gate st Gate.Z q
+
+let run_shot ~rng ~model c =
+  validate model;
+  let st =
+    Statevector.create (Circ.num_qubits c) ~num_bits:(Circ.num_bits c)
+  in
+  let step (i : Instruction.t) =
+    match i with
+    | Unitary a ->
+        Statevector.apply_app st a;
+        let p = if a.controls = [] then model.p_depol1 else model.p_depol2 in
+        List.iter
+          (fun q ->
+            maybe_depolarize ~rng ~p st q;
+            maybe_amp_damp ~rng ~gamma:model.p_amp_damp st q)
+          (a.controls @ [ a.target ])
+    | Conditioned (cnd, a) ->
+        (* the feed-forward latency penalty applies whether or not the
+           gate fires: the controller must wait for the classical value *)
+        (match model.feedforward_scope with
+        | `Target -> maybe_dephase ~rng ~p:model.p_feedforward_z st a.target
+        | `All_qubits ->
+            for q = 0 to Circ.num_qubits c - 1 do
+              maybe_dephase ~rng ~p:model.p_feedforward_z st q
+            done);
+        if Instruction.cond_holds cnd (Statevector.register st) then begin
+          Statevector.apply_app st a;
+          let p =
+            if a.controls = [] then model.p_depol1 else model.p_depol2
+          in
+          List.iter (maybe_depolarize ~rng ~p st) (a.controls @ [ a.target ])
+        end
+    | Measure { qubit; bit } ->
+        let outcome =
+          Statevector.measure ~random:(Random.State.float rng 1.0) st ~qubit
+            ~bit
+        in
+        if
+          model.p_meas_flip > 0.
+          && Random.State.float rng 1.0 < model.p_meas_flip
+        then Statevector.set_bit st bit (not outcome)
+    | Reset q ->
+        Statevector.reset ~random:(Random.State.float rng 1.0) st q;
+        if
+          model.p_reset_flip > 0.
+          && Random.State.float rng 1.0 < model.p_reset_flip
+        then Statevector.apply_gate st Gate.X q
+    | Barrier _ -> ()
+  in
+  List.iter step (Circ.instructions c);
+  Statevector.register st
+
+let run_shots ?(seed = 0xD1CE) ~model ~shots c =
+  let rng = Random.State.make [| seed |] in
+  Runner.collect ~width:(Circ.num_bits c) ~shots (fun () ->
+      run_shot ~rng ~model c)
+
+let expected_outcome_probability ?seed ~model ~shots ~expected c =
+  let h = run_shots ?seed ~model ~shots c in
+  Runner.frequency h expected

@@ -1,0 +1,55 @@
+open Circuit
+
+type pauli = I | X | Y | Z
+
+type term = { coeff : float; paulis : (int * pauli) list }
+
+type t = term list
+
+let single p q = [ { coeff = 1.; paulis = [ (q, p) ] } ]
+let z q = single Z q
+let x q = single X q
+let y q = single Y q
+let zz a b = [ { coeff = 1.; paulis = [ (a, Z); (b, Z) ] } ]
+let scale a t = List.map (fun term -> { term with coeff = a *. term.coeff }) t
+let add a b = a @ b
+
+let gate_of_pauli = function
+  | I -> None
+  | X -> Some Gate.X
+  | Y -> Some Gate.Y
+  | Z -> Some Gate.Z
+
+let term_expectation st term =
+  let n = Statevector.num_qubits st in
+  let rec distinct = function
+    | [] -> true
+    | (q, _) :: rest -> (not (List.mem_assoc q rest)) && distinct rest
+  in
+  if not (distinct term.paulis) then
+    invalid_arg "Observable.expectation: repeated qubit in a term";
+  List.iter
+    (fun (q, _) ->
+      if q < 0 || q >= n then
+        invalid_arg "Observable.expectation: qubit out of range")
+    term.paulis;
+  (* <psi|P|psi> = <psi | (P psi)> *)
+  let transformed = Statevector.copy st in
+  List.iter
+    (fun (q, p) ->
+      match gate_of_pauli p with
+      | Some g -> Statevector.apply_gate transformed g q
+      | None -> ())
+    term.paulis;
+  let bra = Statevector.amplitudes st in
+  let ket = Statevector.amplitudes transformed in
+  term.coeff *. (Linalg.Cvec.dot bra ket).Complex.re
+
+let expectation st t =
+  List.fold_left (fun acc term -> acc +. term_expectation st term) 0. t
+
+let expectation_leaves leaves t =
+  List.fold_left
+    (fun acc (leaf : Exact.leaf) ->
+      acc +. (leaf.probability *. expectation leaf.state t))
+    0. leaves

@@ -1,0 +1,36 @@
+(** Pauli observables and expectation values.
+
+    An observable is a real-weighted sum of Pauli strings; expectation
+    values are taken against statevectors or against the classical
+    mixture an {!Exact} run produces.  The test suite uses this to
+    verify the phase-kickback invariant behind the whole paper: the
+    answer qubit of a DJ/BV oracle stays in the <X> = -1 eigenstate. *)
+
+type pauli = I | X | Y | Z
+
+(** A term: coefficient and one Pauli per listed qubit (identity
+    elsewhere). *)
+type term = { coeff : float; paulis : (int * pauli) list }
+
+type t = term list
+
+(** Single-qubit shorthands. *)
+val z : int -> t
+
+val x : int -> t
+val y : int -> t
+
+(** [zz a b] is the two-point correlator Z_a Z_b. *)
+val zz : int -> int -> t
+
+val scale : float -> t -> t
+val add : t -> t -> t
+
+(** <psi| O |psi>.
+    @raise Invalid_argument when a qubit index is out of range or a
+    term repeats a qubit. *)
+val expectation : Statevector.t -> t -> float
+
+(** Expectation over the classical mixture of branch states, weighted
+    by branch probability. *)
+val expectation_leaves : Exact.leaf list -> t -> float

@@ -1,0 +1,65 @@
+open Circuit
+
+type histogram = { w : int; total : int; counts : (int, int) Hashtbl.t }
+
+let tally counts outcome =
+  let prev = Option.value ~default:0 (Hashtbl.find_opt counts outcome) in
+  Hashtbl.replace counts outcome (prev + 1)
+
+let run_shots ?(seed = 0xC0FFEE) ~shots c =
+  let rng = Random.State.make [| seed |] in
+  let counts = Hashtbl.create 16 in
+  for _ = 1 to shots do
+    let st = Statevector.run ~rng c in
+    tally counts (Statevector.register st)
+  done;
+  { w = Circ.num_bits c; total = shots; counts }
+
+let with_measures ~measures c =
+  let extra =
+    List.map (fun (qubit, bit) -> Instruction.Measure { qubit; bit }) measures
+  in
+  let max_bit =
+    List.fold_left (fun acc (_, b) -> max acc (b + 1)) (Circ.num_bits c)
+      measures
+  in
+  Circ.create ~roles:(Circ.roles c) ~num_bits:max_bit
+    (Circ.instructions c @ extra)
+
+let run_shots_measured ?seed ~shots ~measures c =
+  run_shots ?seed ~shots (with_measures ~measures c)
+
+let collect ~width ~shots f =
+  let counts = Hashtbl.create 16 in
+  for _ = 1 to shots do
+    tally counts (f ())
+  done;
+  { w = width; total = shots; counts }
+
+let sample_dist ?(seed = 0xA11A5) ~shots dist =
+  let sm = Dist.sampler dist in
+  let rng = Random.State.make [| seed |] in
+  collect ~width:(Dist.width dist) ~shots (fun () -> Dist.sample sm rng)
+
+let shots h = h.total
+let width h = h.w
+let count h o = Option.value ~default:0 (Hashtbl.find_opt h.counts o)
+let frequency h o = float_of_int (count h o) /. float_of_int h.total
+
+let to_list h =
+  Hashtbl.fold (fun o n acc -> (o, n) :: acc) h.counts []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let to_dist h =
+  Dist.create ~width:h.w
+    (List.map
+       (fun (o, n) -> (o, float_of_int n /. float_of_int h.total))
+       (to_list h))
+
+let pp fmt h =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (o, n) ->
+      Format.fprintf fmt "%s : %d@," (Bits.to_string ~width:h.w o) n)
+    (to_list h);
+  Format.fprintf fmt "@]"

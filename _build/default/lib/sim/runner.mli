@@ -1,0 +1,42 @@
+open Circuit
+
+(** Shot-based execution (the 1024-shot experiments of §V) and
+    histogram utilities. *)
+
+type histogram
+
+(** [run_shots ?seed ~shots c] executes [c] independently [shots]
+    times and tallies final register values. *)
+val run_shots : ?seed:int -> shots:int -> Circ.t -> histogram
+
+(** [run_shots_measured ?seed ~shots ~measures c] appends terminal
+    measurements [(qubit, bit)] before running. *)
+val run_shots_measured :
+  ?seed:int -> shots:int -> measures:(int * int) list -> Circ.t -> histogram
+
+(** [collect ~width ~shots f] tallies [shots] samples of [f ()] — the
+    generic entry point other executors (e.g. {!Noise}) build on. *)
+val collect : width:int -> shots:int -> (unit -> int) -> histogram
+
+(** [sample_dist ?seed ~shots dist] draws shots from an exact
+    distribution with the O(1) alias sampler — equivalent in law to
+    {!run_shots} on the circuit that produced [dist], at a fraction of
+    the cost. *)
+val sample_dist : ?seed:int -> shots:int -> Dist.t -> histogram
+
+val shots : histogram -> int
+val width : histogram -> int
+
+(** Observed count for an outcome. *)
+val count : histogram -> int -> int
+
+(** Observed frequency (count / shots). *)
+val frequency : histogram -> int -> float
+
+(** Empirical distribution. *)
+val to_dist : histogram -> Dist.t
+
+(** All (outcome, count) pairs, ascending by outcome. *)
+val to_list : histogram -> (int * int) list
+
+val pp : Format.formatter -> histogram -> unit

@@ -1,0 +1,119 @@
+open Circuit
+
+type t = {
+  n : int;
+  num_bits : int;
+  amps : Complex.t array;
+  mutable reg : int;
+}
+
+let max_qubits = 24
+
+let create n ~num_bits =
+  if n < 0 || n > max_qubits then
+    invalid_arg
+      (Printf.sprintf "Statevector.create: %d qubits (max %d)" n max_qubits);
+  let amps = Array.make (1 lsl n) Complex.zero in
+  amps.(0) <- Complex.one;
+  { n; num_bits; amps; reg = 0 }
+
+let num_qubits st = st.n
+let num_bits st = st.num_bits
+let copy st = { st with amps = Array.copy st.amps }
+let amplitudes st = Linalg.Cvec.of_array st.amps
+let register st = st.reg
+let set_bit st k b = st.reg <- Bits.set st.reg k b
+let get_bit st k = Bits.get st.reg k
+
+(* Apply the 2x2 matrix [m] to qubit [q] on amplitude pairs whose index
+   has every bit of [cmask] set. *)
+let apply_matrix1 st m ~q ~cmask =
+  let bit = 1 lsl q in
+  let m00 = Linalg.Cmat.get m 0 0
+  and m01 = Linalg.Cmat.get m 0 1
+  and m10 = Linalg.Cmat.get m 1 0
+  and m11 = Linalg.Cmat.get m 1 1 in
+  let amps = st.amps in
+  let dim = Array.length amps in
+  for idx = 0 to dim - 1 do
+    if idx land bit = 0 && idx land cmask = cmask then begin
+      let i0 = idx and i1 = idx lor bit in
+      let a0 = amps.(i0) and a1 = amps.(i1) in
+      amps.(i0) <- Complex.add (Complex.mul m00 a0) (Complex.mul m01 a1);
+      amps.(i1) <- Complex.add (Complex.mul m10 a0) (Complex.mul m11 a1)
+    end
+  done
+
+let apply_app st (a : Instruction.app) =
+  let cmask =
+    List.fold_left (fun acc c -> acc lor (1 lsl c)) 0 a.controls
+  in
+  (* a control bit inside cmask must be 1, and the target pair index has
+     the target bit clear, so exclude the target from the mask *)
+  apply_matrix1 st (Gate.matrix a.gate) ~q:a.target ~cmask
+
+let apply_gate st g q = apply_app st (Instruction.app g q)
+
+let apply_kraus1 st m q =
+  if Linalg.Cmat.rows m <> 2 || Linalg.Cmat.cols m <> 2 then
+    invalid_arg "Statevector.apply_kraus1: not a 1-qubit operator";
+  apply_matrix1 st m ~q ~cmask:0;
+  let norm2 = Array.fold_left (fun acc a -> acc +. Complex.norm2 a) 0. st.amps in
+  if norm2 <= 1e-18 then
+    invalid_arg "Statevector.apply_kraus1: zero-norm result";
+  let scale = Linalg.Complex_ext.of_float (1. /. sqrt norm2) in
+  Array.iteri (fun k a -> st.amps.(k) <- Complex.mul scale a) st.amps
+
+let prob_one st q =
+  let bit = 1 lsl q in
+  let acc = ref 0. in
+  Array.iteri
+    (fun idx a -> if idx land bit <> 0 then acc := !acc +. Complex.norm2 a)
+    st.amps;
+  !acc
+
+let project st q outcome =
+  let bit = 1 lsl q in
+  let p1 = prob_one st q in
+  let p = if outcome then p1 else 1. -. p1 in
+  if p <= 1e-15 then
+    invalid_arg "Statevector.project: zero-probability branch";
+  let keep idx = (idx land bit <> 0) = outcome in
+  let scale = Linalg.Complex_ext.of_float (1. /. sqrt p) in
+  Array.iteri
+    (fun idx a ->
+      st.amps.(idx) <-
+        (if keep idx then Complex.mul scale a else Complex.zero))
+    st.amps;
+  p
+
+let measure ~random st ~qubit ~bit =
+  let p1 = prob_one st qubit in
+  let outcome = random < p1 in
+  ignore (project st qubit outcome);
+  set_bit st bit outcome;
+  outcome
+
+let reset ~random st q =
+  let p1 = prob_one st q in
+  let outcome = random < p1 in
+  ignore (project st q outcome);
+  if outcome then apply_gate st Gate.X q
+
+let run_instruction ~random st (i : Instruction.t) =
+  match i with
+  | Unitary a -> apply_app st a
+  | Conditioned (c, a) ->
+      if Instruction.cond_holds c st.reg then apply_app st a
+  | Measure { qubit; bit } ->
+      ignore (measure ~random:(random ()) st ~qubit ~bit)
+  | Reset q -> reset ~random:(random ()) st q
+  | Barrier _ -> ()
+
+let run ~rng c =
+  let st = create (Circ.num_qubits c) ~num_bits:(Circ.num_bits c) in
+  let random () = Random.State.float rng 1.0 in
+  List.iter (run_instruction ~random st) (Circ.instructions c);
+  st
+
+let probabilities st = Array.map Complex.norm2 st.amps

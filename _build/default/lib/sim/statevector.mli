@@ -1,0 +1,65 @@
+open Circuit
+
+(** Mutable statevector over [n] qubits plus a classical register —
+    the execution engine behind the samplers and the exact evaluator.
+
+    Amplitude indexing is little-endian: bit [q] of an index is the
+    computational-basis state of qubit [q]. *)
+
+type t
+
+(** [create n ~num_bits] is |0...0> with an all-zero classical
+    register.  [n] is capped at 24 qubits (dense vector). *)
+val create : int -> num_bits:int -> t
+
+val num_qubits : t -> int
+val num_bits : t -> int
+val copy : t -> t
+val amplitudes : t -> Linalg.Cvec.t
+
+(** Classical register value (see {!Bits} for the encoding). *)
+val register : t -> int
+
+val set_bit : t -> int -> bool -> unit
+val get_bit : t -> int -> bool
+
+(** [apply_app st app] applies the (possibly quantum-controlled)
+    unitary. *)
+val apply_app : t -> Instruction.app -> unit
+
+(** [apply_gate st g q] applies the plain 1-qubit gate. *)
+val apply_gate : t -> Gate.t -> int -> unit
+
+(** [apply_kraus1 st m q] applies an arbitrary 2x2 operator to qubit
+    [q] and renormalizes — the primitive behind quantum-trajectory
+    unravelings of non-unital channels (amplitude damping).
+    @raise Invalid_argument when the resulting state has zero norm. *)
+val apply_kraus1 : t -> Linalg.Cmat.t -> int -> unit
+
+(** Probability that measuring [q] yields 1. *)
+val prob_one : t -> int -> float
+
+(** [project st q outcome] collapses qubit [q] to [outcome] and
+    renormalizes; returns the probability the branch had.
+    @raise Invalid_argument if that probability is (numerically) 0. *)
+val project : t -> int -> bool -> float
+
+(** [measure ~random st ~qubit ~bit] samples an outcome with [random]
+    (a float in [0,1)), collapses, stores the result into the register
+    and returns it. *)
+val measure : random:float -> t -> qubit:int -> bit:int -> bool
+
+(** [reset ~random st q] performs an active reset: measure (without
+    recording) then flip to |0> if needed. *)
+val reset : random:float -> t -> int -> unit
+
+(** [run_instruction ~random st i] executes one instruction; [random]
+    is consulted by measure/reset only. *)
+val run_instruction : random:(unit -> float) -> t -> Instruction.t -> unit
+
+(** Run a full circuit from scratch and return the final state.
+    [rng] drives measurements and resets. *)
+val run : rng:Random.State.t -> Circ.t -> t
+
+(** Probability of each computational basis state (for analyses). *)
+val probabilities : t -> float array

@@ -1,0 +1,50 @@
+open Circuit
+
+let max_qubits = 12
+
+let check_unitary_only c =
+  List.iter
+    (fun (i : Instruction.t) ->
+      match i with
+      | Unitary _ | Barrier _ -> ()
+      | Conditioned _ | Measure _ | Reset _ ->
+          invalid_arg "Unitary.of_circuit: non-unitary instruction")
+    (Circ.instructions c)
+
+(* Column k of the unitary is the circuit applied to basis state |k>. *)
+let of_instrs ~n instrs =
+  if n > max_qubits then invalid_arg "Unitary: too many qubits";
+  let dim = 1 lsl n in
+  let m = Linalg.Cmat.make dim dim in
+  for k = 0 to dim - 1 do
+    let st = Statevector.create n ~num_bits:0 in
+    (* start in |k>: apply X to the set bits *)
+    for q = 0 to n - 1 do
+      if Bits.get k q then Statevector.apply_gate st Gate.X q
+    done;
+    List.iter
+      (fun (i : Instruction.t) ->
+        match i with
+        | Unitary a -> Statevector.apply_app st a
+        | Barrier _ -> ()
+        | Conditioned _ | Measure _ | Reset _ -> assert false)
+      instrs;
+    let v = Statevector.amplitudes st in
+    for r = 0 to dim - 1 do
+      Linalg.Cmat.set m r k (Linalg.Cvec.get v r)
+    done
+  done;
+  m
+
+let of_circuit c =
+  check_unitary_only c;
+  of_instrs ~n:(Circ.num_qubits c) (Circ.instructions c)
+
+let of_app ~n app = of_instrs ~n [ Instruction.Unitary app ]
+
+let equivalent ?(up_to_phase = true) a b =
+  Circ.num_qubits a = Circ.num_qubits b
+  &&
+  let ua = of_circuit a and ub = of_circuit b in
+  if up_to_phase then Linalg.Cmat.approx_equal_up_to_phase ua ub
+  else Linalg.Cmat.approx_equal ua ub

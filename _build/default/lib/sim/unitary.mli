@@ -1,0 +1,17 @@
+open Circuit
+
+(** Full unitary matrix of a measurement-free circuit — used to verify
+    gate decompositions (Fig 2, Fig 6, Eqn 1, Eqn 3) and as the
+    fallback of the commutation oracle. *)
+
+(** [of_circuit c] is the 2^n x 2^n matrix, little-endian qubit order.
+    @raise Invalid_argument if the circuit contains measure, reset or
+    conditioned instructions, or has more than 12 qubits. *)
+val of_circuit : Circ.t -> Linalg.Cmat.t
+
+(** Matrix of a single application embedded in [n] qubits. *)
+val of_app : n:int -> Instruction.app -> Linalg.Cmat.t
+
+(** [equivalent ?up_to_phase a b] compares two measurement-free
+    circuits' unitaries ([up_to_phase] defaults to [true]). *)
+val equivalent : ?up_to_phase:bool -> Circ.t -> Circ.t -> bool

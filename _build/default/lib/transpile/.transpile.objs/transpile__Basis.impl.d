@@ -1,0 +1,1 @@
+lib/transpile/basis.ml: Circ Circuit Complex Float Gate Instruction Linalg List Printf

@@ -1,0 +1,1 @@
+lib/transpile/coupling.ml: Array List Queue

@@ -1,0 +1,1 @@
+lib/transpile/placement.ml: Array Circ Circuit Coupling Hashtbl Instruction List Option Route

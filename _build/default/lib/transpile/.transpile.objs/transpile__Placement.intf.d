@@ -1,0 +1,1 @@
+lib/transpile/placement.mli: Circ Circuit Coupling Route

@@ -1,0 +1,1 @@
+lib/transpile/route.ml: Array Circ Circuit Coupling Gate Hashtbl Instruction List Printf

@@ -1,0 +1,1 @@
+lib/transpile/route.mli: Circ Circuit Coupling

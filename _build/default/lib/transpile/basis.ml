@@ -1,0 +1,146 @@
+open Circuit
+
+let arg (z : Complex.t) = atan2 z.im z.re
+
+(* U = e^{i.alpha} Rz(beta) Ry(gamma) Rz(delta):
+     u00 = e^{i(alpha - (beta+delta)/2)} cos(gamma/2)
+     u01 = -e^{i(alpha - (beta-delta)/2)} sin(gamma/2)
+     u10 = e^{i(alpha + (beta-delta)/2)} sin(gamma/2)
+     u11 = e^{i(alpha + (beta+delta)/2)} cos(gamma/2) *)
+let zyz_angles m =
+  if Linalg.Cmat.rows m <> 2 || Linalg.Cmat.cols m <> 2 then
+    invalid_arg "Basis.zyz_angles: not a 1-qubit matrix";
+  let u00 = Linalg.Cmat.get m 0 0
+  and u01 = Linalg.Cmat.get m 0 1
+  and u10 = Linalg.Cmat.get m 1 0
+  and u11 = Linalg.Cmat.get m 1 1 in
+  let c = Complex.norm u00 and s = Complex.norm u10 in
+  let gamma = 2. *. atan2 s c in
+  if s < 1e-9 then begin
+    (* diagonal: put everything in beta *)
+    let beta = arg u11 -. arg u00 in
+    let alpha = (arg u11 +. arg u00) /. 2. in
+    (alpha, beta, 0., 0.)
+  end
+  else if c < 1e-9 then begin
+    (* anti-diagonal: gamma = pi, delta = 0 *)
+    let beta = arg u10 -. arg (Complex.neg u01) in
+    let alpha = (arg u10 +. arg (Complex.neg u01)) /. 2. in
+    (alpha, beta, Float.pi, 0.)
+  end
+  else begin
+    let beta = arg u10 -. arg u00 in
+    let delta = arg u11 -. arg u10 in
+    let alpha = arg u00 +. ((beta +. delta) /. 2.) in
+    (alpha, beta, gamma, delta)
+  end
+
+let is_native_gate (g : Gate.t) =
+  match g with
+  | Gate.Rz _ | Gate.V | Gate.X -> true
+  | Gate.H | Gate.Y | Gate.Z | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg
+  | Gate.Vdg | Gate.Rx _ | Gate.Ry _ | Gate.Phase _ ->
+      false
+
+let nonzero a = Float.abs a > 1e-12
+
+(* In application order (first gate first):
+   Ry(gamma) ~ Rz(-pi) ; sqrtX ; Rz(pi - gamma) ; sqrtX
+   so U ~ Rz(delta - pi) ; sqrtX ; Rz(pi - gamma) ; sqrtX ; Rz(beta). *)
+let zxzxz ~beta ~gamma ~delta =
+  let rz a acc = if nonzero a then Gate.Rz a :: acc else acc in
+  if not (nonzero gamma) then rz (beta +. delta) []
+  else
+    rz (delta -. Float.pi) [ Gate.V ]
+    @ rz (Float.pi -. gamma) [ Gate.V ]
+    @ rz beta []
+
+let native_1q (g : Gate.t) =
+  if is_native_gate g then [ g ]
+  else
+    let _, beta, gamma, delta = zyz_angles (Gate.matrix g) in
+    zxzxz ~beta ~gamma ~delta
+
+(* exact ABC decomposition of controlled-U (Barenco et al. Lemma 5.1):
+   with U = e^{i.alpha} Rz(beta) Ry(gamma) Rz(delta),
+     A = Rz(beta) Ry(gamma/2)
+     B = Ry(-gamma/2) Rz(-(delta+beta)/2)
+     C = Rz((delta-beta)/2)
+   then A X B X C = U and A B C = I, so
+     CU = P(alpha)_ctl . A_t . CX . B_t . CX . C_t. *)
+let controlled_u ~control ~target (g : Gate.t) =
+  let alpha, beta, gamma, delta = zyz_angles (Gate.matrix g) in
+  let seq_c =
+    if nonzero ((delta -. beta) /. 2.) then
+      [ Gate.Rz ((delta -. beta) /. 2.) ]
+    else []
+  in
+  let seq_b =
+    (if nonzero ((delta +. beta) /. 2.) then
+       [ Gate.Rz (-.(delta +. beta) /. 2.) ]
+     else [])
+    @ if nonzero gamma then [ Gate.Ry (-.gamma /. 2.) ] else []
+  in
+  let seq_a =
+    (if nonzero gamma then [ Gate.Ry (gamma /. 2.) ] else [])
+    @ if nonzero beta then [ Gate.Rz beta ] else []
+  in
+  let on_target gates = List.map (fun g -> (g, target)) gates in
+  let phase =
+    if nonzero alpha then [ (Gate.Phase alpha, control) ] else []
+  in
+  let cx = (Gate.X, -1) in
+  (* -1 marks the CX slots *)
+  phase @ on_target seq_c @ [ cx ] @ on_target seq_b @ [ cx ]
+  @ on_target seq_a
+  |> List.concat_map (fun (g, q) ->
+         if q = -1 then
+           [ Instruction.Unitary (Instruction.app ~controls:[ control ] Gate.X target) ]
+         else
+           List.map
+             (fun g' -> Instruction.Unitary (Instruction.app g' q))
+             (native_1q g))
+
+let rewrite_app (a : Instruction.app) =
+  match a.controls with
+  | [] ->
+      List.map
+        (fun g -> Instruction.Unitary (Instruction.app g a.target))
+        (native_1q a.gate)
+  | [ ctl ] ->
+      if Gate.equal a.gate Gate.X then [ Instruction.Unitary a ]
+      else controlled_u ~control:ctl ~target:a.target a.gate
+  | _ :: _ :: _ ->
+      invalid_arg
+        (Printf.sprintf "Basis.to_native: multi-control gate %s"
+           (Gate.name a.gate))
+
+let to_native c =
+  let rewrite (i : Instruction.t) =
+    match i with
+    | Unitary a -> rewrite_app a
+    | Conditioned (cond, a) ->
+        (* a global phase inside a conditioned block is still global:
+           classical branches never interfere *)
+        List.map
+          (fun (j : Instruction.t) ->
+            match j with
+            | Unitary a' -> Instruction.Conditioned (cond, a')
+            | Conditioned _ | Measure _ | Reset _ | Barrier _ -> j)
+          (rewrite_app a)
+    | Measure _ | Reset _ | Barrier _ -> [ i ]
+  in
+  Circ.map_instructions rewrite c
+
+let is_native c =
+  List.for_all
+    (fun (i : Instruction.t) ->
+      match i with
+      | Unitary { gate; controls; _ } | Conditioned (_, { gate; controls; _ })
+        -> (
+          match (gate, controls) with
+          | (Gate.Rz _ | Gate.V | Gate.X), [] -> true
+          | Gate.X, [ _ ] -> true
+          | _ -> false)
+      | Measure _ | Reset _ | Barrier _ -> true)
+    (Circ.instructions c)

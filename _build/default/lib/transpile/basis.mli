@@ -1,0 +1,29 @@
+open Circuit
+
+(** Translation to the IBM native basis {rz, sx, x, cx} — the gate set
+    the paper's target devices execute.
+
+    Every 1-qubit unitary is rewritten with the ZXZXZ identity
+    [U ~ Rz(a) . sqrtX . Rz(b) . sqrtX . Rz(c)] (up to global phase,
+    which is harmless for plain and classically conditioned gates);
+    controlled-U gates use the ABC decomposition
+    [CU = P(alpha)_c . A . CX . B . CX . C]; the control-phase factor
+    is itself lowered to Rz, so the overall result is exact up to a
+    single global phase (harmless, including inside classically
+    conditioned blocks: classical branches never interfere).
+    Multi-control gates must be decomposed first ({!Decompose.Pass}). *)
+
+(** ZYZ Euler angles (alpha, beta, gamma, delta) with
+    [U = e^{i.alpha} Rz(beta) Ry(gamma) Rz(delta)] exactly. *)
+val zyz_angles : Linalg.Cmat.t -> float * float * float * float
+
+(** Native replacement (application order) for a plain 1-qubit gate,
+    correct up to global phase; already-native gates pass through. *)
+val native_1q : Gate.t -> Gate.t list
+
+(** [to_native c] rewrites the whole circuit into the native basis.
+    @raise Invalid_argument on gates with two or more controls. *)
+val to_native : Circ.t -> Circ.t
+
+(** True when every instruction only uses rz, sx, x and cx. *)
+val is_native : Circ.t -> bool

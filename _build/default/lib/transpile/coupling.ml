@@ -1,0 +1,79 @@
+type t = { n : int; adj : bool array array }
+
+let of_edges ~num_qubits edges =
+  if num_qubits < 1 then invalid_arg "Coupling.of_edges: empty device";
+  let adj = Array.make_matrix num_qubits num_qubits false in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || b < 0 || a >= num_qubits || b >= num_qubits then
+        invalid_arg "Coupling.of_edges: edge out of range";
+      if a = b then invalid_arg "Coupling.of_edges: self-loop";
+      adj.(a).(b) <- true;
+      adj.(b).(a) <- true)
+    edges;
+  { n = num_qubits; adj }
+
+let line n = of_edges ~num_qubits:n (List.init (n - 1) (fun k -> (k, k + 1)))
+
+let ring n =
+  if n < 3 then invalid_arg "Coupling.ring: need at least 3 qubits";
+  of_edges ~num_qubits:n
+    ((n - 1, 0) :: List.init (n - 1) (fun k -> (k, k + 1)))
+
+let grid ~rows ~cols =
+  let n = rows * cols in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let k = (r * cols) + c in
+      if c + 1 < cols then edges := (k, k + 1) :: !edges;
+      if r + 1 < rows then edges := (k, k + cols) :: !edges
+    done
+  done;
+  of_edges ~num_qubits:n !edges
+
+let complete n =
+  let edges = ref [] in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      edges := (a, b) :: !edges
+    done
+  done;
+  of_edges ~num_qubits:n !edges
+
+let num_qubits t = t.n
+let adjacent t a b = t.adj.(a).(b)
+
+let neighbours t q =
+  List.filter (fun p -> t.adj.(q).(p)) (List.init t.n (fun p -> p))
+
+(* BFS returning predecessor tree from [a] *)
+let bfs t a =
+  let pred = Array.make t.n (-1) in
+  let seen = Array.make t.n false in
+  seen.(a) <- true;
+  let queue = Queue.create () in
+  Queue.add a queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          pred.(v) <- u;
+          Queue.add v queue
+        end)
+      (neighbours t u)
+  done;
+  (seen, pred)
+
+let shortest_path t a b =
+  if a = b then [ a ]
+  else begin
+    let seen, pred = bfs t a in
+    if not seen.(b) then raise Not_found;
+    let rec walk acc v = if v = a then a :: acc else walk (v :: acc) pred.(v) in
+    walk [] b
+  end
+
+let distance t a b = List.length (shortest_path t a b) - 1

@@ -1,0 +1,33 @@
+(** Device coupling maps: which physical qubit pairs support 2-qubit
+    gates.  Traditional n-qubit circuits must be routed onto such a
+    topology (see {!Route}); a 2-qubit dynamic circuit only ever needs
+    one coupled pair — the scalability argument behind DQC. *)
+
+type t
+
+(** [of_edges ~num_qubits edges] builds an undirected coupling map.
+    @raise Invalid_argument on out-of-range or self-loop edges. *)
+val of_edges : num_qubits:int -> (int * int) list -> t
+
+(** Linear chain 0-1-2-...-(n-1). *)
+val line : int -> t
+
+(** Cycle of [n] qubits (n >= 3). *)
+val ring : int -> t
+
+(** Rectangular grid, row-major indexing. *)
+val grid : rows:int -> cols:int -> t
+
+(** All-to-all connectivity. *)
+val complete : int -> t
+
+val num_qubits : t -> int
+val adjacent : t -> int -> int -> bool
+val neighbours : t -> int -> int list
+
+(** Hop distance (BFS).  @raise Not_found when disconnected. *)
+val distance : t -> int -> int -> int
+
+(** Vertices of a shortest path from [a] to [b], inclusive.
+    @raise Not_found when disconnected. *)
+val shortest_path : t -> int -> int -> int list

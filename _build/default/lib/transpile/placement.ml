@@ -1,0 +1,88 @@
+open Circuit
+
+let interaction_weights c =
+  let weights = Hashtbl.create 16 in
+  let bump a b =
+    let key = (min a b, max a b) in
+    let prev = Option.value ~default:0 (Hashtbl.find_opt weights key) in
+    Hashtbl.replace weights key (prev + 1)
+  in
+  List.iter
+    (fun (i : Instruction.t) ->
+      match i with
+      | Unitary { controls; target; _ } | Conditioned (_, { controls; target; _ })
+        ->
+          List.iter (fun ctl -> bump ctl target) controls
+      | Measure _ | Reset _ | Barrier _ -> ())
+    (Circ.instructions c);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) weights []
+  |> List.sort compare
+
+let greedy ~coupling c =
+  let n_logical = Circ.num_qubits c in
+  let n_phys = Coupling.num_qubits coupling in
+  if n_phys < n_logical then
+    invalid_arg "Placement.greedy: device too small";
+  let weights = interaction_weights c in
+  let weight a b =
+    Option.value ~default:0
+      (List.assoc_opt (min a b, max a b) weights)
+  in
+  let degree q =
+    List.fold_left
+      (fun acc ((a, b), w) -> if a = q || b = q then acc + w else acc)
+      0 weights
+  in
+  let order =
+    List.sort
+      (fun a b -> compare (degree b, a) (degree a, b))
+      (List.init n_logical (fun q -> q))
+  in
+  let phys_of_logical = Array.make n_logical (-1) in
+  let taken = Array.make n_phys false in
+  (* closeness of a physical qubit: total distance to the others
+     (lower = more central); disconnected pairs count as n_phys hops *)
+  let closeness p =
+    List.fold_left
+      (fun acc q ->
+        if q = p then acc
+        else
+          acc + (try Coupling.distance coupling p q with Not_found -> n_phys))
+      0
+      (List.init n_phys (fun q -> q))
+  in
+  let place logical phys =
+    phys_of_logical.(logical) <- phys;
+    taken.(phys) <- true
+  in
+  List.iter
+    (fun logical ->
+      let partners =
+        List.filter_map
+          (fun other ->
+            let w = weight logical other in
+            if w > 0 && phys_of_logical.(other) >= 0 then
+              Some (phys_of_logical.(other), w)
+            else None)
+          (List.init n_logical (fun q -> q))
+      in
+      let cost p =
+        if partners = [] then closeness p
+        else
+          List.fold_left
+            (fun acc (pp, w) ->
+              acc
+              + w * (try Coupling.distance coupling p pp with Not_found -> n_phys))
+            0 partners
+      in
+      let best = ref (-1) in
+      for p = 0 to n_phys - 1 do
+        if not taken.(p) then
+          if !best < 0 || cost p < cost !best then best := p
+      done;
+      place logical !best)
+    order;
+  phys_of_logical
+
+let route_with_placement ~coupling c =
+  Route.run ~initial_layout:(greedy ~coupling c) ~coupling c

@@ -1,0 +1,22 @@
+open Circuit
+
+(** Initial-layout selection for {!Route}.
+
+    The router defaults to the identity layout; a placement that puts
+    strongly interacting logical qubits on adjacent physical qubits
+    cuts the SWAP bill — e.g. BV's answer qubit, which talks to every
+    data qubit, belongs at the centre of a line, not its end. *)
+
+(** [interaction_weights c] counts 2-qubit interactions per logical
+    pair (symmetric, deduplicated). *)
+val interaction_weights : Circ.t -> ((int * int) * int) list
+
+(** [greedy ~coupling c] builds a layout: logical qubits in decreasing
+    interaction-degree order, each placed on the free physical qubit
+    minimizing the weighted distance to already-placed partners.
+    Returns [phys_of_logical].
+    @raise Invalid_argument when the device is too small. *)
+val greedy : coupling:Coupling.t -> Circ.t -> int array
+
+(** Convenience: route with the greedy placement. *)
+val route_with_placement : coupling:Coupling.t -> Circ.t -> Route.result

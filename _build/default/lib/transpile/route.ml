@@ -1,0 +1,123 @@
+open Circuit
+
+exception Unroutable of string
+
+type result = {
+  circuit : Circ.t;
+  phys_of_logical : int array;
+  swaps_inserted : int;
+  cx_overhead : int;
+}
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Unroutable s)) fmt
+
+let run ?initial_layout ~coupling c =
+  let n_logical = Circ.num_qubits c in
+  let n_phys = Coupling.num_qubits coupling in
+  if n_phys < n_logical then
+    fail "device has %d qubits, circuit needs %d" n_phys n_logical;
+  let phys_of_logical =
+    match initial_layout with
+    | None -> Array.init n_logical (fun q -> q)
+    | Some layout ->
+        if Array.length layout <> n_logical then
+          fail "initial layout covers %d qubits, circuit has %d"
+            (Array.length layout) n_logical;
+        let seen = Hashtbl.create 8 in
+        Array.iter
+          (fun p ->
+            if p < 0 || p >= n_phys then fail "layout qubit %d off-device" p;
+            if Hashtbl.mem seen p then fail "layout repeats physical qubit %d" p;
+            Hashtbl.replace seen p ())
+          layout;
+        Array.copy layout
+  in
+  let logical_of_phys = Array.make n_phys (-1) in
+  Array.iteri (fun l p -> logical_of_phys.(p) <- l) phys_of_logical;
+  let out = ref [] in
+  let swaps = ref 0 in
+  let emit i = out := i :: !out in
+  let cx a b = Instruction.Unitary (Instruction.app ~controls:[ a ] Gate.X b) in
+  let swap p q =
+    emit (cx p q);
+    emit (cx q p);
+    emit (cx p q);
+    incr swaps;
+    let lp = logical_of_phys.(p) and lq = logical_of_phys.(q) in
+    logical_of_phys.(p) <- lq;
+    logical_of_phys.(q) <- lp;
+    if lq >= 0 then phys_of_logical.(lq) <- p;
+    if lp >= 0 then phys_of_logical.(lp) <- q
+  in
+  (* bring the physical homes of logical a and b adjacent by walking a
+     along a shortest path towards b *)
+  let make_adjacent la lb =
+    let rec step () =
+      let pa = phys_of_logical.(la) and pb = phys_of_logical.(lb) in
+      if not (Coupling.adjacent coupling pa pb) then begin
+        match Coupling.shortest_path coupling pa pb with
+        | _ :: next :: _ ->
+            swap pa next;
+            step ()
+        | _ -> fail "qubits %d and %d are disconnected on the device" pa pb
+      end
+    in
+    (try step ()
+     with Not_found ->
+       fail "qubits %d and %d are disconnected on the device"
+         phys_of_logical.(la) phys_of_logical.(lb))
+  in
+  let route_instr (i : Instruction.t) =
+    match i with
+    | Unitary { controls = []; gate; target } ->
+        emit (Instruction.Unitary (Instruction.app gate phys_of_logical.(target)))
+    | Unitary { controls = [ ctl ]; gate; target } ->
+        make_adjacent ctl target;
+        emit
+          (Instruction.Unitary
+             (Instruction.app
+                ~controls:[ phys_of_logical.(ctl) ]
+                gate
+                phys_of_logical.(target)))
+    | Unitary _ ->
+        fail "multi-control gate %s: decompose before routing"
+          (Instruction.to_string i)
+    | Conditioned (cond, { controls = []; gate; target }) ->
+        emit
+          (Instruction.Conditioned
+             (cond, Instruction.app gate phys_of_logical.(target)))
+    | Conditioned (cond, { controls = [ ctl ]; gate; target }) ->
+        make_adjacent ctl target;
+        emit
+          (Instruction.Conditioned
+             ( cond,
+               Instruction.app
+                 ~controls:[ phys_of_logical.(ctl) ]
+                 gate
+                 phys_of_logical.(target) ))
+    | Conditioned _ ->
+        fail "multi-control conditioned gate %s: decompose before routing"
+          (Instruction.to_string i)
+    | Measure { qubit; bit } ->
+        emit (Instruction.Measure { qubit = phys_of_logical.(qubit); bit })
+    | Reset q -> emit (Instruction.Reset phys_of_logical.(q))
+    | Barrier qs ->
+        emit (Instruction.Barrier (List.map (fun q -> phys_of_logical.(q)) qs))
+  in
+  List.iter route_instr (Circ.instructions c);
+  (* physical qubits inherit the role of the logical qubit that ends
+     there; spare device qubits become ancillas *)
+  let roles =
+    Array.init n_phys (fun p ->
+        let l = logical_of_phys.(p) in
+        if l >= 0 then Circ.role c l else Circ.Ancilla)
+  in
+  {
+    circuit = Circ.create ~roles ~num_bits:(Circ.num_bits c) (List.rev !out);
+    phys_of_logical = Array.copy phys_of_logical;
+    swaps_inserted = !swaps;
+    cx_overhead = 3 * !swaps;
+  }
+
+let measures_for r ~logical =
+  List.map (fun (q, bit) -> (r.phys_of_logical.(q), bit)) logical

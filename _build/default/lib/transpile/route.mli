@@ -1,0 +1,32 @@
+open Circuit
+
+(** SWAP-insertion routing onto a coupling map.
+
+    A greedy router: logical qubits start at the identity layout; when
+    a 2-qubit gate spans non-adjacent physical qubits, the control is
+    swapped along a shortest path until adjacent (each SWAP emitted as
+    3 CX), permanently updating the layout.
+
+    Input circuits must already be decomposed to gates with at most
+    one quantum control ({!Decompose.Pass}); measurement, reset,
+    conditioned 1-qubit gates and barriers route trivially. *)
+
+exception Unroutable of string
+
+type result = {
+  circuit : Circ.t;  (** over physical qubits *)
+  phys_of_logical : int array;  (** final layout *)
+  swaps_inserted : int;
+  cx_overhead : int;  (** extra CX gates (= 3 x swaps) *)
+}
+
+(** [run ?initial_layout ~coupling c].  [initial_layout] maps logical
+    qubits to distinct physical qubits (default: identity); see
+    {!Placement} for a heuristic chooser.
+    @raise Unroutable on multi-control gates, on a device smaller than
+    the circuit, on disconnected targets, or on an invalid layout. *)
+val run : ?initial_layout:int array -> coupling:Coupling.t -> Circ.t -> result
+
+(** [measures_for result ~logical] maps per-logical-qubit measurement
+    assignments through the final layout. *)
+val measures_for : result -> logical:(int * int) list -> (int * int) list

@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Algorithms Array Circ Circuit Decompose Dqc Fun Gate Instruction List Metrics Option Printf QCheck2 QCheck_alcotest Sim String

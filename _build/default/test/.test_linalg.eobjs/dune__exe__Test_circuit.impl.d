@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Circ Circuit Draw Float Gate Instruction Linalg List Metrics QCheck2 QCheck_alcotest Qasm Serial String

@@ -1,0 +1,1 @@
+test/test_decompose.ml: Alcotest Array Circ Circuit Complex Decompose Float Gate Instruction Linalg List Metrics QCheck2 QCheck_alcotest Sim

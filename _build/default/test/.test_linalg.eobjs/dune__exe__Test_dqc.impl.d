@@ -1,0 +1,1 @@
+test/test_dqc.ml: Alcotest Algorithms Array Circ Circuit Decompose Dqc Gate Instruction List Metrics Option Printf QCheck2 QCheck_alcotest Sim String Transpile

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Circuit Cmat Complex Complex_ext Cvec Float Linalg List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Algorithms Array Circ Circuit Complex Dqc Gate Instruction Linalg List Option QCheck2 QCheck_alcotest Random Sim String

@@ -1,0 +1,1 @@
+test/test_transpile.ml: Alcotest Algorithms Array Circ Circuit Dqc Gate Instruction Linalg List Metrics Option QCheck2 QCheck_alcotest Sim Transpile

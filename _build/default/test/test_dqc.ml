@@ -1,0 +1,790 @@
+open Circuit
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let u ?controls g t = Instruction.Unitary (Instruction.app ?controls g t)
+let app ?controls g t = Instruction.app ?controls g t
+
+(* ------------------------------------------------------------------ *)
+(* Commute                                                            *)
+
+let test_commute_disjoint () =
+  check_bool "disjoint" true
+    (Dqc.Commute.unitary_apps (app Gate.H 0) (app Gate.X 1))
+
+let test_commute_shared_control () =
+  check_bool "control-control" true
+    (Dqc.Commute.unitary_apps
+       (app ~controls:[ 0 ] Gate.X 1)
+       (app ~controls:[ 0 ] Gate.V 2))
+
+let test_commute_negative () =
+  check_bool "H vs its control" false
+    (Dqc.Commute.unitary_apps (app Gate.H 0) (app ~controls:[ 0 ] Gate.X 1));
+  check_bool "X vs Z same qubit" false
+    (Dqc.Commute.unitary_apps (app Gate.X 0) (app Gate.Z 0))
+
+let test_commute_same_target_compatible () =
+  (* CX and CV sharing a target commute because X and V commute *)
+  check_bool "cx/cv shared target" true
+    (Dqc.Commute.unitary_apps
+       (app ~controls:[ 0 ] Gate.X 2)
+       (app ~controls:[ 1 ] Gate.V 2));
+  check_bool "cx/cz shared target" false
+    (Dqc.Commute.unitary_apps
+       (app ~controls:[ 0 ] Gate.X 2)
+       (app ~controls:[ 1 ] Gate.Z 2))
+
+let test_commute_diagonal_fast_path () =
+  check_bool "t vs rz same qubit" true
+    (Dqc.Commute.unitary_apps (app Gate.T 0) (app (Gate.Rz 0.3) 0))
+
+let test_commute_conditioned_pairs () =
+  let cnd b = Instruction.cond_bit b true in
+  let cd b g q = Instruction.Conditioned (cnd b, app g q) in
+  (* same bit, commuting diagonal apps: reorderable *)
+  check_bool "same bit diagonal apps" true
+    (Dqc.Commute.instrs (cd 0 Gate.T 0) (cd 0 (Gate.Rz 0.4) 0));
+  (* same qubit, non-commuting apps: not reorderable *)
+  check_bool "non-commuting apps" false
+    (Dqc.Commute.instrs (cd 0 Gate.X 0) (cd 1 Gate.Z 0));
+  (* conditioned vs plain unitary on disjoint qubits *)
+  check_bool "conditioned vs unitary disjoint" true
+    (Dqc.Commute.instrs (cd 0 Gate.X 0) (u Gate.H 1))
+
+let test_commute_instrs_measure () =
+  let m = Instruction.Measure { qubit = 0; bit = 0 } in
+  check_bool "measure vs disjoint gate" true (Dqc.Commute.instrs m (u Gate.X 1));
+  check_bool "measure vs same-qubit gate" false
+    (Dqc.Commute.instrs m (u Gate.X 0));
+  let cnd = Instruction.Conditioned (Instruction.cond_bit 0 true, app Gate.X 1) in
+  check_bool "measure vs conditioned on its bit" false
+    (Dqc.Commute.instrs m cnd);
+  check_bool "reset vs disjoint" true
+    (Dqc.Commute.instrs (Instruction.Reset 0) (u Gate.X 1))
+
+(* ------------------------------------------------------------------ *)
+(* Interaction                                                        *)
+
+let circ ~roles instrs = Circ.create ~roles ~num_bits:0 instrs
+let dda = [| Circ.Data; Circ.Data; Circ.Answer |]
+
+let test_edges () =
+  let c = circ ~roles:dda [ u ~controls:[ 0 ] Gate.X 1; u ~controls:[ 0 ] Gate.X 2 ] in
+  Alcotest.(check (list (pair int int))) "one data-data edge" [ (0, 1) ]
+    (Dqc.Interaction.edges c)
+
+let test_order_chain () =
+  let roles = [| Circ.Data; Circ.Data; Circ.Data; Circ.Answer |] in
+  let c =
+    circ ~roles [ u ~controls:[ 2 ] Gate.X 1; u ~controls:[ 1 ] Gate.X 0 ]
+  in
+  Alcotest.(check (list int)) "topological" [ 2; 1; 0 ]
+    (Dqc.Interaction.iteration_order c)
+
+let test_order_cycle () =
+  let c =
+    circ ~roles:dda [ u ~controls:[ 0 ] Gate.X 1; u ~controls:[ 1 ] Gate.X 0 ]
+  in
+  check_bool "cyclic raises" true
+    (try
+       ignore (Dqc.Interaction.iteration_order c);
+       false
+     with Dqc.Interaction.Cyclic _ -> true)
+
+let test_order_ancilla_last () =
+  let roles = [| Circ.Data; Circ.Data; Circ.Answer; Circ.Ancilla |] in
+  let c =
+    circ ~roles [ u ~controls:[ 0 ] Gate.X 3; u ~controls:[ 1 ] Gate.X 3 ]
+  in
+  Alcotest.(check (list int)) "ancilla after controls" [ 0; 1; 3 ]
+    (Dqc.Interaction.iteration_order c)
+
+(* ------------------------------------------------------------------ *)
+(* Transform                                                          *)
+
+let bv s = Algorithms.Bv.circuit s
+
+let test_transform_bv_structure () =
+  let r = Dqc.Transform.transform (bv "101") in
+  check_int "qubits" 2 (Circ.num_qubits r.circuit);
+  check_int "bits" 3 (Circ.num_bits r.circuit);
+  let s = Metrics.stats r.circuit in
+  check_int "one measure per data qubit" 3 s.Metrics.measure;
+  check_int "reset between iterations" 2 s.Metrics.reset;
+  check_int "no conditioned gates in BV" 0 (Dqc.Transform.conditioned_count r);
+  Alcotest.(check (list int)) "iteration order" [ 0; 1; 2 ] r.iteration_order;
+  Alcotest.(check (list (pair int int))) "data bits" [ (0, 0); (1, 1); (2, 2) ]
+    r.data_bit;
+  Alcotest.(check (list (pair int int))) "answer phys" [ (3, 1) ] r.answer_phys;
+  check_int "no violations" 0 (List.length r.violations)
+
+let test_transform_bv_equivalence_all () =
+  List.iter
+    (fun s ->
+      let c = bv s in
+      let r = Dqc.Transform.transform c in
+      check_bool ("BV_" ^ s) true (Dqc.Equivalence.equivalent c r))
+    Algorithms.Bv.paper_benchmarks
+
+let test_transform_sound_bv () =
+  let c = bv "1101" in
+  let r = Dqc.Transform.transform ~mode:`Sound c in
+  check_bool "sound mode succeeds on BV" true (Dqc.Equivalence.equivalent c r)
+
+let test_transform_hidden_string_recovered () =
+  let s = "1011" in
+  let r = Dqc.Transform.transform (bv s) in
+  let d = Sim.Exact.register_distribution r.circuit in
+  let expected = Algorithms.Bv.expected_outcome s in
+  Alcotest.(check (float 1e-9)) "BV deterministic" 1. (Sim.Dist.prob d expected)
+
+let test_transform_rejects_multi_control () =
+  let roles = [| Circ.Data; Circ.Data; Circ.Answer |] in
+  let c = circ ~roles [ u ~controls:[ 0; 1 ] Gate.X 2 ] in
+  check_bool "toffoli rejected" true
+    (try
+       ignore (Dqc.Transform.transform c);
+       false
+     with Dqc.Transform.Not_transformable _ -> true)
+
+let test_transform_rejects_measured_input () =
+  let c =
+    Circ.create ~roles:[| Circ.Data; Circ.Answer |] ~num_bits:1
+      [ Instruction.Measure { qubit = 0; bit = 0 } ]
+  in
+  check_bool "measurement rejected" true
+    (try
+       ignore (Dqc.Transform.transform c);
+       false
+     with Dqc.Transform.Not_transformable _ -> true)
+
+let test_transform_no_data_qubits () =
+  let c = Circ.create ~roles:[| Circ.Answer |] ~num_bits:0 [ u Gate.H 0 ] in
+  check_bool "no data qubits" true
+    (try
+       ignore (Dqc.Transform.transform c);
+       false
+     with Dqc.Transform.Not_transformable _ -> true)
+
+let test_transform_dyn1_has_violations () =
+  let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND") in
+  let dj = Algorithms.Dj.circuit o in
+  let r = Dqc.Toffoli_scheme.transform Dqc.Toffoli_scheme.Dynamic_1 dj in
+  check_bool "violations recorded" true (List.length r.violations > 0);
+  let v = List.hd r.violations in
+  check_bool "jumped over non-commuting gates" true
+    (List.length v.Dqc.Transform.jumped_over > 0)
+
+let test_transform_sound_rejects_dyn1 () =
+  let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND") in
+  let dj = Algorithms.Dj.circuit o in
+  check_bool "sound mode refuses unsound schedule" true
+    (try
+       ignore (Dqc.Toffoli_scheme.transform ~mode:`Sound Dqc.Toffoli_scheme.Dynamic_1 dj);
+       false
+     with Dqc.Transform.Not_transformable _ -> true)
+
+let test_transform_answer_answer_gate () =
+  (* gates between two answer qubits stay quantum *)
+  let roles = [| Circ.Data; Circ.Answer; Circ.Answer |] in
+  let c =
+    circ ~roles
+      [ u Gate.H 0; u ~controls:[ 0 ] Gate.X 1; u ~controls:[ 1 ] Gate.X 2 ]
+  in
+  let r = Dqc.Transform.transform c in
+  check_bool "equivalent" true (Dqc.Equivalence.equivalent c r);
+  check_int "three qubits out" 3 (Circ.num_qubits r.circuit)
+
+let test_transform_conditioned_gate_value () =
+  (* a data-data CX becomes a conditioned X on the later iteration *)
+  let roles = [| Circ.Data; Circ.Data; Circ.Answer |] in
+  let c =
+    circ ~roles
+      [ u Gate.X 0; u ~controls:[ 0 ] Gate.X 1; u ~controls:[ 1 ] Gate.X 2 ]
+  in
+  let r = Dqc.Transform.transform c in
+  check_int "one conditioned gate" 1 (Dqc.Transform.conditioned_count r);
+  check_bool "equivalent" true (Dqc.Equivalence.equivalent c r);
+  (* X(q0) flips q0 to 1, so the CX fires, q1 = 1, answer = 1 *)
+  let d = Dqc.Equivalence.dynamic_distribution r in
+  Alcotest.(check (float 1e-9)) "registers 111" 1. (Sim.Dist.prob d 0b111)
+
+(* ------------------------------------------------------------------ *)
+(* Direct MCT (future work)                                           *)
+
+let test_direct_mct_structure () =
+  let dj = Algorithms.Dj.circuit (Algorithms.Mct_bench.and_n 3) in
+  let r = Dqc.Toffoli_scheme.transform Dqc.Toffoli_scheme.Direct_mct dj in
+  check_int "two qubits" 2 (Circ.num_qubits r.circuit);
+  check_int "three iterations" 3 (List.length r.iteration_order);
+  check_int "single conditioned gate" 1 (Dqc.Transform.conditioned_count r);
+  (* the C^3X lands in the last control's iteration: two measured
+     controls become a 2-bit conjunction, the live one stays quantum *)
+  let conj_width, quantum_controls =
+    List.fold_left
+      (fun (w, qc) (i : Instruction.t) ->
+        match i with
+        | Conditioned (c, a) ->
+            (max w (List.length c.Instruction.bits),
+             max qc (List.length a.Instruction.controls))
+        | Unitary _ | Measure _ | Reset _ | Barrier _ -> (w, qc))
+      (0, 0)
+      (Circ.instructions r.circuit)
+  in
+  check_int "conjunction over 2 bits" 2 conj_width;
+  check_int "one live quantum control" 1 quantum_controls
+
+let test_direct_mct_requires_flag () =
+  let dj = Algorithms.Dj.circuit (Algorithms.Mct_bench.and_n 3) in
+  check_bool "rejected without ~mct" true
+    (try
+       ignore (Dqc.Transform.transform dj);
+       false
+     with Dqc.Transform.Not_transformable _ -> true);
+  (* and accepted with the flag *)
+  let r = Dqc.Transform.transform ~mct:true dj in
+  check_int "accepted with ~mct" 2 (Circ.num_qubits r.circuit)
+
+let test_mct_reduction_routes_transform () =
+  (* V-chain reduction shaped for the DQC lets both paper schemes
+     handle C^4X oracles *)
+  let dj = Algorithms.Dj.circuit (Algorithms.Mct_bench.and_n 4) in
+  List.iter
+    (fun scheme ->
+      let r = Dqc.Toffoli_scheme.transform scheme dj in
+      check_int
+        (Dqc.Toffoli_scheme.to_string scheme ^ " two qubits")
+        2
+        (Circ.num_qubits r.circuit))
+    [ Dqc.Toffoli_scheme.Dynamic_1; Dqc.Toffoli_scheme.Dynamic_2 ]
+
+let test_direct_mct_basis_state_exact () =
+  (* without the DJ Hadamards the data qubits stay in basis states, the
+     unsound-reorder hazard disappears, and the direct MCT realization
+     is exactly equivalent *)
+  let roles = Array.append (Array.make 3 Circ.Data) [| Circ.Answer |] in
+  let c =
+    Circ.create ~roles ~num_bits:0
+      [
+        u Gate.X 0;
+        u Gate.X 1;
+        u Gate.X 2;
+        u ~controls:[ 0; 1; 2 ] Gate.X 3;
+      ]
+  in
+  let r = Dqc.Transform.transform ~mct:true c in
+  check_bool "exact on basis inputs" true (Dqc.Equivalence.equivalent c r);
+  let d = Dqc.Equivalence.dynamic_distribution ~relative_to:c r in
+  Alcotest.(check (float 1e-9)) "fires: register 1111" 1.
+    (Sim.Dist.prob d 0b1111)
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence                                                        *)
+
+let test_equivalence_detects_difference () =
+  let roles = [| Circ.Data; Circ.Answer |] in
+  let c = circ ~roles [ u Gate.X 0; u ~controls:[ 0 ] Gate.X 1 ] in
+  let r = Dqc.Transform.transform c in
+  check_bool "equal" true (Dqc.Equivalence.equivalent c r);
+  (* tamper with the dynamic circuit: flip the answer *)
+  let tampered =
+    { r with Dqc.Transform.circuit = Circ.append r.circuit [ u Gate.X 1 ] }
+  in
+  check_bool "tamper detected" false (Dqc.Equivalence.equivalent c tampered);
+  Alcotest.(check (float 1e-9)) "tv = 1" 1. (Dqc.Equivalence.tv_distance c tampered)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline                                                           *)
+
+let test_pipeline_default () =
+  let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "OR") in
+  let out = Dqc.Pipeline.compile (Algorithms.Dj.circuit o) in
+  check_int "qubits" 2 out.Dqc.Pipeline.qubits;
+  (match out.Dqc.Pipeline.tv with
+  | Some tv -> check_bool "dyn2 exact" true (tv < 1e-9)
+  | None -> Alcotest.fail "expected tv");
+  check_bool "gates counted" true (out.Dqc.Pipeline.gates > 20);
+  check_bool "renders" true
+    (String.length (Dqc.Pipeline.to_string out) > 40)
+
+let test_pipeline_sound_multislot_native () =
+  let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND") in
+  let options =
+    {
+      Dqc.Pipeline.default with
+      Dqc.Pipeline.scheme = Dqc.Toffoli_scheme.Dynamic_1;
+      mode = `Sound;
+      slots = 2;
+      native = true;
+      peephole = true;
+    }
+  in
+  let out = Dqc.Pipeline.compile ~options (Algorithms.Dj.circuit o) in
+  check_int "three qubits" 3 out.Dqc.Pipeline.qubits;
+  check_int "no violations" 0 out.Dqc.Pipeline.violations;
+  (match out.Dqc.Pipeline.tv with
+  | Some tv -> check_bool "exact" true (tv < 1e-9)
+  | None -> Alcotest.fail "expected a tv check");
+  check_bool "native basis" true
+    (Transpile.Basis.is_native out.Dqc.Pipeline.circuit)
+
+let test_pipeline_direct_mct () =
+  let dj = Algorithms.Dj.circuit (Algorithms.Mct_bench.and_n 3) in
+  let options =
+    { Dqc.Pipeline.default with Dqc.Pipeline.scheme = Dqc.Toffoli_scheme.Direct_mct }
+  in
+  let out = Dqc.Pipeline.compile ~options dj in
+  check_int "two qubits" 2 out.Dqc.Pipeline.qubits
+
+(* ------------------------------------------------------------------ *)
+(* Multi_transform                                                    *)
+
+let test_multi_slots1_matches_transform () =
+  List.iter
+    (fun s ->
+      let c = bv s in
+      let r = Dqc.Transform.transform c in
+      let m = Dqc.Multi_transform.transform ~slots:1 c in
+      check_bool ("BV_" ^ s) true (Circ.equal r.circuit m.circuit))
+    [ "1"; "101"; "1101" ]
+
+let test_multi_slots_bv_exact_everywhere () =
+  let c = bv "1011" in
+  List.iter
+    (fun k ->
+      let m = Dqc.Multi_transform.transform ~mode:`Sound ~slots:k c in
+      check_int "qubits" (k + 1) (Circ.num_qubits m.circuit);
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "tv at k=%d" k)
+        0.
+        (Dqc.Multi_transform.tv_distance c m))
+    [ 1; 2; 3; 4 ]
+
+let test_multi_one_extra_slot_fixes_dyn1 () =
+  (* the E11 headline: dynamic-1 is sound-certified with 2 slots *)
+  let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND") in
+  let prepared =
+    Dqc.Toffoli_scheme.prepare Dqc.Toffoli_scheme.Dynamic_1
+      (Algorithms.Dj.circuit o)
+  in
+  check_bool "min slots = 2" true
+    (Dqc.Multi_transform.min_exact_slots prepared = Some 2);
+  let m = Dqc.Multi_transform.transform ~mode:`Sound ~slots:2 prepared in
+  check_int "no violations" 0 (List.length m.violations);
+  Alcotest.(check (float 1e-9)) "exact" 0.
+    (Dqc.Multi_transform.tv_distance prepared m);
+  (* the data-data CX stayed quantum: no conditioned gates at all *)
+  let conditioned =
+    List.length
+      (List.filter
+         (fun (i : Instruction.t) ->
+           match i with
+           | Conditioned _ -> true
+           | Unitary _ | Measure _ | Reset _ | Barrier _ -> false)
+         (Circ.instructions m.circuit))
+  in
+  check_int "all-quantum schedule" 0 conditioned
+
+let test_multi_full_width_is_traditional_shape () =
+  let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND") in
+  let prepared =
+    Dqc.Toffoli_scheme.prepare Dqc.Toffoli_scheme.Dynamic_1
+      (Algorithms.Dj.circuit o)
+  in
+  let m = Dqc.Multi_transform.transform ~mode:`Sound ~slots:99 prepared in
+  (* slots clamp to the work-qubit count; no resets remain *)
+  check_int "slots clamped" 2 m.slots;
+  Alcotest.(check (float 1e-9)) "exact" 0.
+    (Dqc.Multi_transform.tv_distance prepared m)
+
+let test_multi_cyclic_needs_width () =
+  let a, _ = Algorithms.Arithmetic.adder 2 in
+  let prepared = Decompose.Pass.substitute_toffoli `Barenco a in
+  (* slots = 1 propagates the cyclic failure *)
+  check_bool "k=1 cyclic" true
+    (try
+       ignore (Dqc.Multi_transform.transform ~slots:1 prepared);
+       false
+     with Dqc.Interaction.Cyclic _ -> true);
+  (* full width schedules it exactly *)
+  match Dqc.Multi_transform.min_exact_slots prepared with
+  | Some k ->
+      check_bool "needs most of the register" true (k >= 4);
+      let m = Dqc.Multi_transform.transform ~mode:`Sound ~slots:k prepared in
+      Alcotest.(check (float 1e-9)) "exact" 0.
+        (Dqc.Multi_transform.tv_distance prepared m)
+  | None -> Alcotest.fail "expected a certified width"
+
+let test_multi_direct_mct_width () =
+  (* the sound schedule of a C^nX needs every control co-live *)
+  let dj = Algorithms.Dj.circuit (Algorithms.Mct_bench.and_n 3) in
+  check_bool "all controls live" true
+    (Dqc.Multi_transform.min_exact_slots ~mct:true dj = Some 3);
+  let m = Dqc.Multi_transform.transform ~mode:`Sound ~mct:true ~slots:3 dj in
+  Alcotest.(check (float 1e-9)) "exact" 0.
+    (Dqc.Multi_transform.tv_distance dj m)
+
+let test_multi_invalid_slots () =
+  check_bool "slots 0" true
+    (try
+       ignore (Dqc.Multi_transform.transform ~slots:0 (bv "11"));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Order override / Order_search                                      *)
+
+let test_order_override () =
+  let c = bv "101" in
+  let r = Dqc.Transform.transform ~order:[ 2; 0; 1 ] c in
+  Alcotest.(check (list int)) "order honoured" [ 2; 0; 1 ] r.iteration_order;
+  check_bool "still exact" true (Dqc.Equivalence.equivalent c r);
+  (* non-permutation and edge-violating orders are rejected *)
+  check_bool "bad order rejected" true
+    (try
+       ignore (Dqc.Transform.transform ~order:[ 0; 1 ] c);
+       false
+     with Dqc.Transform.Not_transformable _ -> true);
+  let roles = [| Circ.Data; Circ.Data; Circ.Answer |] in
+  let chained =
+    circ ~roles [ u ~controls:[ 0 ] Gate.X 1; u ~controls:[ 1 ] Gate.X 2 ]
+  in
+  check_bool "edge-violating order rejected" true
+    (try
+       ignore (Dqc.Transform.transform ~order:[ 1; 0 ] chained);
+       false
+     with Dqc.Transform.Not_transformable _ -> true)
+
+let test_order_search_bv () =
+  let cands = Dqc.Order_search.search (bv "101") in
+  check_int "3! orders" 6 (List.length cands);
+  List.iter
+    (fun (cand : Dqc.Order_search.candidate) ->
+      check_bool "all exact" true (cand.tv < 1e-9))
+    cands
+
+let test_order_search_constrained () =
+  let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND") in
+  let p1 =
+    Dqc.Toffoli_scheme.prepare Dqc.Toffoli_scheme.Dynamic_1
+      (Algorithms.Dj.circuit o)
+  in
+  (* the CX sandwich forces q0 before q1: exactly one legal order *)
+  check_int "single legal order" 1 (List.length (Dqc.Order_search.search p1))
+
+let test_order_invariance_of_deviation () =
+  (* the Fig 7 deviation cannot be scheduled away: every legal order
+     of CARRY/dynamic-2 has the same TV distance *)
+  let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "CARRY") in
+  let p2 =
+    Dqc.Toffoli_scheme.prepare Dqc.Toffoli_scheme.Dynamic_2
+      (Algorithms.Dj.circuit o)
+  in
+  let cands = Dqc.Order_search.search p2 in
+  check_bool "several orders" true (List.length cands > 1);
+  let tvs = List.map (fun (c : Dqc.Order_search.candidate) -> c.tv) cands in
+  List.iter
+    (fun tv ->
+      check_bool "order-invariant" true (abs_float (tv -. List.hd tvs) < 1e-9))
+    tvs
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                           *)
+
+let test_analysis_verdicts () =
+  let is = function
+    | Dqc.Analysis.Exact_certified -> "certified"
+    | Dqc.Analysis.Exact_observed -> "observed"
+    | Dqc.Analysis.Approximate _ -> "approximate"
+    | Dqc.Analysis.Untransformable _ -> "untransformable"
+  in
+  let verdict c = is (Dqc.Analysis.analyze c).Dqc.Analysis.verdict in
+  Alcotest.(check string) "BV certified" "certified"
+    (verdict (Algorithms.Bv.circuit "101"));
+  let dj = Algorithms.Dj.circuit (Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND")) in
+  Alcotest.(check string) "dyn1 approximate" "approximate"
+    (verdict (Dqc.Toffoli_scheme.prepare Dqc.Toffoli_scheme.Dynamic_1 dj));
+  Alcotest.(check string) "dyn2 observed" "observed"
+    (verdict (Dqc.Toffoli_scheme.prepare Dqc.Toffoli_scheme.Dynamic_2 dj));
+  let adder, _ = Algorithms.Arithmetic.adder 2 in
+  Alcotest.(check string) "adder untransformable" "untransformable"
+    (verdict (Decompose.Pass.substitute_toffoli `Barenco adder))
+
+let test_analysis_report_fields () =
+  let r = Dqc.Analysis.analyze (Algorithms.Bv.circuit "1101") in
+  check_int "data" 4 r.Dqc.Analysis.data_qubits;
+  check_int "answers" 1 r.Dqc.Analysis.answer_qubits;
+  check_bool "acyclic" false r.Dqc.Analysis.cyclic;
+  check_bool "savings" true (r.Dqc.Analysis.qubit_savings = Some 3);
+  check_bool "renders" true
+    (String.length (Dqc.Analysis.to_string r) > 40);
+  check_bool "min slots" true (r.Dqc.Analysis.min_exact_slots = Some 1)
+
+let test_analysis_min_slots_dyn1 () =
+  let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND") in
+  let prepared =
+    Dqc.Toffoli_scheme.prepare Dqc.Toffoli_scheme.Dynamic_1
+      (Algorithms.Dj.circuit o)
+  in
+  let r = Dqc.Analysis.analyze prepared in
+  check_bool "dyn1 exact from 2" true (r.Dqc.Analysis.min_exact_slots = Some 2)
+
+let test_interaction_to_dot () =
+  let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND") in
+  let prepared =
+    Dqc.Toffoli_scheme.prepare Dqc.Toffoli_scheme.Dynamic_1
+      (Algorithms.Dj.circuit o)
+  in
+  let dot = Dqc.Interaction.to_dot prepared in
+  let contains sub =
+    let n = String.length dot and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub dot i m = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "digraph" true (contains "digraph interaction");
+  check_bool "edge" true (contains "q0 -> q1;")
+
+(* ------------------------------------------------------------------ *)
+(* Toffoli_scheme                                                     *)
+
+let test_scheme_to_string () =
+  Alcotest.(check string) "dyn1" "dynamic-1"
+    (Dqc.Toffoli_scheme.to_string Dqc.Toffoli_scheme.Dynamic_1);
+  Alcotest.(check string) "dyn2" "dynamic-2"
+    (Dqc.Toffoli_scheme.to_string Dqc.Toffoli_scheme.Dynamic_2);
+  Alcotest.(check string) "global" "dynamic-2(global)"
+    (Dqc.Toffoli_scheme.to_string (Dqc.Toffoli_scheme.Dynamic_2_shared `Global))
+
+let test_scheme_prepare () =
+  let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND") in
+  let dj = Algorithms.Dj.circuit o in
+  let p1 = Dqc.Toffoli_scheme.prepare Dqc.Toffoli_scheme.Dynamic_1 dj in
+  check_int "dyn1 keeps qubit count" 3 (Circ.num_qubits p1);
+  let p2 = Dqc.Toffoli_scheme.prepare Dqc.Toffoli_scheme.Dynamic_2 dj in
+  check_int "dyn2 adds ancilla" 4 (Circ.num_qubits p2);
+  let pt = Dqc.Toffoli_scheme.prepare Dqc.Toffoli_scheme.Traditional dj in
+  check_bool "traditional unchanged" true (Circ.equal dj pt)
+
+let test_scheme_traditional_transform_raises () =
+  let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND") in
+  let dj = Algorithms.Dj.circuit o in
+  Alcotest.check_raises "traditional"
+    (Invalid_argument "Toffoli_scheme.transform: Traditional") (fun () ->
+      ignore (Dqc.Toffoli_scheme.transform Dqc.Toffoli_scheme.Traditional dj))
+
+let test_dyn2_exact_for_two_input_oracles () =
+  List.iter
+    (fun (o : Algorithms.Oracle.t) ->
+      if o.arity = 2 then begin
+        let dj = Algorithms.Dj.circuit o in
+        let r = Dqc.Toffoli_scheme.transform Dqc.Toffoli_scheme.Dynamic_2 dj in
+        check_bool (o.name ^ " dyn2 exact") true (Dqc.Equivalence.equivalent dj r)
+      end)
+    Algorithms.Dj_toffoli.oracles
+
+let test_dyn1_inexact () =
+  List.iter
+    (fun (o : Algorithms.Oracle.t) ->
+      let dj = Algorithms.Dj.circuit o in
+      let r = Dqc.Toffoli_scheme.transform Dqc.Toffoli_scheme.Dynamic_1 dj in
+      check_bool (o.name ^ " dyn1 deviates") true
+        (Dqc.Equivalence.tv_distance dj r > 0.1))
+    Algorithms.Dj_toffoli.oracles
+
+(* qcheck: random BV/DJ-shaped circuits (1-qubit gates on data qubits,
+   X/V-type oracle gates onto the answer — the commuting family real
+   oracles use) transform exactly *)
+let random_bv_like_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 15)
+      (oneof
+         [
+           map2
+             (fun g q -> u g q)
+             (oneofl Gate.[ H; X; Z; T; S ])
+             (int_range 0 2);
+           map (fun c -> u ~controls:[ c ] Gate.X 3) (int_range 0 2);
+           map (fun c -> u ~controls:[ c ] Gate.V 3) (int_range 0 2);
+         ]))
+
+let prop_oracle_shaped_exact =
+  QCheck2.Test.make ~name:"random oracle-shaped circuits transform exactly"
+    ~count:60 random_bv_like_gen
+    (fun instrs ->
+      let roles = [| Circ.Data; Circ.Data; Circ.Data; Circ.Answer |] in
+      let c = Circ.create ~roles ~num_bits:0 instrs in
+      let r = Dqc.Transform.transform c in
+      Dqc.Equivalence.equivalent c r)
+
+(* fully random circuits (including mid-stream answer-qubit gates) may
+   be unsound under Algorithm 1 — but zero recorded violations must
+   imply exact equivalence, and sound mode, when it succeeds, must be
+   exact *)
+let random_any_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 12)
+      (oneof
+         [
+           map2
+             (fun g q -> u g q)
+             (oneofl Gate.[ H; X; Z; T; S ])
+             (int_range 0 3);
+           map2
+             (fun g c -> u ~controls:[ c ] g 3)
+             (oneofl Gate.[ X; V; Z; H ])
+             (int_range 0 2);
+         ]))
+
+let prop_no_violations_implies_exact =
+  QCheck2.Test.make
+    ~name:"zero violations implies exact equivalence" ~count:60 random_any_gen
+    (fun instrs ->
+      let roles = [| Circ.Data; Circ.Data; Circ.Data; Circ.Answer |] in
+      let c = Circ.create ~roles ~num_bits:0 instrs in
+      let r = Dqc.Transform.transform c in
+      r.violations <> [] || Dqc.Equivalence.equivalent c r)
+
+let prop_sound_mode_exact =
+  QCheck2.Test.make ~name:"sound mode success implies exact equivalence"
+    ~count:60 random_any_gen
+    (fun instrs ->
+      let roles = [| Circ.Data; Circ.Data; Circ.Data; Circ.Answer |] in
+      let c = Circ.create ~roles ~num_bits:0 instrs in
+      match Dqc.Transform.transform ~mode:`Sound c with
+      | r -> Dqc.Equivalence.equivalent c r
+      | exception Dqc.Transform.Not_transformable _ -> true)
+
+let () =
+  Alcotest.run "dqc"
+    [
+      ( "commute",
+        [
+          Alcotest.test_case "disjoint" `Quick test_commute_disjoint;
+          Alcotest.test_case "shared control" `Quick test_commute_shared_control;
+          Alcotest.test_case "negative" `Quick test_commute_negative;
+          Alcotest.test_case "same target" `Quick
+            test_commute_same_target_compatible;
+          Alcotest.test_case "diagonal fast path" `Quick
+            test_commute_diagonal_fast_path;
+          Alcotest.test_case "measure conservative" `Quick
+            test_commute_instrs_measure;
+          Alcotest.test_case "conditioned pairs" `Quick
+            test_commute_conditioned_pairs;
+        ] );
+      ( "interaction",
+        [
+          Alcotest.test_case "edges" `Quick test_edges;
+          Alcotest.test_case "chain order" `Quick test_order_chain;
+          Alcotest.test_case "cycle" `Quick test_order_cycle;
+          Alcotest.test_case "ancilla last" `Quick test_order_ancilla_last;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "BV structure" `Quick test_transform_bv_structure;
+          Alcotest.test_case "BV equivalence (all paper strings)" `Slow
+            test_transform_bv_equivalence_all;
+          Alcotest.test_case "sound mode on BV" `Quick test_transform_sound_bv;
+          Alcotest.test_case "hidden string recovered" `Quick
+            test_transform_hidden_string_recovered;
+          Alcotest.test_case "rejects multi-control" `Quick
+            test_transform_rejects_multi_control;
+          Alcotest.test_case "rejects measured input" `Quick
+            test_transform_rejects_measured_input;
+          Alcotest.test_case "rejects no-data" `Quick test_transform_no_data_qubits;
+          Alcotest.test_case "dyn1 violations" `Quick
+            test_transform_dyn1_has_violations;
+          Alcotest.test_case "sound rejects dyn1" `Quick
+            test_transform_sound_rejects_dyn1;
+          Alcotest.test_case "answer-answer gate" `Quick
+            test_transform_answer_answer_gate;
+          Alcotest.test_case "conditioned value" `Quick
+            test_transform_conditioned_gate_value;
+        ] );
+      ( "direct_mct",
+        [
+          Alcotest.test_case "structure" `Quick test_direct_mct_structure;
+          Alcotest.test_case "requires flag" `Quick test_direct_mct_requires_flag;
+          Alcotest.test_case "reduction routes" `Quick
+            test_mct_reduction_routes_transform;
+          Alcotest.test_case "basis-state exact" `Quick
+            test_direct_mct_basis_state_exact;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "detects difference" `Quick
+            test_equivalence_detects_difference;
+        ] );
+      ( "pipeline_properties",
+        [
+          QCheck_alcotest.to_alcotest
+            (QCheck2.Test.make
+               ~name:"pipeline dyn2 handles synthesized oracles" ~count:25
+               QCheck2.Gen.(pair (int_range 2 3) (int_bound 0xFF))
+               (fun (arity, table) ->
+                 let truth = Algorithms.Boolean_fun.create ~arity ~table in
+                 let oracle = Algorithms.Oracle.synthesize ~name:"prop" truth in
+                 let dj = Algorithms.Dj.circuit oracle in
+                 let out = Dqc.Pipeline.compile dj in
+                 out.Dqc.Pipeline.qubits = 2
+                 && match out.Dqc.Pipeline.tv with
+                    | Some tv -> tv >= -1e-9 && tv <= 1. +. 1e-9
+                    | None -> false));
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "default" `Quick test_pipeline_default;
+          Alcotest.test_case "sound multislot native" `Quick
+            test_pipeline_sound_multislot_native;
+          Alcotest.test_case "direct mct" `Quick test_pipeline_direct_mct;
+        ] );
+      ( "multi_transform",
+        [
+          Alcotest.test_case "slots=1 matches Transform" `Quick
+            test_multi_slots1_matches_transform;
+          Alcotest.test_case "BV exact at any width" `Quick
+            test_multi_slots_bv_exact_everywhere;
+          Alcotest.test_case "one extra slot fixes dyn1" `Quick
+            test_multi_one_extra_slot_fixes_dyn1;
+          Alcotest.test_case "full width" `Quick
+            test_multi_full_width_is_traditional_shape;
+          Alcotest.test_case "cyclic needs width" `Quick
+            test_multi_cyclic_needs_width;
+          Alcotest.test_case "invalid slots" `Quick test_multi_invalid_slots;
+          Alcotest.test_case "direct mct width" `Quick
+            test_multi_direct_mct_width;
+        ] );
+      ( "order_search",
+        [
+          Alcotest.test_case "override" `Quick test_order_override;
+          Alcotest.test_case "bv all orders" `Quick test_order_search_bv;
+          Alcotest.test_case "constrained" `Quick test_order_search_constrained;
+          Alcotest.test_case "deviation order-invariant" `Slow
+            test_order_invariance_of_deviation;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "verdicts" `Quick test_analysis_verdicts;
+          Alcotest.test_case "report fields" `Quick test_analysis_report_fields;
+          Alcotest.test_case "min slots dyn1" `Quick test_analysis_min_slots_dyn1;
+          Alcotest.test_case "interaction dot" `Quick test_interaction_to_dot;
+        ] );
+      ( "toffoli_scheme",
+        [
+          Alcotest.test_case "to_string" `Quick test_scheme_to_string;
+          Alcotest.test_case "prepare" `Quick test_scheme_prepare;
+          Alcotest.test_case "traditional raises" `Quick
+            test_scheme_traditional_transform_raises;
+          Alcotest.test_case "dyn2 exact (2-input)" `Slow
+            test_dyn2_exact_for_two_input_oracles;
+          Alcotest.test_case "dyn1 inexact" `Slow test_dyn1_inexact;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_oracle_shaped_exact;
+            prop_no_violations_implies_exact;
+            prop_sound_mode_exact;
+          ] );
+    ]

@@ -1,0 +1,222 @@
+open Linalg
+
+let c re im = { Complex.re; im }
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Complex_ext                                                        *)
+
+let test_constants () =
+  check_bool "zero" true (Complex_ext.approx_equal Complex_ext.zero (c 0. 0.));
+  check_bool "one" true (Complex_ext.approx_equal Complex_ext.one (c 1. 0.));
+  check_bool "i" true (Complex_ext.approx_equal Complex_ext.i (c 0. 1.))
+
+let test_exp_i () =
+  check_bool "e^0 = 1" true
+    (Complex_ext.approx_equal (Complex_ext.exp_i 0.) Complex_ext.one);
+  check_bool "e^{i pi} = -1" true
+    (Complex_ext.approx_equal (Complex_ext.exp_i Float.pi) (c (-1.) 0.) ~eps:1e-12);
+  check_bool "e^{i pi/2} = i" true
+    (Complex_ext.approx_equal (Complex_ext.exp_i (Float.pi /. 2.)) Complex_ext.i
+       ~eps:1e-12)
+
+let test_scale_norm () =
+  check_float "norm2 of 3+4i" 25. (Complex_ext.norm2 (c 3. 4.));
+  check_bool "scale" true
+    (Complex_ext.approx_equal (Complex_ext.scale 2. (c 1. (-2.))) (c 2. (-4.)))
+
+let test_is_zero () =
+  check_bool "zero is zero" true (Complex_ext.is_zero Complex.zero);
+  check_bool "tiny is zero" true (Complex_ext.is_zero ~eps:1e-6 (c 1e-9 0.));
+  check_bool "one is not zero" false (Complex_ext.is_zero Complex.one)
+
+let test_to_string () =
+  Alcotest.(check string) "real" "2" (Complex_ext.to_string (c 2. 0.));
+  Alcotest.(check string) "imag" "3i" (Complex_ext.to_string (c 0. 3.));
+  Alcotest.(check string) "both" "1+2i" (Complex_ext.to_string (c 1. 2.));
+  Alcotest.(check string) "neg imag" "1-2i" (Complex_ext.to_string (c 1. (-2.)))
+
+(* ------------------------------------------------------------------ *)
+(* Cvec                                                               *)
+
+let test_basis () =
+  let v = Cvec.basis 4 2 in
+  check_float "norm2" 1. (Cvec.norm2 v);
+  check_bool "component" true
+    (Complex_ext.approx_equal (Cvec.get v 2) Complex.one);
+  Alcotest.check_raises "out of range" (Invalid_argument "Cvec.basis")
+    (fun () -> ignore (Cvec.basis 4 4))
+
+let test_normalize () =
+  let v = Cvec.of_array [| c 3. 0.; c 4. 0. |] in
+  Cvec.normalize v;
+  check_float "unit norm" 1. (Cvec.norm2 v);
+  check_float "first" 0.6 (Cvec.get v 0).Complex.re;
+  Alcotest.check_raises "zero vector"
+    (Invalid_argument "Cvec.normalize: zero vector") (fun () ->
+      Cvec.normalize (Cvec.make 3))
+
+let test_dot () =
+  let a = Cvec.of_array [| c 0. 1.; c 1. 0. |] in
+  let b = Cvec.of_array [| c 0. 1.; c 0. 0. |] in
+  (* <a|b> = conj(i)*i = 1 *)
+  check_bool "conjugate linear" true
+    (Complex_ext.approx_equal (Cvec.dot a b) Complex.one)
+
+let test_phase_equal () =
+  let a = Cvec.of_array [| c 1. 0.; c 0. 1. |] in
+  let b = Cvec.copy a in
+  Cvec.scale (Complex_ext.exp_i 0.7) b;
+  check_bool "equal up to phase" true (Cvec.approx_equal_up_to_phase a b);
+  check_bool "not literally equal" false (Cvec.approx_equal a b);
+  let d = Cvec.of_array [| c 1. 0.; c 0. (-1.) |] in
+  check_bool "different states" false (Cvec.approx_equal_up_to_phase a d)
+
+(* ------------------------------------------------------------------ *)
+(* Cmat                                                               *)
+
+let h_matrix = Circuit.Gate.matrix Circuit.Gate.H
+let x_matrix = Circuit.Gate.matrix Circuit.Gate.X
+let z_matrix = Circuit.Gate.matrix Circuit.Gate.Z
+
+let test_identity () =
+  let i3 = Cmat.identity 3 in
+  check_bool "I*I = I" true (Cmat.approx_equal (Cmat.mul i3 i3) i3);
+  check_bool "unitary" true (Cmat.is_unitary i3)
+
+let test_mul_apply () =
+  let hh = Cmat.mul h_matrix h_matrix in
+  check_bool "H^2 = I" true (Cmat.approx_equal hh (Cmat.identity 2));
+  let v = Cmat.apply h_matrix (Cvec.basis 2 0) in
+  check_float "H|0> first" (1. /. sqrt 2.) (Cvec.get v 0).Complex.re;
+  check_float "H|0> second" (1. /. sqrt 2.) (Cvec.get v 1).Complex.re
+
+let test_adjoint_transpose () =
+  let m = Cmat.of_lists [ [ c 1. 2.; c 3. 4. ]; [ c 5. 6.; c 7. 8. ] ] in
+  let a = Cmat.adjoint m in
+  check_bool "adjoint entry" true
+    (Complex_ext.approx_equal (Cmat.get a 0 1) (c 5. (-6.)));
+  let t = Cmat.transpose m in
+  check_bool "transpose entry" true
+    (Complex_ext.approx_equal (Cmat.get t 0 1) (c 5. 6.))
+
+let test_kron () =
+  let k = Cmat.kron x_matrix (Cmat.identity 2) in
+  Alcotest.(check int) "rows" 4 (Cmat.rows k);
+  (* X (x) I maps |00> -> |10> in big-endian block convention *)
+  check_bool "swap blocks" true
+    (Complex_ext.approx_equal (Cmat.get k 2 0) Complex.one)
+
+let test_unitarity () =
+  check_bool "H unitary" true (Cmat.is_unitary h_matrix);
+  let not_unitary = Cmat.of_lists [ [ c 1. 0.; c 1. 0. ]; [ c 0. 0.; c 1. 0. ] ] in
+  check_bool "triangular not unitary" false (Cmat.is_unitary not_unitary)
+
+let test_commutator () =
+  check_float "[X,X] = 0" 0. (Cmat.commutator_norm x_matrix x_matrix);
+  check_bool "[X,Z] /= 0" true (Cmat.commutator_norm x_matrix z_matrix > 1.)
+
+let test_phase_equal_mat () =
+  let m = Cmat.scale (Complex_ext.exp_i 1.1) h_matrix in
+  check_bool "up to phase" true (Cmat.approx_equal_up_to_phase m h_matrix);
+  check_bool "not equal" false (Cmat.approx_equal m h_matrix);
+  check_bool "X vs Z" false (Cmat.approx_equal_up_to_phase x_matrix z_matrix)
+
+let test_of_lists_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Cmat.of_lists: ragged")
+    (fun () -> ignore (Cmat.of_lists [ [ c 1. 0. ]; [ c 1. 0.; c 2. 0. ] ]))
+
+let test_apply_mismatch () =
+  Alcotest.check_raises "shape" (Invalid_argument "Cmat.apply: shape mismatch")
+    (fun () -> ignore (Cmat.apply h_matrix (Cvec.basis 4 0)))
+
+let test_scale_matrix () =
+  let m = Cmat.scale { Complex.re = 2.; im = 0. } (Cmat.identity 2) in
+  check_bool "scaled" true
+    (Complex_ext.approx_equal (Cmat.get m 0 0) (c 2. 0.));
+  check_bool "no longer unitary" false (Cmat.is_unitary m)
+
+let test_dot_mismatch () =
+  Alcotest.check_raises "dim" (Invalid_argument "Cvec.dot: dimension mismatch")
+    (fun () -> ignore (Cvec.dot (Cvec.make 2) (Cvec.make 3)))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                         *)
+
+let gate_gen =
+  QCheck2.Gen.oneofl
+    Circuit.Gate.[ H; X; Y; Z; S; Sdg; T; Tdg; V; Vdg ]
+
+let prop_product_adjoint =
+  QCheck2.Test.make ~name:"(AB)^dag = B^dag A^dag" ~count:100
+    QCheck2.Gen.(pair gate_gen gate_gen)
+    (fun (g1, g2) ->
+      let a = Circuit.Gate.matrix g1 and b = Circuit.Gate.matrix g2 in
+      Cmat.approx_equal
+        (Cmat.adjoint (Cmat.mul a b))
+        (Cmat.mul (Cmat.adjoint b) (Cmat.adjoint a)))
+
+let prop_product_unitary =
+  QCheck2.Test.make ~name:"product of unitaries is unitary" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 6) gate_gen)
+    (fun gs ->
+      let m =
+        List.fold_left
+          (fun acc g -> Cmat.mul acc (Circuit.Gate.matrix g))
+          (Cmat.identity 2) gs
+      in
+      Cmat.is_unitary m)
+
+let prop_kron_mul =
+  QCheck2.Test.make ~name:"(A kron B)(C kron D) = AC kron BD" ~count:100
+    QCheck2.Gen.(pair (pair gate_gen gate_gen) (pair gate_gen gate_gen))
+    (fun ((ga, gb), (gc, gd)) ->
+      let m g = Circuit.Gate.matrix g in
+      Cmat.approx_equal
+        (Cmat.mul (Cmat.kron (m ga) (m gb)) (Cmat.kron (m gc) (m gd)))
+        (Cmat.kron (Cmat.mul (m ga) (m gc)) (Cmat.mul (m gb) (m gd))))
+
+let prop_dot_norm =
+  QCheck2.Test.make ~name:"<v|v> = norm2 v" ~count:100
+    QCheck2.Gen.(list_size (return 4) (pair (float_bound_inclusive 1.) (float_bound_inclusive 1.)))
+    (fun pairs ->
+      let v = Cvec.of_array (Array.of_list (List.map (fun (re, im) -> c re im) pairs)) in
+      abs_float (Cvec.dot v v).Complex.re -. Cvec.norm2 v < 1e-9)
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "complex_ext",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "exp_i" `Quick test_exp_i;
+          Alcotest.test_case "scale/norm" `Quick test_scale_norm;
+          Alcotest.test_case "is_zero" `Quick test_is_zero;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ] );
+      ( "cvec",
+        [
+          Alcotest.test_case "basis" `Quick test_basis;
+          Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "dot" `Quick test_dot;
+          Alcotest.test_case "phase equality" `Quick test_phase_equal;
+        ] );
+      ( "cmat",
+        [
+          Alcotest.test_case "identity" `Quick test_identity;
+          Alcotest.test_case "mul/apply" `Quick test_mul_apply;
+          Alcotest.test_case "adjoint/transpose" `Quick test_adjoint_transpose;
+          Alcotest.test_case "kron" `Quick test_kron;
+          Alcotest.test_case "unitarity" `Quick test_unitarity;
+          Alcotest.test_case "commutator" `Quick test_commutator;
+          Alcotest.test_case "phase equality" `Quick test_phase_equal_mat;
+          Alcotest.test_case "ragged input" `Quick test_of_lists_ragged;
+          Alcotest.test_case "apply mismatch" `Quick test_apply_mismatch;
+          Alcotest.test_case "scale" `Quick test_scale_matrix;
+          Alcotest.test_case "dot mismatch" `Quick test_dot_mismatch;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_product_adjoint; prop_product_unitary; prop_kron_mul; prop_dot_norm ] );
+    ]
