@@ -1,0 +1,22 @@
+.PHONY: all build test bench ci clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- all
+
+# One-command gate: full build + tests + a smoke run of the
+# execution-backend study (OCAMLRUNPARAM=b: backtraces on uncaught
+# exceptions).
+ci:
+	OCAMLRUNPARAM=b dune build @runtest
+	OCAMLRUNPARAM=b dune exec bench/main.exe -- backend
+
+clean:
+	dune clean

@@ -82,6 +82,87 @@ let run_ablation () =
        ~rows ())
 
 (* ------------------------------------------------------------------ *)
+(* Execution-backend study: the tentpole acceptance run.  Times the
+   seed serial runner against Backend.run in its dense configurations
+   (prefix cache on/off, 1 vs all domains) and the auto-selected
+   backend, on 4096 shots of the 10-qubit Table II DJ family head,
+   then checks seed-determinism across domain counts. *)
+
+let run_backend () =
+  section "E12 / Execution backends: serial vs parallel vs prefix-cached";
+  (* the Table II AND family pushed to 9 data qubits (Mct_bench stops
+     at 8): one C^9X oracle, 10 qubits total with the answer qubit *)
+  let and_9 =
+    let truth =
+      Algorithms.Boolean_fun.of_fun ~arity:9 (fun k -> k = (1 lsl 9) - 1)
+    in
+    Algorithms.Oracle.make ~name:"AND_9" ~arity:9 ~truth
+      [
+        Circuit.Instruction.Unitary
+          (Circuit.Instruction.app
+             ~controls:(List.init 9 (fun v -> v))
+             Circuit.Gate.X 9);
+      ]
+  in
+  let dj = Algorithms.Dj.circuit and_9 in
+  let plan = Sim.Measurement_plan.measure_all in
+  let shots = 4096 in
+  let seed = 0xBACC in
+  let domains = Sim.Parallel.recommended_domains () in
+  Printf.printf
+    "workload: %d shots of DJ(AND_9) — %d qubits, %d gates — measured on all \
+     qubits\nrecommended domains on this machine: %d\n\n"
+    shots
+    (Circuit.Circ.num_qubits dj)
+    (Circuit.Metrics.gate_count dj)
+    domains;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let h = f () in
+    (h, Unix.gettimeofday () -. t0)
+  in
+  let dense = Sim.Backend.Statevector_dense in
+  let h_serial, t_serial =
+    time (fun () -> Sim.Runner.run_plan ~seed ~shots ~plan dj)
+  in
+  let _, t_nocache =
+    time (fun () ->
+        Sim.Backend.run ~policy:dense ~seed ~domains:1 ~plan
+          ~prefix_cache:false ~shots dj)
+  in
+  let h_prefix, t_prefix =
+    time (fun () ->
+        Sim.Backend.run ~policy:dense ~seed ~domains:1 ~plan ~shots dj)
+  in
+  let h_par, t_par =
+    time (fun () -> Sim.Backend.run ~policy:dense ~seed ~plan ~shots dj)
+  in
+  let h_auto, t_auto = time (fun () -> Sim.Backend.run ~seed ~plan ~shots dj) in
+  let line label t =
+    Printf.printf "  %-46s %9.1f ms   %5.2fx vs serial\n" label (t *. 1000.)
+      (t_serial /. t)
+  in
+  line "Runner.run_shots (seed serial baseline)" t_serial;
+  line "Backend.run dense, 1 domain, no prefix cache" t_nocache;
+  line "Backend.run dense, 1 domain, prefix cache" t_prefix;
+  line
+    (Printf.sprintf "Backend.run dense, %d domain(s), prefix cache" domains)
+    t_par;
+  line "Backend.run auto (exact-branch alias sampler)" t_auto;
+  let same a b = Sim.Runner.to_list a = Sim.Runner.to_list b in
+  Printf.printf
+    "\ndeterminism: dense histograms identical across 1/%d domains and \
+     prefix-cache on/off: %b\n"
+    domains
+    (same h_prefix h_par
+    && same h_prefix
+         (Sim.Backend.run ~policy:dense ~seed ~domains:4 ~plan ~shots dj));
+  Printf.printf
+    "serial baseline total %d shots, parallel total %d, auto total %d\n"
+    (Sim.Runner.shots h_serial) (Sim.Runner.shots h_par)
+    (Sim.Runner.shots h_auto)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                    *)
 
 let make_benchmarks () =
@@ -183,26 +264,52 @@ let make_benchmarks () =
       (Staged.stage (fun () ->
            ignore (Transpile.Basis.to_native r.Dqc.Transform.circuit)))
   in
-  Test.make_grouped ~name:"dqc"
+  (* serial vs parallel vs prefix-cached shot execution on the Table II
+     DJ family (dense backend throughout, so only the engine varies) *)
+  let backend_engines =
+    let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "CARRY") in
+    let dj = Algorithms.Dj.circuit o in
+    let plan = Sim.Measurement_plan.measure_all in
+    let dense = Sim.Backend.Statevector_dense in
     [
-      bv_transform 4;
-      bv_transform 8;
-      bv_transform 16;
-      dj_transform Dqc.Toffoli_scheme.Dynamic_1 "dyn1";
-      dj_transform Dqc.Toffoli_scheme.Dynamic_2 "dyn2";
-      exact_dj Dqc.Toffoli_scheme.Dynamic_1 "dyn1";
-      exact_dj Dqc.Toffoli_scheme.Dynamic_2 "dyn2";
-      statevector 8;
-      statevector 12;
-      statevector 16;
-      shots;
-      peephole;
-      stabilizer 16;
-      stabilizer 48;
-      density;
-      routing;
-      native;
+      Test.make ~name:"backend serial 256 DJ(CARRY)"
+        (Staged.stage (fun () ->
+             ignore (Sim.Runner.run_plan ~shots:256 ~plan dj)));
+      Test.make ~name:"backend dense-nocache 256 DJ(CARRY)"
+        (Staged.stage (fun () ->
+             ignore
+               (Sim.Backend.run ~policy:dense ~domains:1 ~prefix_cache:false
+                  ~plan ~shots:256 dj)));
+      Test.make ~name:"backend prefix 256 DJ(CARRY)"
+        (Staged.stage (fun () ->
+             ignore
+               (Sim.Backend.run ~policy:dense ~domains:1 ~plan ~shots:256 dj)));
+      Test.make ~name:"backend parallel 256 DJ(CARRY)"
+        (Staged.stage (fun () ->
+             ignore (Sim.Backend.run ~policy:dense ~plan ~shots:256 dj)));
     ]
+  in
+  Test.make_grouped ~name:"dqc"
+    ([
+       bv_transform 4;
+       bv_transform 8;
+       bv_transform 16;
+       dj_transform Dqc.Toffoli_scheme.Dynamic_1 "dyn1";
+       dj_transform Dqc.Toffoli_scheme.Dynamic_2 "dyn2";
+       exact_dj Dqc.Toffoli_scheme.Dynamic_1 "dyn1";
+       exact_dj Dqc.Toffoli_scheme.Dynamic_2 "dyn2";
+       statevector 8;
+       statevector 12;
+       statevector 16;
+       shots;
+       peephole;
+       stabilizer 16;
+       stabilizer 48;
+       density;
+       routing;
+       native;
+     ]
+    @ backend_engines)
 
 let run_bechamel () =
   section "E5 / Bechamel timing";
@@ -245,6 +352,7 @@ let () =
   | "scale" -> run_scale ()
   | "slots" -> run_slots ()
   | "ablation" -> run_ablation ()
+  | "backend" -> run_backend ()
   | "bechamel" -> run_bechamel ()
   | "all" ->
       run_table1 ();
@@ -257,9 +365,10 @@ let () =
       run_scale ();
       run_slots ();
       run_ablation ();
+      run_backend ();
       run_bechamel ()
   | other ->
       Printf.eprintf
-        "unknown target %S (expected table1|table2|fig7|equivalence|mct|routing|duration|scale|slots|ablation|bechamel|all)\n"
+        "unknown target %S (expected table1|table2|fig7|equivalence|mct|routing|duration|scale|slots|ablation|backend|bechamel|all)\n"
         other;
       exit 1

@@ -167,15 +167,40 @@ let transform_cmd =
 (* ------------------------------------------------------------------ *)
 (* simulate                                                           *)
 
+let backend_conv =
+  let parse s =
+    match Sim.Backend.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown backend %S" s))
+  in
+  Arg.conv (parse, Sim.Backend.pp_policy)
+
 let simulate_cmd =
   let shots = Arg.(value & opt int 1024 & info [ "shots" ] ~doc:"Shot count") in
   let dynamic =
     Arg.(value & flag & info [ "dynamic" ] ~doc:"Simulate the DQC instead")
   in
-  let run name scheme shots dynamic =
+  let backend =
+    Arg.(
+      value
+      & opt backend_conv Sim.Backend.Auto
+      & info [ "backend" ]
+          ~doc:"Execution backend: auto, dense, stabilizer or exact")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ]
+          ~doc:
+            "Worker domains for the parallel shot engine (default: all \
+             recommended cores; the histogram is seed-deterministic either \
+             way)")
+  in
+  let run name scheme shots dynamic backend domains =
     match benchmark_circuit name with
     | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
-    | Some c ->
+    | Some c -> (
         let circuit, measures =
           if dynamic then begin
             let r = Dqc.Toffoli_scheme.transform scheme c in
@@ -186,12 +211,24 @@ let simulate_cmd =
           else
             (c, List.init (Circuit.Circ.num_qubits c) (fun q -> (q, q)))
         in
-        let h = Sim.Runner.run_shots_measured ~shots ~measures circuit in
-        Format.printf "%a@." Sim.Runner.pp h
+        try
+          let h =
+            Sim.Backend.run_measured ~policy:backend ?domains ~shots ~measures
+              circuit
+          in
+          Format.printf "backend: %a@.%a@." Sim.Backend.pp_policy backend
+            Sim.Runner.pp h
+        with
+        | Sim.Stabilizer.Unsupported msg ->
+            prerr_endline msg;
+            exit 1
+        | Invalid_argument msg -> prerr_endline msg; exit 1)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run shots on a benchmark (traditional or DQC)")
-    Term.(const run $ benchmark_arg $ scheme_arg $ shots $ dynamic)
+    Term.(
+      const run $ benchmark_arg $ scheme_arg $ shots $ dynamic $ backend
+      $ domains)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                            *)

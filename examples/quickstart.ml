@@ -53,14 +53,11 @@ let () =
      with the multi-slot extension (one extra data qubit) and lowering
      to the IBM native basis, sound-certified exact. *)
   let options =
-    {
-      Dqc.Pipeline.default with
-      Dqc.Pipeline.scheme = Dqc.Toffoli_scheme.Dynamic_1;
-      mode = `Sound;
-      slots = 2;
-      native = true;
-      peephole = true;
-    }
+    Dqc.Pipeline.Options.(
+      default
+      |> with_scheme Dqc.Toffoli_scheme.Dynamic_1
+      |> with_mode `Sound |> with_slots 2 |> with_native true
+      |> with_peephole true)
   in
   let compiled = Dqc.Pipeline.compile ~options traditional in
   print_endline

@@ -35,3 +35,23 @@ let tv_distance c r =
     (dynamic_distribution ~relative_to:c r)
 
 let equivalent ?(eps = 1e-9) c r = tv_distance c r <= eps
+
+let sampled_tv_distance ?(policy = Sim.Backend.Auto) ?(seed = 0x5A3D)
+    ?(shots = 4096) ?domains c (r : Transform.result) =
+  let num_data = List.length r.data_bit in
+  let trad_measures =
+    List.filter (fun (q, _) -> q < Circuit.Circ.num_qubits c) r.data_bit
+    @ List.mapi (fun k (q, _) -> (q, answer_bit num_data k)) r.answer_phys
+  in
+  let dyn_measures =
+    List.mapi (fun k (_, phys) -> (phys, answer_bit num_data k)) r.answer_phys
+  in
+  let bits = shared_bits c r in
+  let empirical measures circuit =
+    Sim.Dist.marginal ~bits
+      (Sim.Runner.to_dist
+         (Sim.Backend.run_measured ~policy ~seed ?domains ~shots ~measures
+            circuit))
+  in
+  Sim.Dist.tv_distance (empirical trad_measures c)
+    (empirical dyn_measures r.circuit)

@@ -21,6 +21,65 @@ let default =
     check_equivalence = true;
   }
 
+module Options = struct
+  type t = {
+    scheme : Toffoli_scheme.t;
+    mode : [ `Algorithm1 | `Sound ];
+    slots : int;
+    expand_cv : bool;
+    peephole : bool;
+    native : bool;
+    check_equivalence : bool;
+    backend_policy : Sim.Backend.policy;
+  }
+
+  let default =
+    {
+      scheme = Toffoli_scheme.Dynamic_2;
+      mode = `Algorithm1;
+      slots = 1;
+      expand_cv = true;
+      peephole = false;
+      native = false;
+      check_equivalence = true;
+      backend_policy = Sim.Backend.Auto;
+    }
+
+  let with_scheme scheme t = { t with scheme }
+  let with_mode mode t = { t with mode }
+
+  let with_slots slots t =
+    if slots < 1 then invalid_arg "Pipeline.Options.with_slots: slots < 1";
+    { t with slots }
+
+  let with_expand_cv expand_cv t = { t with expand_cv }
+  let with_peephole peephole t = { t with peephole }
+  let with_native native t = { t with native }
+  let with_check_equivalence check_equivalence t = { t with check_equivalence }
+  let with_backend_policy backend_policy t = { t with backend_policy }
+
+  let scheme t = t.scheme
+  let mode t = t.mode
+  let slots t = t.slots
+  let expand_cv t = t.expand_cv
+  let peephole t = t.peephole
+  let native t = t.native
+  let check_equivalence t = t.check_equivalence
+  let backend_policy t = t.backend_policy
+
+  let of_flat (o : options) =
+    {
+      scheme = o.scheme;
+      mode = o.mode;
+      slots = o.slots;
+      expand_cv = o.expand_cv;
+      peephole = o.peephole;
+      native = o.native;
+      check_equivalence = o.check_equivalence;
+      backend_policy = Sim.Backend.Auto;
+    }
+end
+
 type output = {
   circuit : Circ.t;
   data_bit : (int * int) list;
@@ -32,37 +91,51 @@ type output = {
   depth : int;
   duration_ns : float;
   tv : float option;
+  tv_sampled : bool;
 }
 
-let compile ?(options = default) traditional =
+let exact_check_max_qubits = 12
+
+let compile ?(options = Options.default) traditional =
   let prepared =
-    match options.scheme with
+    match options.Options.scheme with
     | Toffoli_scheme.Direct_mct -> traditional
     | s -> Toffoli_scheme.prepare s traditional
   in
-  let mct = options.scheme = Toffoli_scheme.Direct_mct in
-  let transformed, data_bit, answer_phys, iterations, violations, tv =
-    if options.slots = 1 then begin
-      let r = Transform.transform ~mode:options.mode ~mct prepared in
-      let tv =
-        if options.check_equivalence && Circ.num_qubits prepared <= 12 then
-          Some (Equivalence.tv_distance prepared r)
-        else None
+  let mct = options.Options.scheme = Toffoli_scheme.Direct_mct in
+  let small = Circ.num_qubits prepared <= exact_check_max_qubits in
+  let transformed, data_bit, answer_phys, iterations, violations, tv, sampled =
+    if options.Options.slots = 1 then begin
+      let r = Transform.transform ~mode:options.Options.mode ~mct prepared in
+      let tv, sampled =
+        if not options.Options.check_equivalence then (None, false)
+        else if small then (Some (Equivalence.tv_distance prepared r), false)
+        else if
+          (* the exact evaluator is out of reach: fall back to a shot
+             estimate when both sides run on a scalable backend *)
+          Sim.Stabilizer.supports prepared && Sim.Stabilizer.supports r.circuit
+        then
+          ( Some
+              (Equivalence.sampled_tv_distance
+                 ~policy:options.Options.backend_policy prepared r),
+            true )
+        else (None, false)
       in
       ( r.circuit,
         r.data_bit,
         r.answer_phys,
         List.length r.iteration_order,
         List.length r.violations,
-        tv )
+        tv,
+        sampled )
     end
     else begin
       let m =
-        Multi_transform.transform ~mode:options.mode ~mct
-          ~slots:options.slots prepared
+        Multi_transform.transform ~mode:options.Options.mode ~mct
+          ~slots:options.Options.slots prepared
       in
       let tv =
-        if options.check_equivalence && Circ.num_qubits prepared <= 12 then
+        if options.Options.check_equivalence && small then
           Some (Multi_transform.tv_distance prepared m)
         else None
       in
@@ -71,18 +144,19 @@ let compile ?(options = default) traditional =
         m.answer_phys,
         List.length m.iteration_order,
         List.length m.violations,
-        tv )
+        tv,
+        false )
     end
   in
   let lowered =
     let c = transformed in
-    let c = if options.expand_cv then Decompose.Pass.expand_cv c else c in
+    let c = if options.Options.expand_cv then Decompose.Pass.expand_cv c else c in
     let c =
-      if options.peephole then
+      if options.Options.peephole then
         Decompose.Peephole.merge_rotations (Decompose.Peephole.cancel_inverses c)
       else c
     in
-    if options.native then Transpile.Basis.to_native c else c
+    if options.Options.native then Transpile.Basis.to_native c else c
   in
   {
     circuit = lowered;
@@ -95,7 +169,11 @@ let compile ?(options = default) traditional =
     depth = Metrics.dynamic_depth lowered;
     duration_ns = Metrics.duration lowered;
     tv;
+    tv_sampled = sampled;
   }
+
+let compile_flat ?(options = default) traditional =
+  compile ~options:(Options.of_flat options) traditional
 
 let pp fmt o =
   Format.fprintf fmt
@@ -105,6 +183,7 @@ let pp fmt o =
     (o.duration_ns /. 1000.)
     o.iterations o.violations
     (match o.tv with
+    | Some tv when o.tv_sampled -> Printf.sprintf "sampled TV distance: %.6f" tv
     | Some tv -> Printf.sprintf "exact TV distance: %.6f" tv
     | None -> "equivalence check skipped")
 

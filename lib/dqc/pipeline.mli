@@ -7,8 +7,19 @@ open Circuit
     transformation (single- or multi-slot) -> optional CV expansion ->
     optional peephole cleanup -> optional native-basis lowering, and
     returns the circuit together with the metrics and equivalence
-    evidence accumulated along the way. *)
+    evidence accumulated along the way.
 
+    Options are built in pipeline style:
+    {[
+      Pipeline.Options.default
+      |> Pipeline.Options.with_scheme Toffoli_scheme.Dynamic_1
+      |> Pipeline.Options.with_slots 2
+      |> Pipeline.Options.with_backend_policy Sim.Backend.Stabilizer
+    ]} *)
+
+(** The pre-builder flat options record.  Deprecated shim: retained so
+    existing callers keep compiling — new code should use {!Options}
+    and {!compile}; this record cannot carry a backend policy. *)
 type options = {
   scheme : Toffoli_scheme.t;  (** defaults to [Dynamic_2] in {!default} *)
   mode : [ `Algorithm1 | `Sound ];
@@ -16,10 +27,47 @@ type options = {
   expand_cv : bool;  (** lower CV/CV† to Clifford+T (Fig 6) *)
   peephole : bool;  (** cancel inverse pairs and merge rotations *)
   native : bool;  (** lower to the IBM basis {rz, sx, x, cx} *)
-  check_equivalence : bool;  (** exact TV distance (<= 12 qubits) *)
+  check_equivalence : bool;  (** TV distance (exact <= 12 qubits) *)
 }
 
+(** Deprecated shim alongside {!type-options}; {!Options.default} is
+    the builder-era equivalent. *)
 val default : options
+
+module Options : sig
+  type t
+
+  (** [Dynamic_2], [`Algorithm1], 1 slot, CV expansion on, peephole
+      off, native off, equivalence check on, [Sim.Backend.Auto]. *)
+  val default : t
+
+  val with_scheme : Toffoli_scheme.t -> t -> t
+  val with_mode : [ `Algorithm1 | `Sound ] -> t -> t
+
+  (** @raise Invalid_argument when [slots < 1]. *)
+  val with_slots : int -> t -> t
+
+  val with_expand_cv : bool -> t -> t
+  val with_peephole : bool -> t -> t
+  val with_native : bool -> t -> t
+  val with_check_equivalence : bool -> t -> t
+
+  (** Execution backend the pipeline's shot-based stages (the sampled
+      equivalence fallback beyond 12 qubits) dispatch through. *)
+  val with_backend_policy : Sim.Backend.policy -> t -> t
+
+  val scheme : t -> Toffoli_scheme.t
+  val mode : t -> [ `Algorithm1 | `Sound ]
+  val slots : t -> int
+  val expand_cv : t -> bool
+  val peephole : t -> bool
+  val native : t -> bool
+  val check_equivalence : t -> bool
+  val backend_policy : t -> Sim.Backend.policy
+
+  (** Lift the deprecated flat record ([backend_policy] = [Auto]). *)
+  val of_flat : options -> t
+end
 
 type output = {
   circuit : Circ.t;
@@ -32,12 +80,23 @@ type output = {
   depth : int;
   duration_ns : float;
   tv : float option;  (** None when the check was skipped *)
+  tv_sampled : bool;
+      (** [tv] came from {!Equivalence.sampled_tv_distance} (shot
+          estimate through the execution backend) rather than exact
+          branch enumeration *)
 }
 
-(** [compile ?options traditional].
+(** [compile ?options traditional].  Beyond 12 qubits the exact
+    equivalence check is replaced by a sampled one through
+    {!Sim.Backend.run} when both circuits are Clifford (single-slot
+    only); otherwise it is skipped as before.
     @raise Transform.Not_transformable / Interaction.Cyclic as the
     underlying stages do. *)
-val compile : ?options:options -> Circ.t -> output
+val compile : ?options:Options.t -> Circ.t -> output
+
+(** Deprecated shim for the flat record:
+    [compile_flat ~options c = compile ~options:(Options.of_flat options) c]. *)
+val compile_flat : ?options:options -> Circ.t -> output
 
 val pp : Format.formatter -> output -> unit
 val to_string : output -> string

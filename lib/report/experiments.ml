@@ -113,11 +113,11 @@ let fig7_entry ~shots ~seed (o : Algorithms.Oracle.t) =
   let accuracy_of hist = 1. -. Sim.Dist.tv_distance (Sim.Runner.to_dist hist) ideal in
   let accuracy_trad =
     accuracy_of
-      (Sim.Runner.run_shots_measured ~seed ~shots ~measures:trad_measures dj)
+      (Sim.Backend.run_measured ~seed ~shots ~measures:trad_measures dj)
   in
   let dyn_accuracy (r : Dqc.Transform.result) =
     accuracy_of
-      (Sim.Runner.run_shots_measured ~seed:(seed + 1) ~shots
+      (Sim.Backend.run_measured ~seed:(seed + 1) ~shots
          ~measures:(dyn_measures r) r.circuit)
   in
   {

@@ -1,0 +1,133 @@
+open Circuit
+
+type policy = Auto | Statevector_dense | Stabilizer | Exact_branch
+
+let policy_to_string = function
+  | Auto -> "auto"
+  | Statevector_dense -> "dense"
+  | Stabilizer -> "stabilizer"
+  | Exact_branch -> "exact"
+
+let policy_of_string = function
+  | "auto" -> Some Auto
+  | "dense" | "statevector" -> Some Statevector_dense
+  | "stabilizer" | "chp" -> Some Stabilizer
+  | "exact" | "exact-branch" -> Some Exact_branch
+  | _ -> None
+
+let pp_policy fmt p = Format.pp_print_string fmt (policy_to_string p)
+
+module Prefix = struct
+  type t = {
+    state : Statevector.t;
+    suffix : Instruction.t list;
+  }
+
+  let split c =
+    let rec go acc = function
+      | (Instruction.Measure _ | Instruction.Reset _) :: _ as rest ->
+          (List.rev acc, rest)
+      | i :: rest -> go (i :: acc) rest
+      | [] -> (List.rev acc, [])
+    in
+    go [] (Circ.instructions c)
+
+  (* the prefix consumes no randomness: measure/reset never appear in it *)
+  let no_random () = assert false
+
+  let prepare c =
+    let prefix, suffix = split c in
+    let st =
+      Statevector.create (Circ.num_qubits c) ~num_bits:(Circ.num_bits c)
+    in
+    List.iter (Statevector.run_instruction ~random:no_random st) prefix;
+    { state = st; suffix }
+
+  let state t = t.state
+  let suffix t = t.suffix
+
+  let run_shot t ~rng =
+    let st = Statevector.copy t.state in
+    let random () = Random.State.float rng 1.0 in
+    List.iter (Statevector.run_instruction ~random st) t.suffix;
+    Statevector.register st
+end
+
+let branch_points c =
+  List.fold_left
+    (fun acc i ->
+      match i with
+      | Instruction.Measure _ | Instruction.Reset _ -> acc + 1
+      | _ -> acc)
+    0 (Circ.instructions c)
+
+(* The exact backend pays ~2^branch_points statevector replays up
+   front and then O(1) per shot; worth it only when that bound is
+   comfortably below the shot count, and hopeless beyond the dense
+   amplitude cap anyway.  The bound is loose (pruning usually kills
+   most branches) so the auto policy stays conservative. *)
+let exact_auto_max_qubits = 16
+
+let exact_tractable ~shots c =
+  let k = branch_points c in
+  Circ.num_qubits c <= exact_auto_max_qubits
+  && k < Sys.int_size - 2
+  && 1 lsl k <= max 64 (shots / 4)
+
+let check_dense_fits ~who c =
+  if Circ.num_qubits c > Statevector.max_qubits then
+    invalid_arg
+      (Printf.sprintf "Backend.run: %s backend capped at %d qubits (got %d)"
+         who Statevector.max_qubits (Circ.num_qubits c))
+
+let select ?(policy = Auto) ~shots c =
+  match policy with
+  | Statevector_dense ->
+      check_dense_fits ~who:"dense" c;
+      `Dense
+  | Stabilizer ->
+      if not (Stabilizer.supports c) then
+        raise
+          (Stabilizer.Unsupported
+             "Backend.run: stabilizer policy on a non-Clifford circuit");
+      `Stabilizer
+  | Exact_branch ->
+      check_dense_fits ~who:"exact-branch" c;
+      `Exact
+  | Auto ->
+      if Stabilizer.supports c then `Stabilizer
+      else if exact_tractable ~shots c then `Exact
+      else begin
+        check_dense_fits ~who:"dense" c;
+        `Dense
+      end
+
+let run ?policy ?(seed = 0xC0FFEE) ?domains ?plan ?(prefix_cache = true)
+    ~shots c =
+  let c =
+    match plan with
+    | None -> c
+    | Some plan -> Measurement_plan.instrument plan c
+  in
+  let width = Circ.num_bits c in
+  match select ?policy ~shots c with
+  | `Stabilizer ->
+      Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
+          Stabilizer.register (Stabilizer.run ~rng c))
+  | `Exact ->
+      let sampler = Dist.sampler (Exact.register_distribution c) in
+      Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
+          Dist.sample sampler rng)
+  | `Dense ->
+      if prefix_cache then begin
+        let cached = Prefix.prepare c in
+        Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
+            Prefix.run_shot cached ~rng)
+      end
+      else
+        Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
+            Statevector.register (Statevector.run ~rng c))
+
+let run_measured ?policy ?seed ?domains ?prefix_cache ~shots ~measures c =
+  run ?policy ?seed ?domains ~plan:(Measurement_plan.of_pairs measures)
+    ?prefix_cache ~shots c

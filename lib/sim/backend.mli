@@ -1,0 +1,107 @@
+open Circuit
+
+(** First-class execution backends behind one entry point.
+
+    [Backend.run] replaces ad-hoc calls to the individual engines: it
+    picks an execution strategy for the circuit (or honours an explicit
+    [policy]), shards the shots across domains through {!Parallel} and
+    returns an ordinary {!Runner.histogram}.
+
+    Backends:
+    - {e dense statevector} — the general engine, one replay per shot,
+      accelerated by the shared-prefix cache (see {!Prefix});
+    - {e stabilizer} — CHP tableau when the circuit is Clifford
+      ({!Stabilizer.supports}); scales to hundreds of qubits;
+    - {e exact branch} — when the measurement/reset count is small the
+      exact branching distribution ({!Exact}) is computed once and
+      shots are drawn from it with the O(1) alias sampler.
+
+    Determinism: for a fixed [seed] the histogram is byte-identical
+    regardless of [domains] and of the prefix cache, because every
+    shot owns a split RNG state (see {!Parallel}). *)
+
+type policy =
+  | Auto  (** inspect the circuit: stabilizer > exact branch > dense *)
+  | Statevector_dense
+  | Stabilizer
+  | Exact_branch
+
+val policy_to_string : policy -> string
+
+(** Parses ["auto" | "dense" | "stabilizer" | "exact"]. *)
+val policy_of_string : string -> policy option
+
+val pp_policy : Format.formatter -> policy -> unit
+
+(** {1 Shared-prefix cache}
+
+    Every instruction before the first measurement/reset is
+    deterministic (unitaries, barriers, and conditioned gates reading
+    the still-all-zero register), so the prefix state is simulated once
+    and only the suffix is replayed per shot.  On terminal-measurement
+    workloads (the paper's Tables I–II benchmarks run through a
+    {!Measurement_plan}) the whole circuit is prefix and a shot
+    collapses to copy + measure. *)
+module Prefix : sig
+  type t
+
+  (** Split at the first measurement/reset: [(prefix, suffix)]. *)
+  val split : Circ.t -> Instruction.t list * Instruction.t list
+
+  (** Simulate the deterministic prefix once.
+      @raise Invalid_argument beyond {!Statevector.max_qubits}. *)
+  val prepare : Circ.t -> t
+
+  (** The cached state — shared read-only across shots and domains. *)
+  val state : t -> Statevector.t
+
+  val suffix : t -> Instruction.t list
+
+  (** [run_shot t ~rng] copies the cached state, replays the suffix
+      and returns the final register. *)
+  val run_shot : t -> rng:Random.State.t -> int
+end
+
+(** Measurement/reset instructions in the circuit — the branch-point
+    count the [Auto] policy uses to judge {!Exact} tractability. *)
+val branch_points : Circ.t -> int
+
+(** The backend [run] would dispatch to.  [Auto] selects: stabilizer
+    when the circuit is Clifford; exact branching when the leaf bound
+    [2^branch_points] is small relative to [shots] (and the circuit
+    fits the dense cap); dense otherwise.
+    @raise Stabilizer.Unsupported when the [Stabilizer] policy is
+    forced on a non-Clifford circuit.
+    @raise Invalid_argument when [Statevector_dense]/[Exact_branch] is
+    forced beyond {!Statevector.max_qubits}. *)
+val select :
+  ?policy:policy -> shots:int -> Circ.t -> [ `Dense | `Stabilizer | `Exact ]
+
+(** [run ?policy ?seed ?domains ?plan ?prefix_cache ~shots c] executes
+    [shots] shots of [c] (instrumented with [plan]'s terminal
+    measurements when given) on the selected backend, sharded across
+    [domains] workers (default [Domain.recommended_domain_count ()]).
+    [prefix_cache] (default [true]) enables the shared-prefix cache on
+    the dense backend; disabling it replays the full circuit per shot
+    and yields the same histogram bit-for-bit. *)
+val run :
+  ?policy:policy ->
+  ?seed:int ->
+  ?domains:int ->
+  ?plan:Measurement_plan.t ->
+  ?prefix_cache:bool ->
+  shots:int ->
+  Circ.t ->
+  Runner.histogram
+
+(** [run_measured] is {!run} with [Measurement_plan.of_pairs measures]
+    — the drop-in replacement for {!Runner.run_shots_measured}. *)
+val run_measured :
+  ?policy:policy ->
+  ?seed:int ->
+  ?domains:int ->
+  ?prefix_cache:bool ->
+  shots:int ->
+  measures:(int * int) list ->
+  Circ.t ->
+  Runner.histogram

@@ -6,12 +6,14 @@ type leaf = {
   state : Statevector.t;
 }
 
-let prune_threshold = 1e-12
+let default_prune = 1e-12
 
 (* Depth-first enumeration: unitaries and conditioned gates act in
    place; measure and reset fork into the outcomes with non-negligible
    Born probability. *)
-let leaves c =
+let leaves ?(prune = default_prune) c =
+  if not (prune >= 0.) then invalid_arg "Exact.leaves: negative prune threshold";
+  let prune_threshold = prune in
   let acc = ref [] in
   let rec go st prob instrs =
     if prob > prune_threshold then
@@ -61,26 +63,15 @@ let leaves c =
   go st0 1.0 (Circ.instructions c);
   List.rev !acc
 
-let register_distribution c =
+let register_distribution ?prune c =
   Dist.create ~width:(Circ.num_bits c)
-    (List.map (fun l -> (l.register, l.probability)) (leaves c))
+    (List.map (fun l -> (l.register, l.probability)) (leaves ?prune c))
 
-let measured_distribution ~measures c =
-  let extra =
-    List.map
-      (fun (qubit, bit) -> Instruction.Measure { qubit; bit })
-      measures
-  in
-  let max_bit =
-    List.fold_left (fun acc (_, b) -> max acc (b + 1)) (Circ.num_bits c)
-      measures
-  in
-  let widened =
-    Circ.create ~roles:(Circ.roles c) ~num_bits:max_bit
-      (Circ.instructions c @ extra)
-  in
-  register_distribution widened
+let plan_distribution ?prune ~plan c =
+  register_distribution ?prune (Measurement_plan.instrument plan c)
 
-let measure_all_distribution c =
-  let n = Circ.num_qubits c in
-  measured_distribution ~measures:(List.init n (fun q -> (q, q))) c
+let measured_distribution ?prune ~measures c =
+  plan_distribution ?prune ~plan:(Measurement_plan.of_pairs measures) c
+
+let measure_all_distribution ?prune c =
+  plan_distribution ?prune ~plan:Measurement_plan.measure_all c

@@ -13,18 +13,25 @@ type leaf = {
   state : Statevector.t;  (** final (normalized) quantum state *)
 }
 
-(** All leaves with probability above the pruning threshold 1e-12. *)
-val leaves : Circ.t -> leaf list
+(** All leaves with probability above [prune] (default 1e-12).
+    @raise Invalid_argument when [prune] is negative or NaN. *)
+val leaves : ?prune:float -> Circ.t -> leaf list
 
 (** Exact distribution over the classical register. *)
-val register_distribution : Circ.t -> Dist.t
+val register_distribution : ?prune:float -> Circ.t -> Dist.t
 
-(** [measured_distribution ~measures c] appends terminal measurements
-    [(qubit, bit)] to the circuit and returns the exact register
-    distribution. *)
-val measured_distribution : measures:(int * int) list -> Circ.t -> Dist.t
+(** [plan_distribution ~plan c] instruments [c] with the plan's
+    terminal measurements ({!Measurement_plan.instrument}) and returns
+    the exact register distribution. *)
+val plan_distribution :
+  ?prune:float -> plan:Measurement_plan.t -> Circ.t -> Dist.t
+
+(** [measured_distribution ~measures c] is
+    [plan_distribution ~plan:(Measurement_plan.of_pairs measures) c]. *)
+val measured_distribution :
+  ?prune:float -> measures:(int * int) list -> Circ.t -> Dist.t
 
 (** [measure_all_distribution c] measures every qubit at the end,
     qubit [q] into bit [q]; requires [num_bits >= num_qubits] or widens
     the register. *)
-val measure_all_distribution : Circ.t -> Dist.t
+val measure_all_distribution : ?prune:float -> Circ.t -> Dist.t

@@ -77,11 +77,7 @@ let maybe_dephase ~rng ~p st q =
   if p > 0. && Random.State.float rng 1.0 < p then
     Statevector.apply_gate st Gate.Z q
 
-let run_shot ~rng ~model c =
-  validate model;
-  let st =
-    Statevector.create (Circ.num_qubits c) ~num_bits:(Circ.num_bits c)
-  in
+let run_instructions ~rng ~model ~num_qubits st instrs =
   let step (i : Instruction.t) =
     match i with
     | Unitary a ->
@@ -98,7 +94,7 @@ let run_shot ~rng ~model c =
         (match model.feedforward_scope with
         | `Target -> maybe_dephase ~rng ~p:model.p_feedforward_z st a.target
         | `All_qubits ->
-            for q = 0 to Circ.num_qubits c - 1 do
+            for q = 0 to num_qubits - 1 do
               maybe_dephase ~rng ~p:model.p_feedforward_z st q
             done);
         if Instruction.cond_holds cnd (Statevector.register st) then begin
@@ -125,14 +121,48 @@ let run_shot ~rng ~model c =
         then Statevector.apply_gate st Gate.X q
     | Barrier _ -> ()
   in
-  List.iter step (Circ.instructions c);
+  List.iter step instrs;
   Statevector.register st
 
-let run_shots ?(seed = 0xD1CE) ~model ~shots c =
-  let rng = Random.State.make [| seed |] in
-  Runner.collect ~width:(Circ.num_bits c) ~shots (fun () ->
-      run_shot ~rng ~model c)
+let run_shot ~rng ~model c =
+  validate model;
+  let st =
+    Statevector.create (Circ.num_qubits c) ~num_bits:(Circ.num_bits c)
+  in
+  run_instructions ~rng ~model ~num_qubits:(Circ.num_qubits c) st
+    (Circ.instructions c)
 
-let expected_outcome_probability ?seed ~model ~shots ~expected c =
-  let h = run_shots ?seed ~model ~shots c in
+(* The shared-prefix cache is sound under noise only when the model
+   injects nothing into the prefix: no per-unitary channels, and no
+   feed-forward dephasing if the prefix holds a conditioned gate. *)
+let prefix_noise_free model prefix =
+  model.p_depol1 = 0. && model.p_depol2 = 0. && model.p_amp_damp = 0.
+  && (model.p_feedforward_z = 0.
+     || List.for_all
+          (function Instruction.Conditioned _ -> false | _ -> true)
+          prefix)
+
+let run_shots ?(seed = 0xD1CE) ?domains ?plan ~model ~shots c =
+  validate model;
+  let c =
+    match plan with
+    | None -> c
+    | Some plan -> Measurement_plan.instrument plan c
+  in
+  let width = Circ.num_bits c in
+  let num_qubits = Circ.num_qubits c in
+  let prefix, _suffix = Backend.Prefix.split c in
+  if prefix_noise_free model prefix then begin
+    let cached = Backend.Prefix.prepare c in
+    let suffix = Backend.Prefix.suffix cached in
+    Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
+        let st = Statevector.copy (Backend.Prefix.state cached) in
+        run_instructions ~rng ~model ~num_qubits st suffix)
+  end
+  else
+    Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
+        run_shot ~rng ~model c)
+
+let expected_outcome_probability ?seed ?domains ~model ~shots ~expected c =
+  let h = run_shots ?seed ?domains ~model ~shots c in
   Runner.frequency h expected

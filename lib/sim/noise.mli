@@ -51,12 +51,30 @@ val validate : model -> unit
     the final classical register. *)
 val run_shot : rng:Random.State.t -> model:model -> Circ.t -> int
 
-(** [run_shots ?seed ~model ~shots c] tallies noisy trajectories. *)
+(** [run_shots ?seed ?domains ?plan ~model ~shots c] tallies noisy
+    trajectories, sharded across domains by the parallel shot engine
+    ({!Parallel}): deterministic for a fixed [seed] regardless of
+    [domains].  When the model injects no noise into the deterministic
+    prefix (before the first measurement/reset) the prefix state is
+    simulated once and shared across all trajectories
+    ({!Backend.Prefix}).  [plan] appends terminal measurements. *)
 val run_shots :
-  ?seed:int -> model:model -> shots:int -> Circ.t -> Runner.histogram
+  ?seed:int ->
+  ?domains:int ->
+  ?plan:Measurement_plan.t ->
+  model:model ->
+  shots:int ->
+  Circ.t ->
+  Runner.histogram
 
 (** [expected_outcome_probability ?seed ~model ~shots ~expected c]
     is the fraction of noisy shots whose register equals [expected] —
     the quantity plotted in Fig 7. *)
 val expected_outcome_probability :
-  ?seed:int -> model:model -> shots:int -> expected:int -> Circ.t -> float
+  ?seed:int ->
+  ?domains:int ->
+  model:model ->
+  shots:int ->
+  expected:int ->
+  Circ.t ->
+  float

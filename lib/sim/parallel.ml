@@ -1,0 +1,51 @@
+let recommended_domains () = Domain.recommended_domain_count ()
+
+(* One split per shot, in index order, so the stream of per-shot states
+   is a pure function of [seed] — independent of how shots are later
+   sharded across domains. *)
+let shot_rngs ~seed shots =
+  let root = Random.State.make [| seed |] in
+  let states = Array.make shots root in
+  for i = 0 to shots - 1 do
+    states.(i) <- Random.State.split root
+  done;
+  states
+
+let tally_block rngs f lo hi =
+  let counts = Hashtbl.create 16 in
+  for i = lo to hi - 1 do
+    let outcome = f ~rng:rngs.(i) ~index:i in
+    let prev = Option.value ~default:0 (Hashtbl.find_opt counts outcome) in
+    Hashtbl.replace counts outcome (prev + 1)
+  done;
+  Hashtbl.fold (fun outcome n acc -> (outcome, n) :: acc) counts []
+
+let run ?domains ~seed ~width ~shots f =
+  if shots < 0 then invalid_arg "Parallel.run: negative shots";
+  let domains =
+    match domains with
+    | Some d when d < 1 -> invalid_arg "Parallel.run: domains < 1"
+    | Some d -> d
+    | None -> recommended_domains ()
+  in
+  let domains = max 1 (min domains shots) in
+  let rngs = shot_rngs ~seed shots in
+  let bounds d = (d * shots / domains, (d + 1) * shots / domains) in
+  if domains = 1 then Runner.of_counts ~width (tally_block rngs f 0 shots)
+  else begin
+    (* workers take blocks 1..domains-1; block 0 runs here *)
+    let workers =
+      Array.init (domains - 1) (fun k ->
+          let lo, hi = bounds (k + 1) in
+          Domain.spawn (fun () -> tally_block rngs f lo hi))
+    in
+    let own =
+      let lo, hi = bounds 0 in
+      tally_block rngs f lo hi
+    in
+    Array.fold_left
+      (fun acc worker ->
+        Runner.merge acc (Runner.of_counts ~width (Domain.join worker)))
+      (Runner.of_counts ~width own)
+      workers
+  end

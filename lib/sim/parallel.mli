@@ -1,0 +1,31 @@
+(** OCaml 5 [Domain]-based shot engine.
+
+    Shots are sharded into contiguous blocks across worker domains;
+    each shot [i] draws from its own RNG state, derived by splitting a
+    root state seeded with [seed] ({!Random.State.split}, LXM).  The
+    per-shot derivation is what makes the result {e deterministic
+    regardless of the domain count}: outcome [i] depends only on
+    [(seed, i)], and per-domain tallies merge additively, so
+    [domains:1] and [domains:N] produce byte-identical histograms.
+
+    The paper's evaluation replays every configuration at 1024 shots;
+    this engine is the scaling seam — {!Backend.run} dispatches every
+    simulation backend through it. *)
+
+(** [Domain.recommended_domain_count ()] — the default worker count. *)
+val recommended_domains : unit -> int
+
+(** [run ?domains ~seed ~width ~shots f] tallies
+    [f ~rng ~index:i] for [i = 0 .. shots-1] into a histogram of the
+    given bit [width].  [f] runs concurrently on [domains] workers
+    (default {!recommended_domains}; clamped to [shots]) and must not
+    share mutable state across calls beyond [rng], which is private to
+    shot [index].
+    @raise Invalid_argument when [shots < 0] or [domains < 1]. *)
+val run :
+  ?domains:int ->
+  seed:int ->
+  width:int ->
+  shots:int ->
+  (rng:Random.State.t -> index:int -> int) ->
+  Runner.histogram

@@ -2,9 +2,11 @@ open Circuit
 
 type histogram = { w : int; total : int; counts : (int, int) Hashtbl.t }
 
-let tally counts outcome =
+let tally_n counts outcome n =
   let prev = Option.value ~default:0 (Hashtbl.find_opt counts outcome) in
-  Hashtbl.replace counts outcome (prev + 1)
+  Hashtbl.replace counts outcome (prev + n)
+
+let tally counts outcome = tally_n counts outcome 1
 
 let run_shots ?(seed = 0xC0FFEE) ~shots c =
   let rng = Random.State.make [| seed |] in
@@ -15,19 +17,29 @@ let run_shots ?(seed = 0xC0FFEE) ~shots c =
   done;
   { w = Circ.num_bits c; total = shots; counts }
 
-let with_measures ~measures c =
-  let extra =
-    List.map (fun (qubit, bit) -> Instruction.Measure { qubit; bit }) measures
-  in
-  let max_bit =
-    List.fold_left (fun acc (_, b) -> max acc (b + 1)) (Circ.num_bits c)
-      measures
-  in
-  Circ.create ~roles:(Circ.roles c) ~num_bits:max_bit
-    (Circ.instructions c @ extra)
+let run_plan ?seed ~shots ~plan c =
+  run_shots ?seed ~shots (Measurement_plan.instrument plan c)
 
 let run_shots_measured ?seed ~shots ~measures c =
-  run_shots ?seed ~shots (with_measures ~measures c)
+  run_plan ?seed ~shots ~plan:(Measurement_plan.of_pairs measures) c
+
+let of_counts ~width pairs =
+  let counts = Hashtbl.create 16 in
+  let total =
+    List.fold_left
+      (fun acc (outcome, n) ->
+        if n < 0 then invalid_arg "Runner.of_counts: negative count";
+        if n > 0 then tally_n counts outcome n;
+        acc + n)
+      0 pairs
+  in
+  { w = width; total; counts }
+
+let merge a b =
+  if a.w <> b.w then invalid_arg "Runner.merge: width mismatch";
+  let counts = Hashtbl.copy a.counts in
+  Hashtbl.iter (fun outcome n -> tally_n counts outcome n) b.counts;
+  { w = a.w; total = a.total + b.total; counts }
 
 let collect ~width ~shots f =
   let counts = Hashtbl.create 16 in

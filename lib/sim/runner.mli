@@ -6,13 +6,30 @@ open Circuit
 type histogram
 
 (** [run_shots ?seed ~shots c] executes [c] independently [shots]
-    times and tallies final register values. *)
+    times and tallies final register values.  This is the serial
+    single-RNG-stream reference; {!Backend.run} is the parallel,
+    backend-dispatched entry point built on top of it. *)
 val run_shots : ?seed:int -> shots:int -> Circ.t -> histogram
 
-(** [run_shots_measured ?seed ~shots ~measures c] appends terminal
-    measurements [(qubit, bit)] before running. *)
+(** [run_plan ?seed ~shots ~plan c] instruments [c] with the plan's
+    terminal measurements before running. *)
+val run_plan :
+  ?seed:int -> shots:int -> plan:Measurement_plan.t -> Circ.t -> histogram
+
+(** [run_shots_measured ?seed ~shots ~measures c] is {!run_plan} with
+    [Measurement_plan.of_pairs measures]. *)
 val run_shots_measured :
   ?seed:int -> shots:int -> measures:(int * int) list -> Circ.t -> histogram
+
+(** [of_counts ~width pairs] builds a histogram from (outcome, count)
+    pairs (duplicates accumulate; total = sum of counts).
+    @raise Invalid_argument on a negative count. *)
+val of_counts : width:int -> (int * int) list -> histogram
+
+(** [merge a b] sums two histograms of equal width — the reduction the
+    parallel shot engine applies to per-domain tallies.
+    @raise Invalid_argument on width mismatch. *)
+val merge : histogram -> histogram -> histogram
 
 (** [collect ~width ~shots f] tallies [shots] samples of [f ()] — the
     generic entry point other executors (e.g. {!Noise}) build on. *)

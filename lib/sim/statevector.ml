@@ -72,12 +72,13 @@ let prob_one st q =
     st.amps;
   !acc
 
+exception Zero_probability_branch of { qubit : int; outcome : bool }
+
 let project st q outcome =
   let bit = 1 lsl q in
   let p1 = prob_one st q in
   let p = if outcome then p1 else 1. -. p1 in
-  if p <= 1e-15 then
-    invalid_arg "Statevector.project: zero-probability branch";
+  if p <= 1e-15 then raise (Zero_probability_branch { qubit = q; outcome });
   let keep idx = (idx land bit <> 0) = outcome in
   let scale = Linalg.Complex_ext.of_float (1. /. sqrt p) in
   Array.iteri

@@ -8,8 +8,11 @@ open Circuit
 
 type t
 
+(** Dense-vector qubit cap (24): {!create} rejects anything larger. *)
+val max_qubits : int
+
 (** [create n ~num_bits] is |0...0> with an all-zero classical
-    register.  [n] is capped at 24 qubits (dense vector). *)
+    register.  [n] is capped at {!max_qubits} (dense vector). *)
 val create : int -> num_bits:int -> t
 
 val num_qubits : t -> int
@@ -39,9 +42,14 @@ val apply_kraus1 : t -> Linalg.Cmat.t -> int -> unit
 (** Probability that measuring [q] yields 1. *)
 val prob_one : t -> int -> float
 
+(** Raised by {!project} when the requested branch has (numerically)
+    zero Born probability — collapsing onto it would divide by zero. *)
+exception Zero_probability_branch of { qubit : int; outcome : bool }
+
 (** [project st q outcome] collapses qubit [q] to [outcome] and
     renormalizes; returns the probability the branch had.
-    @raise Invalid_argument if that probability is (numerically) 0. *)
+    @raise Zero_probability_branch if that probability is
+    (numerically) 0. *)
 val project : t -> int -> bool -> float
 
 (** [measure ~random st ~qubit ~bit] samples an outcome with [random]

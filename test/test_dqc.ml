@@ -312,14 +312,11 @@ let test_pipeline_default () =
 let test_pipeline_sound_multislot_native () =
   let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND") in
   let options =
-    {
-      Dqc.Pipeline.default with
-      Dqc.Pipeline.scheme = Dqc.Toffoli_scheme.Dynamic_1;
-      mode = `Sound;
-      slots = 2;
-      native = true;
-      peephole = true;
-    }
+    Dqc.Pipeline.Options.(
+      default
+      |> with_scheme Dqc.Toffoli_scheme.Dynamic_1
+      |> with_mode `Sound |> with_slots 2 |> with_native true
+      |> with_peephole true)
   in
   let out = Dqc.Pipeline.compile ~options (Algorithms.Dj.circuit o) in
   check_int "three qubits" 3 out.Dqc.Pipeline.qubits;
@@ -332,10 +329,11 @@ let test_pipeline_sound_multislot_native () =
 
 let test_pipeline_direct_mct () =
   let dj = Algorithms.Dj.circuit (Algorithms.Mct_bench.and_n 3) in
+  (* the deprecated flat-record shim keeps pre-builder callers alive *)
   let options =
     { Dqc.Pipeline.default with Dqc.Pipeline.scheme = Dqc.Toffoli_scheme.Direct_mct }
   in
-  let out = Dqc.Pipeline.compile ~options dj in
+  let out = Dqc.Pipeline.compile_flat ~options dj in
   check_int "two qubits" 2 out.Dqc.Pipeline.qubits
 
 (* ------------------------------------------------------------------ *)

@@ -73,7 +73,7 @@ let test_measure_collapse () =
 let test_project_zero_raises () =
   let st = Sim.Statevector.create 1 ~num_bits:0 in
   Alcotest.check_raises "zero branch"
-    (Invalid_argument "Statevector.project: zero-probability branch")
+    (Sim.Statevector.Zero_probability_branch { qubit = 0; outcome = true })
     (fun () -> ignore (Sim.Statevector.project st 0 true))
 
 let test_reset () =
