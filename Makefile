@@ -1,4 +1,4 @@
-.PHONY: all build test bench ci clean
+.PHONY: all build test bench ci fmt-check trace-smoke clean
 
 all: build
 
@@ -11,12 +11,39 @@ test:
 bench:
 	dune exec bench/main.exe -- all
 
+# Source hygiene: no tabs, no trailing whitespace in OCaml sources
+# (ocamlformat is not available in the sealed environment, so this is
+# the formatting floor CI can enforce).
+fmt-check:
+	@bad=$$(grep -rlnP '\t| +$$' --include='*.ml' --include='*.mli' \
+	  lib bin test bench examples 2>/dev/null || true); \
+	if [ -n "$$bad" ]; then \
+	  echo "fmt-check: tabs or trailing whitespace in:"; echo "$$bad"; exit 1; \
+	else echo "fmt-check: OK"; fi
+
+# Telemetry smoke: run the stats subcommand with both exporters, then
+# assert the trace parses as JSON and carries the pipeline + backend
+# spans the exporters promise.
+trace-smoke:
+	OCAMLRUNPARAM=b dune exec bin/dqc_cli.exe -- stats AND --shots 256 \
+	  --trace /tmp/dqc_trace.json --metrics /tmp/dqc_metrics.json
+	python3 -c "import json; \
+	t = json.load(open('/tmp/dqc_trace.json')); \
+	names = {e['name'] for e in t['traceEvents'] if e.get('ph') == 'X'}; \
+	assert 'pipeline.compile' in names and 'backend.run' in names, names; \
+	m = json.load(open('/tmp/dqc_metrics.json')); \
+	assert m['schema'] == 'dqc.obs.metrics/1', m['schema']; \
+	assert m['counters']['backend.shots'] == 256, m['counters']; \
+	print('trace-smoke: OK (%d events)' % len(t['traceEvents']))"
+
 # One-command gate: full build + tests + a smoke run of the
-# execution-backend study (OCAMLRUNPARAM=b: backtraces on uncaught
-# exceptions).
+# execution-backend study + the telemetry smoke + source hygiene
+# (OCAMLRUNPARAM=b: backtraces on uncaught exceptions).
 ci:
 	OCAMLRUNPARAM=b dune build @runtest
 	OCAMLRUNPARAM=b dune exec bench/main.exe -- backend
+	$(MAKE) trace-smoke
+	$(MAKE) fmt-check
 
 clean:
 	dune clean

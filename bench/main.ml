@@ -88,6 +88,8 @@ let run_ablation () =
    backend, on 4096 shots of the 10-qubit Table II DJ family head,
    then checks seed-determinism across domain counts. *)
 
+let obs_json_path = "BENCH_obs.json"
+
 let run_backend () =
   section "E12 / Execution backends: serial vs parallel vs prefix-cached";
   (* the Table II AND family pushed to 9 data qubits (Mct_bench stops
@@ -160,7 +162,24 @@ let run_backend () =
   Printf.printf
     "serial baseline total %d shots, parallel total %d, auto total %d\n"
     (Sim.Runner.shots h_serial) (Sim.Runner.shots h_par)
-    (Sim.Runner.shots h_auto)
+    (Sim.Runner.shots h_auto);
+  (* One extra instrumented replay of the prefix-cached configuration:
+     quantifies the with-sink overhead against t_prefix above (the
+     uninstrumented runs already measured the no-sink cost) and seeds
+     the BENCH_obs.json metrics trajectory. *)
+  let collector, (h_obs, t_obs) =
+    Obs.with_collector (fun () ->
+        time (fun () ->
+            Sim.Backend.run ~policy:dense ~seed ~domains:1 ~plan ~shots dj))
+  in
+  Printf.printf
+    "\ntelemetry overhead (prefix-cached run, collector installed): %.1f ms \
+     vs %.1f ms uninstrumented (%+.1f%%); histograms identical: %b\n"
+    (t_obs *. 1000.) (t_prefix *. 1000.)
+    (100. *. ((t_obs /. t_prefix) -. 1.))
+    (same h_obs h_prefix);
+  Obs.Metrics_json.write ~path:obs_json_path collector;
+  Printf.printf "engine metrics written to %s\n" obs_json_path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                    *)
@@ -311,6 +330,38 @@ let make_benchmarks () =
      ]
     @ backend_engines)
 
+let bench_json_path = "BENCH_backend.json"
+
+(* "transform BV-4" -> "transform": the leading token names the group *)
+let group_of_name name =
+  match String.index_opt name ' ' with
+  | Some k -> String.sub name 0 k
+  | None -> name
+
+let write_bechamel_json estimates =
+  let results =
+    List.map
+      (fun (name, est) ->
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.String name);
+            ("group", Obs.Json.String (group_of_name name));
+            ( "ns_per_op",
+              match est with
+              | Some ns -> Obs.Json.Float ns
+              | None -> Obs.Json.Null );
+          ])
+      (List.sort (fun (a, _) (b, _) -> compare a b) estimates)
+  in
+  Obs.Json.write ~path:bench_json_path
+    (Obs.Json.Obj
+       [
+         ("schema", Obs.Json.String "dqc.bench/1");
+         ("unit", Obs.Json.String "ns/op");
+         ("results", Obs.Json.List results);
+       ]);
+  Printf.printf "\nmachine-readable results written to %s\n" bench_json_path
+
 let run_bechamel () =
   section "E5 / Bechamel timing";
   let open Bechamel in
@@ -322,6 +373,7 @@ let run_bechamel () =
     List.map (fun instance -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instance raw) instances
   in
   let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instances results in
+  let estimates = ref [] in
   let () =
     Hashtbl.iter
       (fun label tbl ->
@@ -330,12 +382,15 @@ let run_bechamel () =
           (fun name result ->
             match Bechamel.Analyze.OLS.estimates result with
             | Some [ est ] ->
+                estimates := (name, Some est) :: !estimates;
                 Printf.printf "%-34s %12.1f ns/run\n" name est
-            | Some _ | None -> Printf.printf "%-34s (no estimate)\n" name)
+            | Some _ | None ->
+                estimates := (name, None) :: !estimates;
+                Printf.printf "%-34s (no estimate)\n" name)
           tbl)
       results
   in
-  ()
+  write_bechamel_json !estimates
 
 (* ------------------------------------------------------------------ *)
 

@@ -30,16 +30,40 @@ let mode_conv =
   in
   Arg.conv (parse, print)
 
+(* Sized oracle families beyond the fixed suites: AND_9, NAND_6, OR_4,
+   MAJ_7, ... generated on demand (arity capped by Mct_bench). *)
+let generated_oracle name =
+  let sized prefix =
+    let pl = String.length prefix in
+    if String.length name > pl && String.sub name 0 pl = prefix then
+      int_of_string_opt (String.sub name pl (String.length name - pl))
+    else None
+  in
+  let try_make make n = try Some (make n) with Invalid_argument _ -> None in
+  List.find_map
+    (fun (prefix, make) ->
+      Option.bind (sized prefix) (try_make make))
+    [
+      ("AND_", Algorithms.Mct_bench.and_n);
+      ("NAND_", Algorithms.Mct_bench.nand_n);
+      ("OR_", Algorithms.Mct_bench.or_n);
+      ("MAJ_", Algorithms.Mct_bench.majority_n);
+    ]
+
 let find_oracle name =
   match Algorithms.Dj_toffoli.oracle_by_name name with
   | Some o -> Some o
   | None -> (
       match Algorithms.Dj.oracle_by_name name with
       | Some o -> Some o
-      | None ->
-          List.find_opt
-            (fun (o : Algorithms.Oracle.t) -> o.name = name)
-            Algorithms.Mct_bench.suite)
+      | None -> (
+          match
+            List.find_opt
+              (fun (o : Algorithms.Oracle.t) -> o.name = name)
+              Algorithms.Mct_bench.suite
+          with
+          | Some o -> Some o
+          | None -> generated_oracle name))
 
 let benchmark_circuit name =
   if String.length name > 3 && String.sub name 0 3 = "BV_" then
@@ -175,6 +199,61 @@ let backend_conv =
   in
   Arg.conv (parse, Sim.Backend.pp_policy)
 
+(* Reject bad worker counts at parse time — a raw Invalid_argument from
+   Sim.Parallel.run is not an acceptable CLI experience. *)
+let domains_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some d when d >= 1 -> Ok d
+    | Some d ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "--domains must be at least 1 (got %d): the shot engine needs \
+                a worker to run on"
+               d))
+    | None -> Error (`Msg (Printf.sprintf "invalid domain count %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some domains_conv) None
+    & info [ "domains" ]
+        ~doc:
+          "Worker domains for the parallel shot engine (default: all \
+           recommended cores; the histogram is seed-deterministic either \
+           way)")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file of every pipeline/backend \
+           span (open at chrome://tracing or ui.perfetto.dev)")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write the flat metrics JSON (counters, gauges, span stats)")
+
+let export_telemetry ?trace ?metrics collector =
+  Option.iter
+    (fun path ->
+      Obs.Chrome_trace.write ~path collector;
+      Printf.printf "chrome trace written to %s\n" path)
+    trace;
+  Option.iter
+    (fun path ->
+      Obs.Metrics_json.write ~path collector;
+      Printf.printf "metrics written to %s\n" path)
+    metrics
+
 let simulate_cmd =
   let shots = Arg.(value & opt int 1024 & info [ "shots" ] ~doc:"Shot count") in
   let dynamic =
@@ -187,17 +266,7 @@ let simulate_cmd =
       & info [ "backend" ]
           ~doc:"Execution backend: auto, dense, stabilizer or exact")
   in
-  let domains =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "domains" ]
-          ~doc:
-            "Worker domains for the parallel shot engine (default: all \
-             recommended cores; the histogram is seed-deterministic either \
-             way)")
-  in
-  let run name scheme shots dynamic backend domains =
+  let run name scheme shots dynamic backend domains trace metrics =
     match benchmark_circuit name with
     | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
     | Some c -> (
@@ -212,9 +281,18 @@ let simulate_cmd =
             (c, List.init (Circuit.Circ.num_qubits c) (fun q -> (q, q)))
         in
         try
-          let h =
+          let want_telemetry = trace <> None || metrics <> None in
+          let run_once () =
             Sim.Backend.run_measured ~policy:backend ?domains ~shots ~measures
               circuit
+          in
+          let h =
+            if want_telemetry then begin
+              let collector, h = Obs.with_collector run_once in
+              export_telemetry ?trace ?metrics collector;
+              h
+            end
+            else run_once ()
           in
           Format.printf "backend: %a@.%a@." Sim.Backend.pp_policy backend
             Sim.Runner.pp h
@@ -228,7 +306,92 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run shots on a benchmark (traditional or DQC)")
     Term.(
       const run $ benchmark_arg $ scheme_arg $ shots $ dynamic $ backend
-      $ domains)
+      $ domains_arg $ trace_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                              *)
+
+let stats_cmd =
+  let bench =
+    Arg.(
+      value
+      & pos 0 string "AND_9"
+      & info [] ~docv:"BENCHMARK"
+          ~doc:
+            "Benchmark to profile (default AND_9 — the 10-qubit DJ \
+             acceptance workload; see transform for the name grammar)")
+  in
+  let shots = Arg.(value & opt int 1024 & info [ "shots" ] ~doc:"Shot count") in
+  let seed = Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"RNG seed") in
+  let backend =
+    Arg.(
+      value
+      & opt backend_conv Sim.Backend.Auto
+      & info [ "backend" ]
+          ~doc:"Execution backend: auto, dense, stabilizer or exact")
+  in
+  let no_check =
+    Arg.(
+      value & flag
+      & info [ "no-check" ] ~doc:"Skip the equivalence-check pipeline stage")
+  in
+  let run name scheme mode shots seed backend domains no_check trace metrics =
+    match benchmark_circuit name with
+    | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
+    | Some c -> (
+        try
+          let module O = Dqc.Pipeline.Options in
+          let options =
+            O.default |> O.with_scheme scheme |> O.with_mode mode
+            |> O.with_backend_policy backend
+            |> O.with_check_equivalence (not no_check)
+          in
+          let collector, (out, h) =
+            Obs.with_collector (fun () ->
+                let out = Dqc.Pipeline.compile ~options c in
+                let nd = List.length out.data_bit in
+                let measures =
+                  List.mapi (fun k (_, phys) -> (phys, nd + k)) out.answer_phys
+                in
+                let h =
+                  Sim.Backend.run_measured ~policy:backend ~seed ?domains
+                    ~shots ~measures out.circuit
+                in
+                (out, h))
+          in
+          Printf.printf
+            "workload: %s (%s), %d shots — compiled to %d qubits, %d gates, \
+             depth %d\n"
+            name
+            (Dqc.Toffoli_scheme.to_string scheme)
+            shots out.qubits out.gates out.depth;
+          (match out.tv with
+          | Some tv ->
+              Printf.printf "equivalence: %s TV distance %.6f\n"
+                (if out.tv_sampled then "sampled" else "exact")
+                tv
+          | None -> print_string "equivalence: check skipped\n");
+          Printf.printf "histogram: %d shots over %d distinct outcomes\n\n"
+            (Sim.Runner.shots h)
+            (List.length (Sim.Runner.to_list h));
+          print_string (Report.Obs_report.summary collector);
+          export_telemetry ?trace ?metrics collector
+        with
+        | Sim.Stabilizer.Unsupported msg -> prerr_endline msg; exit 1
+        | Dqc.Transform.Not_transformable msg ->
+            prerr_endline ("not transformable: " ^ msg);
+            exit 1
+        | Invalid_argument msg -> prerr_endline msg; exit 1)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Compile and run a benchmark with telemetry on: print the \
+          per-stage/per-engine breakdown, optionally exporting the Chrome \
+          trace and metrics JSON")
+    Term.(
+      const run $ bench $ scheme_arg $ mode_arg $ shots $ seed $ backend
+      $ domains_arg $ no_check $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                            *)
@@ -383,6 +546,7 @@ let () =
             mct_cmd;
             transform_cmd;
             simulate_cmd;
+            stats_cmd;
             analyze_cmd;
             qpe_cmd;
             simon_cmd;

@@ -1,7 +1,9 @@
 open Circuit
 
+(* 12 keeps the truth-table synthesis and the exact checkers tractable
+   while reaching the 10-qubit (arity-9) stats/bench workloads *)
 let check_n n =
-  if n < 1 || n > 8 then invalid_arg "Mct_bench: arity outside 1..8"
+  if n < 1 || n > 12 then invalid_arg "Mct_bench: arity outside 1..12"
 
 let popcount k =
   let rec go acc k = if k = 0 then acc else go (acc + (k land 1)) (k lsr 1) in

@@ -9,7 +9,7 @@
     (V-chain reduction followed by dynamic-1 / dynamic-2). *)
 
 (** [and_n n] : f = x0 AND ... AND x_{n-1}, a single C^nX.
-    @raise Invalid_argument unless 1 <= n <= 8. *)
+    @raise Invalid_argument unless 1 <= n <= 12. *)
 val and_n : int -> Oracle.t
 
 (** [or_n n] : f = x0 OR ... OR x_{n-1}, via the ANF synthesizer

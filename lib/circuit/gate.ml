@@ -49,6 +49,22 @@ let matrix = function
       Linalg.Cmat.of_reim_lists
         [ [ (1., 0.); (0., 0.) ]; [ (0., 0.); (cos a, sin a) ] ]
 
+let kind = function
+  | H -> "h"
+  | X -> "x"
+  | Y -> "y"
+  | Z -> "z"
+  | S -> "s"
+  | Sdg -> "sdg"
+  | T -> "t"
+  | Tdg -> "tdg"
+  | V -> "v"
+  | Vdg -> "vdg"
+  | Rx _ -> "rx"
+  | Ry _ -> "ry"
+  | Rz _ -> "rz"
+  | Phase _ -> "p"
+
 let name = function
   | H -> "h"
   | X -> "x"

@@ -28,6 +28,11 @@ val matrix : t -> Linalg.Cmat.t
 (** Short mnemonic, e.g. ["h"], ["tdg"], ["v"], ["rz(0.5)"]. *)
 val name : t -> string
 
+(** Parameter-free constructor mnemonic: like {!name} but ["rx"],
+    ["rz"], ["p"] for the parameterized gates — a bounded set, safe as
+    a telemetry counter key. *)
+val kind : t -> string
+
 (** Inverse gate. *)
 val adjoint : t -> t
 

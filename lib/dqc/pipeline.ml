@@ -96,81 +96,125 @@ type output = {
 
 let exact_check_max_qubits = 12
 
+(* Each stage runs inside an [Obs] span so `dqc_cli stats`, the Chrome
+   trace and the metrics JSON can break compile time down per pass.
+   Stages that are switched off simply record no span. *)
+let compile_observed ~options traditional =
+  Obs.with_span "pipeline.compile"
+    ~attrs:
+      [
+        ("scheme", Toffoli_scheme.to_string options.Options.scheme);
+        ("slots", string_of_int options.Options.slots);
+      ]
+    (fun () ->
+      let prepared =
+        match options.Options.scheme with
+        | Toffoli_scheme.Direct_mct -> traditional
+        | s ->
+            Obs.with_span "pipeline.prepare" (fun () ->
+                Toffoli_scheme.prepare s traditional)
+      in
+      let mct = options.Options.scheme = Toffoli_scheme.Direct_mct in
+      let small = Circ.num_qubits prepared <= exact_check_max_qubits in
+      let check_span kind f =
+        Obs.with_span "pipeline.equivalence" ~attrs:[ ("method", kind) ] f
+      in
+      let transformed, data_bit, answer_phys, iterations, violations, tv, sampled
+          =
+        if options.Options.slots = 1 then begin
+          let r =
+            Obs.with_span "pipeline.transform" (fun () ->
+                Transform.transform ~mode:options.Options.mode ~mct prepared)
+          in
+          let tv, sampled =
+            if not options.Options.check_equivalence then (None, false)
+            else if small then
+              ( Some
+                  (check_span "exact" (fun () ->
+                       Equivalence.tv_distance prepared r)),
+                false )
+            else if
+              (* the exact evaluator is out of reach: fall back to a shot
+                 estimate when both sides run on a scalable backend *)
+              Sim.Stabilizer.supports prepared
+              && Sim.Stabilizer.supports r.circuit
+            then
+              ( Some
+                  (check_span "sampled" (fun () ->
+                       Equivalence.sampled_tv_distance
+                         ~policy:options.Options.backend_policy prepared r)),
+                true )
+            else (None, false)
+          in
+          ( r.circuit,
+            r.data_bit,
+            r.answer_phys,
+            List.length r.iteration_order,
+            List.length r.violations,
+            tv,
+            sampled )
+        end
+        else begin
+          let m =
+            Obs.with_span "pipeline.transform" (fun () ->
+                Multi_transform.transform ~mode:options.Options.mode ~mct
+                  ~slots:options.Options.slots prepared)
+          in
+          let tv =
+            if options.Options.check_equivalence && small then
+              Some
+                (check_span "exact" (fun () ->
+                     Multi_transform.tv_distance prepared m))
+            else None
+          in
+          ( m.circuit,
+            m.data_bit,
+            m.answer_phys,
+            List.length m.iteration_order,
+            List.length m.violations,
+            tv,
+            false )
+        end
+      in
+      let lowered =
+        let c = transformed in
+        let c =
+          if options.Options.expand_cv then
+            Obs.with_span "pipeline.expand_cv" (fun () ->
+                Decompose.Pass.expand_cv c)
+          else c
+        in
+        let c =
+          if options.Options.peephole then
+            Obs.with_span "pipeline.peephole" (fun () ->
+                Decompose.Peephole.merge_rotations
+                  (Decompose.Peephole.cancel_inverses c))
+          else c
+        in
+        if options.Options.native then
+          Obs.with_span "pipeline.lower_native" (fun () ->
+              Transpile.Basis.to_native c)
+        else c
+      in
+      {
+        circuit = lowered;
+        data_bit;
+        answer_phys;
+        iterations;
+        violations;
+        qubits = Circ.num_qubits lowered;
+        gates = Metrics.gate_count lowered;
+        depth = Metrics.dynamic_depth lowered;
+        duration_ns = Metrics.duration lowered;
+        tv;
+        tv_sampled = sampled;
+      })
+
 let compile ?(options = Options.default) traditional =
-  let prepared =
-    match options.Options.scheme with
-    | Toffoli_scheme.Direct_mct -> traditional
-    | s -> Toffoli_scheme.prepare s traditional
-  in
-  let mct = options.Options.scheme = Toffoli_scheme.Direct_mct in
-  let small = Circ.num_qubits prepared <= exact_check_max_qubits in
-  let transformed, data_bit, answer_phys, iterations, violations, tv, sampled =
-    if options.Options.slots = 1 then begin
-      let r = Transform.transform ~mode:options.Options.mode ~mct prepared in
-      let tv, sampled =
-        if not options.Options.check_equivalence then (None, false)
-        else if small then (Some (Equivalence.tv_distance prepared r), false)
-        else if
-          (* the exact evaluator is out of reach: fall back to a shot
-             estimate when both sides run on a scalable backend *)
-          Sim.Stabilizer.supports prepared && Sim.Stabilizer.supports r.circuit
-        then
-          ( Some
-              (Equivalence.sampled_tv_distance
-                 ~policy:options.Options.backend_policy prepared r),
-            true )
-        else (None, false)
-      in
-      ( r.circuit,
-        r.data_bit,
-        r.answer_phys,
-        List.length r.iteration_order,
-        List.length r.violations,
-        tv,
-        sampled )
-    end
-    else begin
-      let m =
-        Multi_transform.transform ~mode:options.Options.mode ~mct
-          ~slots:options.Options.slots prepared
-      in
-      let tv =
-        if options.Options.check_equivalence && small then
-          Some (Multi_transform.tv_distance prepared m)
-        else None
-      in
-      ( m.circuit,
-        m.data_bit,
-        m.answer_phys,
-        List.length m.iteration_order,
-        List.length m.violations,
-        tv,
-        false )
-    end
-  in
-  let lowered =
-    let c = transformed in
-    let c = if options.Options.expand_cv then Decompose.Pass.expand_cv c else c in
-    let c =
-      if options.Options.peephole then
-        Decompose.Peephole.merge_rotations (Decompose.Peephole.cancel_inverses c)
-      else c
-    in
-    if options.Options.native then Transpile.Basis.to_native c else c
-  in
-  {
-    circuit = lowered;
-    data_bit;
-    answer_phys;
-    iterations;
-    violations;
-    qubits = Circ.num_qubits lowered;
-    gates = Metrics.gate_count lowered;
-    depth = Metrics.dynamic_depth lowered;
-    duration_ns = Metrics.duration lowered;
-    tv;
-    tv_sampled = sampled;
-  }
+  let output = compile_observed ~options traditional in
+  (* compile runs on the caller's domain: publish what we recorded *)
+  Obs.flush ();
+  output
 
 let compile_flat ?(options = default) traditional =
   compile ~options:(Options.of_flat options) traditional

@@ -1,0 +1,66 @@
+(* Chrome trace-event exporter (the JSON Object Format): load the file
+   at chrome://tracing or https://ui.perfetto.dev.  Every span becomes a
+   complete ("X") event; timestamps are microseconds relative to the
+   collector's epoch; the domain id is the trace tid, so worker blocks
+   from Sim.Parallel land on their own rows. *)
+
+let pid = 1
+
+let span_event ~epoch_ns (s : Collector.span) =
+  let args =
+    ("depth", Json.Int s.depth)
+    :: List.map (fun (k, v) -> (k, Json.String v)) s.attrs
+  in
+  Json.Obj
+    [
+      ("name", Json.String s.name);
+      ("cat", Json.String "dqc");
+      ("ph", Json.String "X");
+      ("ts", Json.Float (Clock.ns_to_us (Int64.sub s.start_ns epoch_ns)));
+      ("dur", Json.Float (Clock.ns_to_us s.dur_ns));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int s.tid);
+      ("args", Json.Obj args);
+    ]
+
+let thread_name_event ~main_tid tid =
+  let name = if tid = main_tid then "main" else Printf.sprintf "domain-%d" tid in
+  Json.Obj
+    [
+      ("name", Json.String "thread_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String name) ]);
+    ]
+
+let to_json c =
+  let spans = Collector.spans c in
+  let epoch_ns = Collector.epoch_ns c in
+  let tids =
+    List.sort_uniq compare (List.map (fun (s : Collector.span) -> s.tid) spans)
+  in
+  let events =
+    List.map (thread_name_event ~main_tid:(Collector.main_tid c)) tids
+    @ List.map (span_event ~epoch_ns) spans
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ( "counters",
+              Json.Obj
+                (List.map (fun (k, v) -> (k, Json.Int v)) (Collector.counters c))
+            );
+            ( "gauges",
+              Json.Obj
+                (List.map (fun (k, v) -> (k, Json.Float v)) (Collector.gauges c))
+            );
+          ] );
+    ]
+
+let to_string c = Json.to_string (to_json c)
+let write ~path c = Json.write ~path (to_json c)

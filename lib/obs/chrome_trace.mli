@@ -1,0 +1,13 @@
+(** Chrome trace-event JSON exporter.
+
+    Produces the Trace Event "JSON Object Format": a [traceEvents]
+    array of complete ("X") events — one per span, timestamps in
+    microseconds relative to the collector epoch, [tid] = domain id —
+    plus thread-name metadata, with final counter and gauge values under
+    [otherData].  Load the file at [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}; nesting is reconstructed from
+    timestamp containment per tid. *)
+
+val to_json : Collector.t -> Json.t
+val to_string : Collector.t -> string
+val write : path:string -> Collector.t -> unit

@@ -1,0 +1,8 @@
+(* CLOCK_MONOTONIC in nanoseconds, through the dependency-free C stub
+   already vendored by bechamel (no opam packages added).  Wall-clock
+   adjustments (NTP, suspend) never move this clock backwards, which is
+   what makes span durations trustworthy. *)
+let now_ns () = Monotonic_clock.now ()
+
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+let ns_to_us ns = Int64.to_float ns /. 1e3

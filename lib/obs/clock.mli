@@ -1,0 +1,7 @@
+(** Monotonic time source for the telemetry layer. *)
+
+(** Nanoseconds on [CLOCK_MONOTONIC]; meaningful only as differences. *)
+val now_ns : unit -> int64
+
+val ns_to_ms : int64 -> float
+val ns_to_us : int64 -> float

@@ -1,0 +1,104 @@
+type span = {
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+  tid : int;
+  depth : int;
+  attrs : (string * string) list;
+}
+
+type span_stat = {
+  count : int;
+  total_ns : int64;
+  min_ns : int64;
+  max_ns : int64;
+}
+
+type t = {
+  mutex : Mutex.t;
+  mutable recorded : span list; (* newest first, within a flush batch *)
+  counters : (string, int) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
+  epoch_ns : int64;
+  main_tid : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    recorded = [];
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 16;
+    epoch_ns = Clock.now_ns ();
+    main_tid = (Domain.self () :> int);
+  }
+
+let epoch_ns t = t.epoch_ns
+let main_tid t = t.main_tid
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let absorb t ~spans ~counters ~gauges =
+  locked t (fun () ->
+      t.recorded <- List.rev_append spans t.recorded;
+      List.iter
+        (fun (name, n) ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt t.counters name) in
+          Hashtbl.replace t.counters name (prev + n))
+        counters;
+      List.iter (fun (name, v) -> Hashtbl.replace t.gauges name v) gauges)
+
+let spans t =
+  locked t (fun () ->
+      List.sort
+        (fun a b ->
+          match Int64.compare a.start_ns b.start_ns with
+          | 0 -> compare a.depth b.depth
+          | c -> c)
+        t.recorded)
+
+let counter t name =
+  locked t (fun () ->
+      Option.value ~default:0 (Hashtbl.find_opt t.counters name))
+
+let counters t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters []
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
+
+let gauge t name = locked t (fun () -> Hashtbl.find_opt t.gauges name)
+
+let gauges t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.gauges []
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
+
+let span_stats t =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      let st =
+        Option.value
+          ~default:
+            { count = 0; total_ns = 0L; min_ns = Int64.max_int; max_ns = 0L }
+          (Hashtbl.find_opt tbl s.name)
+      in
+      Hashtbl.replace tbl s.name
+        {
+          count = st.count + 1;
+          total_ns = Int64.add st.total_ns s.dur_ns;
+          min_ns = Int64.min st.min_ns s.dur_ns;
+          max_ns = Int64.max st.max_ns s.dur_ns;
+        })
+    (spans t);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Wall time actually observed: the total of top-level (depth-0) span
+   durations — nested spans are already inside their parents. *)
+let root_wall_ns t =
+  List.fold_left
+    (fun acc s -> if s.depth = 0 then Int64.add acc s.dur_ns else acc)
+    0L (spans t)

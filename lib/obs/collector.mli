@@ -1,0 +1,59 @@
+(** In-memory telemetry store — the one sink every exporter reads.
+
+    A collector accumulates completed {!span}s, monotonically increasing
+    counters and last-write-wins gauges.  Instrumented code never talks
+    to it directly: records go to a per-domain buffer (see {!Runtime})
+    and are merged here in batches under a mutex, so worker domains
+    never contend per event. *)
+
+type span = {
+  name : string;
+  start_ns : int64;  (** {!Clock.now_ns} at entry *)
+  dur_ns : int64;
+  tid : int;  (** integer id of the domain that ran the span *)
+  depth : int;  (** nesting depth within its domain at entry *)
+  attrs : (string * string) list;
+}
+
+type span_stat = {
+  count : int;
+  total_ns : int64;
+  min_ns : int64;
+  max_ns : int64;
+}
+
+type t
+
+val create : unit -> t
+
+(** Monotonic timestamp taken at {!create} — exporters report span
+    times relative to it. *)
+val epoch_ns : t -> int64
+
+(** The domain that created the collector (labelled "main" in traces). *)
+val main_tid : t -> int
+
+(** Merge one per-domain batch: spans are appended, counters added,
+    gauges replaced.  Thread-safe. *)
+val absorb :
+  t ->
+  spans:span list ->
+  counters:(string * int) list ->
+  gauges:(string * float) list ->
+  unit
+
+(** All spans, sorted by start time (parents before children). *)
+val spans : t -> span list
+
+(** [counter t name] is the accumulated count, [0] when never touched. *)
+val counter : t -> string -> int
+
+val counters : t -> (string * int) list
+val gauge : t -> string -> float option
+val gauges : t -> (string * float) list
+
+(** Per-name aggregation of {!spans}, sorted by name. *)
+val span_stats : t -> (string * span_stat) list
+
+(** Total duration of depth-0 spans — the observed wall time. *)
+val root_wall_ns : t -> int64

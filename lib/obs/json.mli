@@ -1,0 +1,18 @@
+(** Minimal JSON emitter for the telemetry exporters — no parsing, no
+    dependencies, strings escaped per RFC 8259 (non-finite floats are
+    emitted as [null]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+(** Write the value to [path] followed by a newline. *)
+val write : path:string -> t -> unit

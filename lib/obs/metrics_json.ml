@@ -1,0 +1,33 @@
+let schema = "dqc.obs.metrics/1"
+
+let span_stat_json (st : Collector.span_stat) =
+  Json.Obj
+    [
+      ("count", Json.Int st.count);
+      ("total_ns", Json.Float (Int64.to_float st.total_ns));
+      ("min_ns", Json.Float (Int64.to_float st.min_ns));
+      ("max_ns", Json.Float (Int64.to_float st.max_ns));
+      ( "mean_ns",
+        Json.Float (Int64.to_float st.total_ns /. float_of_int st.count) );
+    ]
+
+let to_json c =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Collector.counters c))
+      );
+      ( "gauges",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (Collector.gauges c))
+      );
+      ( "spans",
+        Json.Obj
+          (List.map
+             (fun (name, st) -> (name, span_stat_json st))
+             (Collector.span_stats c)) );
+      ("wall_ns", Json.Float (Int64.to_float (Collector.root_wall_ns c)));
+    ]
+
+let to_string c = Json.to_string (to_json c)
+let write ~path c = Json.write ~path (to_json c)

@@ -1,0 +1,12 @@
+(** Flat metrics exporter: one JSON object holding every counter and
+    gauge by name plus per-span-name aggregates
+    ([count]/[total_ns]/[min_ns]/[max_ns]/[mean_ns]) — the format the
+    bench harness writes as [BENCH_obs.json] so the perf trajectory is
+    diffable across commits. *)
+
+(** ["dqc.obs.metrics/1"], stamped into every document. *)
+val schema : string
+
+val to_json : Collector.t -> Json.t
+val to_string : Collector.t -> string
+val write : path:string -> Collector.t -> unit

@@ -1,0 +1,12 @@
+(* Zero-dependency telemetry substrate: hierarchical monotonic spans,
+   named counters/gauges, per-domain buffering, and pluggable sinks
+   (in-memory collector, Chrome trace JSON, flat metrics JSON; the
+   human-readable table lives in Report.Obs_report).  See
+   docs/OBSERVABILITY.md for the span model and counter registry. *)
+
+module Clock = Clock
+module Json = Json
+module Collector = Collector
+module Chrome_trace = Chrome_trace
+module Metrics_json = Metrics_json
+include Runtime

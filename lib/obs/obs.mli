@@ -1,0 +1,20 @@
+(** Telemetry substrate for the whole pipeline and execution layer.
+
+    Spans are timed with a monotonic clock and nest; counters and
+    gauges are registered by name at the instrumentation site; records
+    accumulate in per-domain buffers and merge into the installed
+    {!Collector} in batches.  With no collector installed every
+    instrumentation point is one Atomic load and a branch.
+
+    Exporters: {!Chrome_trace} (load at [chrome://tracing]) and
+    {!Metrics_json} (flat, diffable).  The human-readable summary table
+    is [Report.Obs_report] (it depends on this library, not the other
+    way round).  See docs/OBSERVABILITY.md. *)
+
+module Clock = Clock
+module Json = Json
+module Collector = Collector
+module Chrome_trace = Chrome_trace
+module Metrics_json = Metrics_json
+
+include module type of Runtime

@@ -1,0 +1,41 @@
+(** Global telemetry switch and the per-domain recording API.
+
+    Installing a collector turns instrumentation on process-wide; with
+    none installed, {!incr}/{!set_gauge}/{!with_span} cost one Atomic
+    load and a branch.  Records accumulate in a per-domain buffer and
+    reach the collector only on {!flush} — {!Sim.Parallel} flushes each
+    worker at the end of its shot block, so per-domain buffers merge at
+    join, preserving the engine's determinism story (counter totals are
+    sums, independent of the domain count). *)
+
+(** Create, install and return a fresh collector (replacing any other).
+    The calling domain's buffer is cleared. *)
+val install : unit -> Collector.t
+
+(** Flush the calling domain, then deactivate telemetry. *)
+val uninstall : unit -> unit
+
+(** [with_collector f] = {!install}, run [f], {!uninstall} (also on
+    exception); returns the collector alongside [f]'s result. *)
+val with_collector : (unit -> 'a) -> Collector.t * 'a
+
+(** Is a collector installed?  Call sites that must build a counter
+    name or attribute list dynamically should guard on this to keep the
+    disabled path allocation-free. *)
+val enabled : unit -> bool
+
+(** Merge the calling domain's buffer into the active collector.
+    No-op when telemetry is off or the buffer is empty. *)
+val flush : unit -> unit
+
+(** [incr ?n name] adds [n] (default 1) to counter [name]. *)
+val incr : ?n:int -> string -> unit
+
+(** [set_gauge name v] records the latest value of gauge [name]
+    (last write to reach the collector wins). *)
+val set_gauge : string -> float -> unit
+
+(** [with_span ?attrs name f] times [f] with the monotonic clock and
+    records a span on completion (also on exception).  Spans nest: the
+    recorded depth is the number of enclosing spans on this domain. *)
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a

@@ -1,0 +1,66 @@
+(* Human-readable sink for the telemetry layer: render a collector as
+   per-span timing and counter/gauge tables.  Lives here (not in
+   lib/obs) because obs must stay dependency-free while report already
+   owns table rendering. *)
+
+let ms ns = Printf.sprintf "%.3f" (Obs.Clock.ns_to_ms ns)
+let us ns = Printf.sprintf "%.1f" (Obs.Clock.ns_to_us ns)
+
+let span_rows c =
+  let wall = Obs.Collector.root_wall_ns c in
+  let stats = Obs.Collector.span_stats c in
+  let by_total =
+    List.sort
+      (fun (_, a) (_, b) ->
+        Int64.compare b.Obs.Collector.total_ns a.Obs.Collector.total_ns)
+      stats
+  in
+  List.map
+    (fun (name, (st : Obs.Collector.span_stat)) ->
+      let share =
+        if wall = 0L then "-"
+        else
+          Printf.sprintf "%.1f%%"
+            (100. *. Int64.to_float st.total_ns /. Int64.to_float wall)
+      in
+      [
+        name;
+        string_of_int st.count;
+        ms st.total_ns;
+        us (Int64.div st.total_ns (Int64.of_int (max 1 st.count)));
+        us st.max_ns;
+        share;
+      ])
+    by_total
+
+let span_table c =
+  match span_rows c with
+  | [] -> "no spans recorded\n"
+  | rows ->
+      Table.render
+        ~headers:[ "span"; "count"; "total ms"; "mean us"; "max us"; "share" ]
+        ~rows ()
+
+let counter_rows c =
+  List.map
+    (fun (name, v) -> [ name; string_of_int v ])
+    (Obs.Collector.counters c)
+  @ List.map
+      (fun (name, v) -> [ name; Printf.sprintf "%.4g" v ])
+      (Obs.Collector.gauges c)
+
+let counter_table c =
+  match counter_rows c with
+  | [] -> "no counters recorded\n"
+  | rows -> Table.render ~headers:[ "counter / gauge"; "value" ] ~rows ()
+
+let summary c =
+  Printf.sprintf "%s\n%s\n%s\n%s"
+    (Table.render_titled ~title:"Spans"
+       ~headers:[ "span"; "count"; "total ms"; "mean us"; "max us"; "share" ]
+       ~rows:(span_rows c) ())
+    ""
+    (Table.render_titled ~title:"Counters and gauges"
+       ~headers:[ "counter / gauge"; "value" ]
+       ~rows:(counter_rows c) ())
+    ""

@@ -1,0 +1,10 @@
+(** Human-readable sink for [Obs] collectors.
+
+    [span_table] aggregates spans by name (sorted by total time, with
+    the share of observed wall time), [counter_table] lists every
+    counter and gauge, and [summary] stacks both with titles — the
+    breakdown [dqc_cli stats] prints. *)
+
+val span_table : Obs.Collector.t -> string
+val counter_table : Obs.Collector.t -> string
+val summary : Obs.Collector.t -> string

@@ -8,7 +8,8 @@ let policy_to_string = function
   | Stabilizer -> "stabilizer"
   | Exact_branch -> "exact"
 
-let policy_of_string = function
+let policy_of_string s =
+  match String.lowercase_ascii s with
   | "auto" -> Some Auto
   | "dense" | "statevector" -> Some Statevector_dense
   | "stabilizer" | "chp" -> Some Stabilizer
@@ -32,21 +33,42 @@ module Prefix = struct
     in
     go [] (Circ.instructions c)
 
+  (* Share of the circuit's non-branching instructions simulated once by
+     the cache: 1.0 on terminal-measurement workloads (the whole unitary
+     part is prefix), lower when mid-circuit measure/reset cuts it off.
+     An all-branching circuit caches everything cacheable, hence 1.0. *)
+  let fraction c =
+    let prefix, suffix = split c in
+    let unitary =
+      List.length prefix
+      + List.length
+          (List.filter
+             (function
+               | Instruction.Measure _ | Instruction.Reset _ -> false
+               | _ -> true)
+             suffix)
+    in
+    if unitary = 0 then 1.0
+    else float_of_int (List.length prefix) /. float_of_int unitary
+
   (* the prefix consumes no randomness: measure/reset never appear in it *)
   let no_random () = assert false
 
   let prepare c =
-    let prefix, suffix = split c in
-    let st =
-      Statevector.create (Circ.num_qubits c) ~num_bits:(Circ.num_bits c)
-    in
-    List.iter (Statevector.run_instruction ~random:no_random st) prefix;
-    { state = st; suffix }
+    Obs.with_span "backend.prefix.prepare" (fun () ->
+        let prefix, suffix = split c in
+        let st =
+          Statevector.create (Circ.num_qubits c) ~num_bits:(Circ.num_bits c)
+        in
+        List.iter (Statevector.run_instruction ~random:no_random st) prefix;
+        Obs.set_gauge "backend.prefix.fraction" (fraction c);
+        { state = st; suffix })
 
   let state t = t.state
   let suffix t = t.suffix
 
   let run_shot t ~rng =
+    Obs.incr "backend.prefix.hit";
     let st = Statevector.copy t.state in
     let random () = Random.State.float rng 1.0 in
     List.iter (Statevector.run_instruction ~random st) t.suffix;
@@ -102,6 +124,11 @@ let select ?(policy = Auto) ~shots c =
         `Dense
       end
 
+let engine_name = function
+  | `Stabilizer -> "stabilizer"
+  | `Exact -> "exact"
+  | `Dense -> "dense"
+
 let run ?policy ?(seed = 0xC0FFEE) ?domains ?plan ?(prefix_cache = true)
     ~shots c =
   let c =
@@ -110,23 +137,46 @@ let run ?policy ?(seed = 0xC0FFEE) ?domains ?plan ?(prefix_cache = true)
     | Some plan -> Measurement_plan.instrument plan c
   in
   let width = Circ.num_bits c in
-  match select ?policy ~shots c with
-  | `Stabilizer ->
-      Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
-          Stabilizer.register (Stabilizer.run ~rng c))
-  | `Exact ->
-      let sampler = Dist.sampler (Exact.register_distribution c) in
-      Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
-          Dist.sample sampler rng)
-  | `Dense ->
-      if prefix_cache then begin
-        let cached = Prefix.prepare c in
+  let engine = select ?policy ~shots c in
+  let dispatch () =
+    match engine with
+    | `Stabilizer ->
         Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
-            Prefix.run_shot cached ~rng)
-      end
-      else
+            Stabilizer.register (Stabilizer.run ~rng c))
+    | `Exact ->
+        let sampler = Dist.sampler (Exact.register_distribution c) in
         Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
-            Statevector.register (Statevector.run ~rng c))
+            Dist.sample sampler rng)
+    | `Dense ->
+        if prefix_cache then begin
+          let cached = Prefix.prepare c in
+          Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
+              Prefix.run_shot cached ~rng)
+        end
+        else
+          Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
+              Obs.incr "backend.prefix.miss";
+              Statevector.register (Statevector.run ~rng c))
+  in
+  if not (Obs.enabled ()) then dispatch ()
+  else begin
+    let name = engine_name engine in
+    Obs.incr ("backend.run." ^ name);
+    Obs.incr ~n:shots "backend.shots";
+    let r =
+      Obs.with_span "backend.run"
+        ~attrs:
+          [
+            ("engine", name);
+            ("shots", string_of_int shots);
+            ("qubits", string_of_int (Circ.num_qubits c));
+          ]
+        dispatch
+    in
+    (* the main domain's buffer (workers flushed at join) *)
+    Obs.flush ();
+    r
+  end
 
 let run_measured ?policy ?seed ?domains ?prefix_cache ~shots ~measures c =
   run ?policy ?seed ?domains ~plan:(Measurement_plan.of_pairs measures)

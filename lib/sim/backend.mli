@@ -28,7 +28,9 @@ type policy =
 
 val policy_to_string : policy -> string
 
-(** Parses ["auto" | "dense" | "stabilizer" | "exact"]. *)
+(** Parses ["auto" | "dense" | "stabilizer" | "exact"] (plus the
+    ["statevector"], ["chp"], ["exact-branch"] aliases),
+    case-insensitively. *)
 val policy_of_string : string -> policy option
 
 val pp_policy : Format.formatter -> policy -> unit
@@ -47,6 +49,12 @@ module Prefix : sig
 
   (** Split at the first measurement/reset: [(prefix, suffix)]. *)
   val split : Circ.t -> Instruction.t list * Instruction.t list
+
+  (** Share of the circuit's non-branching (unitary/barrier/conditioned)
+      instructions that fall in the cached prefix — [1.0] exactly when
+      every measurement is terminal.  Also published as the
+      [backend.prefix.fraction] telemetry gauge by {!prepare}. *)
+  val fraction : Circ.t -> float
 
   (** Simulate the deterministic prefix once.
       @raise Invalid_argument beyond {!Statevector.max_qubits}. *)
@@ -83,7 +91,14 @@ val select :
     [domains] workers (default [Domain.recommended_domain_count ()]).
     [prefix_cache] (default [true]) enables the shared-prefix cache on
     the dense backend; disabling it replays the full circuit per shot
-    and yields the same histogram bit-for-bit. *)
+    and yields the same histogram bit-for-bit.
+
+    Telemetry (when an [Obs] collector is installed): a [backend.run]
+    span (attrs: engine, shots, qubits) around the dispatch, counters
+    [backend.run.<engine>], [backend.shots], per-shot
+    [backend.prefix.hit] / [backend.prefix.miss], and the
+    [backend.prefix.fraction] gauge.  The histogram itself is
+    byte-identical whether or not telemetry is on. *)
 val run :
   ?policy:policy ->
   ?seed:int ->

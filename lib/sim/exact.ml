@@ -19,6 +19,7 @@ let leaves ?(prune = default_prune) c =
     if prob > prune_threshold then
       match instrs with
       | [] ->
+          Obs.incr "sim.exact.leaves";
           acc :=
             { probability = prob; register = Statevector.register st; state = st }
             :: !acc
@@ -60,7 +61,9 @@ let leaves ?(prune = default_prune) c =
   let st0 =
     Statevector.create (Circ.num_qubits c) ~num_bits:(Circ.num_bits c)
   in
-  go st0 1.0 (Circ.instructions c);
+  Obs.with_span "exact.enumerate"
+    ~attrs:[ ("qubits", string_of_int (Circ.num_qubits c)) ]
+    (fun () -> go st0 1.0 (Circ.instructions c));
   List.rev !acc
 
 let register_distribution ?prune c =

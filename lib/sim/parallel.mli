@@ -10,7 +10,15 @@
 
     The paper's evaluation replays every configuration at 1024 shots;
     this engine is the scaling seam — {!Backend.run} dispatches every
-    simulation backend through it. *)
+    simulation backend through it.
+
+    Telemetry (when an [Obs] collector is installed): a [parallel.run]
+    span wrapping the whole dispatch, one [parallel.block] span per
+    contiguous shot block with [parallel.block.<k>.shots] /
+    [parallel.block.<k>.wall_ns] tallies, and a [parallel.shots]
+    counter.  Worker domains flush their telemetry buffers before
+    finishing, so per-domain records merge at join and counter totals
+    are independent of the domain count. *)
 
 (** [Domain.recommended_domain_count ()] — the default worker count. *)
 val recommended_domains : unit -> int

@@ -109,6 +109,7 @@ let apply_gate st (gate : Gate.t) a =
       raise (Unsupported (Printf.sprintf "non-Clifford gate %s" (Gate.name gate)))
 
 let apply_app st (app : Instruction.app) =
+  if Obs.enabled () then Obs.incr ("sim.stabilizer.gate." ^ Gate.kind app.gate);
   match app.controls with
   | [] -> apply_gate st app.gate app.target
   | [ c ] -> (
@@ -128,6 +129,7 @@ let apply_app st (app : Instruction.app) =
 let scratch st = 2 * st.n
 
 let measure ~rng st a =
+  Obs.incr "sim.stabilizer.measure";
   (* random outcome iff some stabilizer anticommutes with Z_a *)
   let rec find_p i =
     if i >= 2 * st.n then None

@@ -45,6 +45,7 @@ let apply_matrix1 st m ~q ~cmask =
   done
 
 let apply_app st (a : Instruction.app) =
+  if Obs.enabled () then Obs.incr ("sim.statevector.gate." ^ Gate.kind a.gate);
   let cmask =
     List.fold_left (fun acc c -> acc lor (1 lsl c)) 0 a.controls
   in
@@ -89,6 +90,7 @@ let project st q outcome =
   p
 
 let measure ~random st ~qubit ~bit =
+  Obs.incr "sim.statevector.measure";
   let p1 = prob_one st qubit in
   let outcome = random < p1 in
   ignore (project st qubit outcome);
@@ -96,6 +98,7 @@ let measure ~random st ~qubit ~bit =
   outcome
 
 let reset ~random st q =
+  Obs.incr "sim.statevector.reset";
   let p1 = prob_one st q in
   let outcome = random < p1 in
   ignore (project st q outcome);

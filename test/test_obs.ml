@@ -1,0 +1,482 @@
+(* Telemetry layer: runtime switch semantics, span nesting, the
+   Backend.Prefix observability invariants, determinism of counter
+   totals across domain counts, and well-formedness of the Chrome-trace
+   and metrics-JSON exports (checked with a small JSON parser below). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let hist_pairs = Alcotest.(list (pair int int))
+
+let check_hist msg a b =
+  Alcotest.check hist_pairs msg (Sim.Runner.to_list a) (Sim.Runner.to_list b)
+
+let dj_and () =
+  Algorithms.Dj.circuit (Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND"))
+
+let dyn2_and () =
+  (Dqc.Toffoli_scheme.transform Dqc.Toffoli_scheme.Dynamic_2 (dj_and ()))
+    .Dqc.Transform.circuit
+
+let terminal_only () =
+  Sim.Measurement_plan.instrument Sim.Measurement_plan.measure_all (dj_and ())
+
+(* ------------------------------------------------------------------ *)
+(* A tiny JSON parser, enough to validate the exporters' output.  The
+   library deliberately only emits JSON; parsing back into [Obs.Json.t]
+   here keeps the round-trip check honest. *)
+
+exception Parse_error of string
+
+let parse_json (s : string) : Obs.Json.t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' -> advance (); Buffer.add_char b '\n'; go ()
+          | Some 't' -> advance (); Buffer.add_char b '\t'; go ()
+          | Some 'r' -> advance (); Buffer.add_char b '\r'; go ()
+          | Some 'b' -> advance (); Buffer.add_char b '\b'; go ()
+          | Some 'f' -> advance (); Buffer.add_char b '\012'; go ()
+          | Some 'u' ->
+              advance ();
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              Buffer.add_char b (Char.chr (int_of_string ("0x" ^ hex) land 0xff));
+              go ()
+          | Some c -> advance (); Buffer.add_char b c; go ()
+          | None -> fail "dangling escape")
+      | Some c -> advance (); Buffer.add_char b c; go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num c | None -> false) do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> Obs.Json.Int i
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Obs.Json.Float f
+        | None -> fail "bad number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some 'n' -> literal "null" Obs.Json.Null
+    | Some 't' -> literal "true" (Obs.Json.Bool true)
+    | Some 'f' -> literal "false" (Obs.Json.Bool false)
+    | Some '"' -> Obs.Json.String (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Obs.Json.List [])
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          Obs.Json.List (items [])
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obs.Json.Obj [])
+        else
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields ((k, v) :: acc)
+            | Some '}' -> advance (); List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          Obs.Json.Obj (fields [])
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function
+  | Obs.Json.Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let get_list = function Obs.Json.List l -> l | _ -> []
+
+let get_string = function Obs.Json.String s -> Some s | _ -> None
+
+let get_num = function
+  | Obs.Json.Int i -> Some (float_of_int i)
+  | Obs.Json.Float f -> Some f
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* JSON emitter                                                       *)
+
+let test_json_emitter () =
+  let open Obs.Json in
+  check_string "escaping"
+    {|{"a":"line\nbreak \"q\"","b":[1,-2.5,null,true]}|}
+    (to_string
+       (Obj
+          [
+            ("a", String "line\nbreak \"q\"");
+            ("b", List [ Int 1; Float (-2.5); Null; Bool true ]);
+          ]));
+  check_string "nan is null" "null" (to_string (Float Float.nan));
+  check_string "inf is null" "null" (to_string (Float Float.infinity));
+  (* round-trip through the test parser *)
+  let v =
+    Obj [ ("k", List [ Int 3; String "x\twith\ttabs"; Obj [] ]) ]
+  in
+  check_bool "round-trip" true (parse_json (to_string v) = v)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime switch and buffering semantics                             *)
+
+let test_disabled_noops () =
+  check_bool "off by default" false (Obs.enabled ());
+  (* all record operations are no-ops, and with_span still runs f *)
+  Obs.incr "ghost";
+  Obs.set_gauge "ghost.gauge" 1.0;
+  check_int "with_span passes through" 42 (Obs.with_span "ghost.span" (fun () -> 42));
+  let c, () = Obs.with_collector (fun () -> ()) in
+  check_int "nothing recorded while off" 0 (Obs.Collector.counter c "ghost");
+  check_bool "no ghost gauge" true (Obs.Collector.gauge c "ghost.gauge" = None);
+  check_int "no ghost span" 0 (List.length (Obs.Collector.spans c))
+
+let test_buffering_and_flush () =
+  let c = Obs.install () in
+  Fun.protect ~finally:Obs.uninstall (fun () ->
+      Obs.incr "a";
+      Obs.incr ~n:4 "a";
+      (* records sit in the per-domain buffer until a flush *)
+      check_int "buffered, not yet merged" 0 (Obs.Collector.counter c "a");
+      Obs.flush ();
+      check_int "merged on flush" 5 (Obs.Collector.counter c "a");
+      check_int "untouched counter is 0" 0 (Obs.Collector.counter c "b");
+      Obs.set_gauge "g" 1.0;
+      Obs.set_gauge "g" 2.5;
+      Obs.flush ();
+      check_bool "gauge last-write-wins" true
+        (Obs.Collector.gauge c "g" = Some 2.5))
+
+let test_span_nesting () =
+  let c, () =
+    Obs.with_collector (fun () ->
+        Obs.with_span "outer" (fun () ->
+            Obs.with_span "inner" ~attrs:[ ("k", "v") ] (fun () -> ())))
+  in
+  match Obs.Collector.spans c with
+  | [ outer; inner ] ->
+      check_string "outer first" "outer" outer.Obs.Collector.name;
+      check_string "inner second" "inner" inner.Obs.Collector.name;
+      check_int "outer depth" 0 outer.depth;
+      check_int "inner depth" 1 inner.depth;
+      check_bool "inner contained" true
+        (Int64.add inner.start_ns inner.dur_ns
+        <= Int64.add outer.start_ns outer.dur_ns
+        && inner.start_ns >= outer.start_ns);
+      check_bool "attrs kept" true (inner.attrs = [ ("k", "v") ]);
+      check_bool "wall time = outer" true
+        (Obs.Collector.root_wall_ns c = outer.dur_ns)
+  | spans ->
+      Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_survives_exception () =
+  let c, () =
+    Obs.with_collector (fun () ->
+        (try Obs.with_span "boom" (fun () -> failwith "no") with
+        | Failure _ -> ()))
+  in
+  check_int "span recorded despite raise" 1 (List.length (Obs.Collector.spans c))
+
+(* ------------------------------------------------------------------ *)
+(* Case-insensitive policy parsing                                    *)
+
+let test_policy_case_insensitive () =
+  let parses s p = check_bool s true (Sim.Backend.policy_of_string s = Some p) in
+  parses "DENSE" Sim.Backend.Statevector_dense;
+  parses "Auto" Sim.Backend.Auto;
+  parses "STABILIZER" Sim.Backend.Stabilizer;
+  parses "CHP" Sim.Backend.Stabilizer;
+  parses "Exact-Branch" Sim.Backend.Exact_branch;
+  check_bool "unknown still rejected" true
+    (Sim.Backend.policy_of_string "QPU" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Backend.Prefix observability invariants                            *)
+
+let shots = 256
+
+let run_dense ?prefix_cache ?(domains = 1) c =
+  Sim.Backend.run ~policy:Sim.Backend.Statevector_dense ~seed:13 ~domains
+    ?prefix_cache ~shots c
+
+let test_prefix_fraction () =
+  check_bool "terminal-only measures -> 1.0" true
+    (Sim.Backend.Prefix.fraction (terminal_only ()) = 1.0);
+  let f = Sim.Backend.Prefix.fraction (dyn2_and ()) in
+  check_bool "mid-circuit measures -> inside (0,1)" true (f > 0.0 && f < 1.0)
+
+let test_prefix_hits_equal_shots () =
+  let c, _h = Obs.with_collector (fun () -> run_dense (dyn2_and ())) in
+  check_int "hit per shot" shots (Obs.Collector.counter c "backend.prefix.hit");
+  check_int "no misses with cache on" 0
+    (Obs.Collector.counter c "backend.prefix.miss");
+  check_int "backend.shots" shots (Obs.Collector.counter c "backend.shots");
+  check_int "engine tagged" 1 (Obs.Collector.counter c "backend.run.dense");
+  check_bool "fraction gauge matches Prefix.fraction" true
+    (Obs.Collector.gauge c "backend.prefix.fraction"
+    = Some (Sim.Backend.Prefix.fraction (dyn2_and ())))
+
+let test_prefix_misses_with_cache_off () =
+  let c, _h =
+    Obs.with_collector (fun () -> run_dense ~prefix_cache:false (dyn2_and ()))
+  in
+  check_int "miss per shot" shots (Obs.Collector.counter c "backend.prefix.miss");
+  check_int "no hits with cache off" 0
+    (Obs.Collector.counter c "backend.prefix.hit")
+
+let test_prefix_fraction_gauge_terminal () =
+  let c, _h = Obs.with_collector (fun () -> run_dense (terminal_only ())) in
+  check_bool "fraction gauge is 1.0" true
+    (Obs.Collector.gauge c "backend.prefix.fraction" = Some 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across domain counts                                   *)
+
+let engine_counters c =
+  (* per-block shot/wall entries depend on how the shot range was
+     sharded; everything else must be independent of the domain count *)
+  List.filter
+    (fun (name, _) ->
+      not (String.starts_with ~prefix:"parallel.block." name))
+    (Obs.Collector.counters c)
+  |> List.sort compare
+
+let test_counters_domain_independent () =
+  let run domains = Obs.with_collector (fun () -> run_dense ~domains (dyn2_and ())) in
+  let c1, h1 = run 1 in
+  let c4, h4 = run 4 in
+  check_hist "histograms identical 1 vs 4 domains" h1 h4;
+  Alcotest.(check (list (pair string int)))
+    "counter totals identical 1 vs 4 domains" (engine_counters c1)
+    (engine_counters c4);
+  check_int "every shot tallied once" shots
+    (Obs.Collector.counter c1 "parallel.shots")
+
+let test_histogram_unchanged_by_telemetry () =
+  let bare = run_dense (dyn2_and ()) in
+  let _c, observed = Obs.with_collector (fun () -> run_dense (dyn2_and ())) in
+  check_hist "telemetry does not perturb sampling" bare observed
+
+(* ------------------------------------------------------------------ *)
+(* Engine counters from the simulators                                *)
+
+let test_simulator_counters () =
+  let c, _h = Obs.with_collector (fun () -> run_dense (dyn2_and ())) in
+  check_bool "H gates counted" true
+    (Obs.Collector.counter c "sim.statevector.gate.h" > 0);
+  check_bool "collapses counted" true
+    (Obs.Collector.counter c "sim.statevector.measure" > 0)
+
+let test_exact_counters () =
+  let c, _d =
+    Obs.with_collector (fun () -> Sim.Exact.register_distribution (dyn2_and ()))
+  in
+  check_bool "leaves counted" true (Obs.Collector.counter c "sim.exact.leaves" > 0);
+  check_bool "enumeration span" true
+    (List.exists
+       (fun (s : Obs.Collector.span) -> s.name = "exact.enumerate")
+       (Obs.Collector.spans c))
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline spans                                                     *)
+
+let test_pipeline_spans () =
+  let c, _out =
+    Obs.with_collector (fun () -> Dqc.Pipeline.compile (dj_and ()))
+  in
+  let stats = Obs.Collector.span_stats c in
+  let has name = List.mem_assoc name stats in
+  List.iter
+    (fun name -> check_bool name true (has name))
+    [
+      "pipeline.compile"; "pipeline.prepare"; "pipeline.transform";
+      "pipeline.equivalence";
+    ];
+  let compile =
+    List.find
+      (fun (s : Obs.Collector.span) -> s.name = "pipeline.compile")
+      (Obs.Collector.spans c)
+  in
+  check_int "compile is a root span" 0 compile.depth;
+  List.iter
+    (fun (s : Obs.Collector.span) ->
+      if s.name <> "pipeline.compile" && String.starts_with ~prefix:"pipeline." s.name
+      then check_int (s.name ^ " nested under compile") 1 s.depth)
+    (Obs.Collector.spans c)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                          *)
+
+let collect_workload () =
+  Obs.with_collector (fun () ->
+      let out = Dqc.Pipeline.compile (dj_and ()) in
+      ignore
+        (Sim.Backend.run ~policy:Sim.Backend.Statevector_dense ~seed:5 ~shots:64
+           out.Dqc.Pipeline.circuit))
+
+let test_chrome_trace_export () =
+  let c, () = collect_workload () in
+  let json = parse_json (Obs.Chrome_trace.to_string c) in
+  let events = get_list (Option.get (member "traceEvents" json)) in
+  check_bool "has events" true (events <> []);
+  let complete =
+    List.filter (fun e -> member "ph" e |> Option.map get_string = Some (Some "X")) events
+  in
+  let names =
+    List.filter_map (fun e -> Option.bind (member "name" e) get_string) complete
+  in
+  List.iter
+    (fun n -> check_bool (n ^ " present") true (List.mem n names))
+    [ "pipeline.compile"; "pipeline.transform"; "backend.run" ];
+  (* every complete event carries non-negative relative timestamps *)
+  List.iter
+    (fun e ->
+      let num k = Option.get (Option.bind (member k e) get_num) in
+      check_bool "ts >= 0" true (num "ts" >= 0.0);
+      check_bool "dur >= 0" true (num "dur" >= 0.0))
+    complete;
+  (* nesting by containment: a stage sits inside pipeline.compile *)
+  let find name =
+    List.find
+      (fun e -> Option.bind (member "name" e) get_string = Some name)
+      complete
+  in
+  let span_of e =
+    let num k = Option.get (Option.bind (member k e) get_num) in
+    (num "ts", num "ts" +. num "dur")
+  in
+  let t0, t1 = span_of (find "pipeline.compile") in
+  let u0, u1 = span_of (find "pipeline.transform") in
+  check_bool "transform contained in compile" true (u0 >= t0 && u1 <= t1);
+  check_bool "thread metadata" true
+    (List.exists
+       (fun e -> member "ph" e |> Option.map get_string = Some (Some "M"))
+       events)
+
+let test_metrics_json_export () =
+  let c, () = collect_workload () in
+  let json = parse_json (Obs.Metrics_json.to_string c) in
+  check_bool "schema" true
+    (member "schema" json |> Option.map get_string
+    = Some (Some Obs.Metrics_json.schema));
+  let counters = Option.get (member "counters" json) in
+  check_bool "backend.shots exported" true
+    (member "backend.shots" counters |> Option.map get_num = Some (Some 64.0));
+  let spans = Option.get (member "spans" json) in
+  let compile = Option.get (member "pipeline.compile" spans) in
+  check_bool "span count exported" true
+    (member "count" compile |> Option.map get_num = Some (Some 1.0));
+  check_bool "mean_ns exported" true
+    (Option.bind (member "mean_ns" compile) get_num <> None)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [ Alcotest.test_case "emitter + round-trip" `Quick test_json_emitter ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "disabled no-ops" `Quick test_disabled_noops;
+          Alcotest.test_case "buffering and flush" `Quick
+            test_buffering_and_flush;
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "span survives exception" `Quick
+            test_span_survives_exception;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "case-insensitive" `Quick
+            test_policy_case_insensitive;
+        ] );
+      ( "prefix",
+        [
+          Alcotest.test_case "fraction" `Quick test_prefix_fraction;
+          Alcotest.test_case "hits equal shots" `Quick
+            test_prefix_hits_equal_shots;
+          Alcotest.test_case "misses with cache off" `Quick
+            test_prefix_misses_with_cache_off;
+          Alcotest.test_case "fraction gauge terminal" `Quick
+            test_prefix_fraction_gauge_terminal;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "counters domain-independent" `Quick
+            test_counters_domain_independent;
+          Alcotest.test_case "histogram unchanged by telemetry" `Quick
+            test_histogram_unchanged_by_telemetry;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "simulator counters" `Quick test_simulator_counters;
+          Alcotest.test_case "exact counters" `Quick test_exact_counters;
+        ] );
+      ( "pipeline",
+        [ Alcotest.test_case "stage spans" `Quick test_pipeline_spans ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace_export;
+          Alcotest.test_case "metrics json" `Quick test_metrics_json_export;
+        ] );
+    ]
