@@ -1,4 +1,4 @@
-.PHONY: all build test bench ci fmt-check trace-smoke clean
+.PHONY: all build test bench ci fmt-check trace-smoke lint clean
 
 all: build
 
@@ -36,6 +36,29 @@ trace-smoke:
 	assert m['counters']['backend.shots'] == 256, m['counters']; \
 	print('trace-smoke: OK (%d events)' % len(t['traceEvents']))"
 
+# Static lint gate: every Table II benchmark and a spread of generated
+# AND_/OR_/NAND_/MAJ_<n> oracles must compile to a lint-clean dynamic
+# circuit under both schemes, and the negative corpus in examples/
+# must be rejected with a non-zero exit.
+LINT_BENCHES = AND NAND OR NOR IMPLY_1 IMPLY_2 INHIB_1 INHIB_2 CARRY \
+  AND_4 AND_6 AND_8 OR_4 OR_6 NAND_4 NAND_6 MAJ_5 MAJ_7
+lint:
+	@set -e; \
+	dune build bin/dqc_cli.exe; \
+	for b in $(LINT_BENCHES); do \
+	  for s in dynamic-1 dynamic-2; do \
+	    dune exec --no-build bin/dqc_cli.exe -- lint $$b --scheme $$s \
+	      >/dev/null || { echo "lint: $$b [$$s] FAILED"; exit 1; }; \
+	  done; \
+	done; \
+	echo "lint: $(words $(LINT_BENCHES)) benchmarks x 2 schemes clean"; \
+	for f in examples/*.qasm; do \
+	  if dune exec --no-build bin/dqc_cli.exe -- lint --file $$f \
+	      >/dev/null 2>&1; then \
+	    echo "lint: negative corpus $$f was NOT rejected"; exit 1; \
+	  else echo "lint: negative corpus $$f rejected (non-zero exit)"; fi; \
+	done
+
 # One-command gate: full build + tests + a smoke run of the
 # execution-backend study + the telemetry smoke + source hygiene
 # (OCAMLRUNPARAM=b: backtraces on uncaught exceptions).
@@ -43,6 +66,7 @@ ci:
 	OCAMLRUNPARAM=b dune build @runtest
 	OCAMLRUNPARAM=b dune exec bench/main.exe -- backend
 	$(MAKE) trace-smoke
+	$(MAKE) lint
 	$(MAKE) fmt-check
 
 clean:

@@ -90,22 +90,23 @@ let run_ablation () =
 
 let obs_json_path = "BENCH_obs.json"
 
+(* The Table II AND family pushed to 9 data qubits (Mct_bench stops at
+   8): one C^9X oracle, 10 qubits total with the answer qubit.  Shared
+   by the backend study and the lint-throughput group. *)
+let and_9 =
+  let truth =
+    Algorithms.Boolean_fun.of_fun ~arity:9 (fun k -> k = (1 lsl 9) - 1)
+  in
+  Algorithms.Oracle.make ~name:"AND_9" ~arity:9 ~truth
+    [
+      Circuit.Instruction.Unitary
+        (Circuit.Instruction.app
+           ~controls:(List.init 9 (fun v -> v))
+           Circuit.Gate.X 9);
+    ]
+
 let run_backend () =
   section "E12 / Execution backends: serial vs parallel vs prefix-cached";
-  (* the Table II AND family pushed to 9 data qubits (Mct_bench stops
-     at 8): one C^9X oracle, 10 qubits total with the answer qubit *)
-  let and_9 =
-    let truth =
-      Algorithms.Boolean_fun.of_fun ~arity:9 (fun k -> k = (1 lsl 9) - 1)
-    in
-    Algorithms.Oracle.make ~name:"AND_9" ~arity:9 ~truth
-      [
-        Circuit.Instruction.Unitary
-          (Circuit.Instruction.app
-             ~controls:(List.init 9 (fun v -> v))
-             Circuit.Gate.X 9);
-      ]
-  in
   let dj = Algorithms.Dj.circuit and_9 in
   let plan = Sim.Measurement_plan.measure_all in
   let shots = 4096 in
@@ -183,6 +184,28 @@ let run_backend () =
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                    *)
+
+(* Lint-throughput workloads: the full pass catalogue over the
+   10-qubit DJ(AND_9) family — the traditional circuit under the
+   general passes and its dynamic-1 compilation under the DQC gate.
+   Shared by the bechamel group (group "lint" in dqc.bench/1) and the
+   instructions/second summary printed after the timing table. *)
+let lint_workloads =
+  lazy
+    (let dj = Algorithms.Dj.circuit and_9 in
+     let compiled =
+       let module O = Dqc.Pipeline.Options in
+       let options =
+         O.default
+         |> O.with_scheme Dqc.Toffoli_scheme.Dynamic_1
+         |> O.with_check_equivalence false
+       in
+       (Dqc.Pipeline.compile ~options dj).Dqc.Pipeline.circuit
+     in
+     [
+       ("lint DJ(AND_9) traditional", dj, Lint.default_passes);
+       ("lint DJ(AND_9) dyn1 dqc", compiled, Lint.dqc_passes ());
+     ])
 
 let make_benchmarks () =
   let open Bechamel in
@@ -308,6 +331,12 @@ let make_benchmarks () =
              ignore (Sim.Backend.run ~policy:dense ~plan ~shots:256 dj)));
     ]
   in
+  let lint_tests =
+    List.map
+      (fun (name, c, passes) ->
+        Test.make ~name (Staged.stage (fun () -> ignore (Lint.run ~passes c))))
+      (Lazy.force lint_workloads)
+  in
   Test.make_grouped ~name:"dqc"
     ([
        bv_transform 4;
@@ -328,7 +357,7 @@ let make_benchmarks () =
        routing;
        native;
      ]
-    @ backend_engines)
+    @ backend_engines @ lint_tests)
 
 let bench_json_path = "BENCH_backend.json"
 
@@ -390,7 +419,20 @@ let run_bechamel () =
           tbl)
       results
   in
-  write_bechamel_json !estimates
+  write_bechamel_json !estimates;
+  (* lint throughput re-expressed as instructions/second: ns/op over a
+     known instruction count makes the rate explicit *)
+  List.iter
+    (fun (name, c, _) ->
+      (* bechamel prefixes the group: "lint ..." -> "dqc/lint ..." *)
+      match List.assoc_opt ("dqc/" ^ name) !estimates with
+      | Some (Some ns) when ns > 0. ->
+          let instrs = List.length (Circuit.Circ.instructions c) in
+          Printf.printf "%-34s %12.2f M instr/s (%d instructions)\n" name
+            (float_of_int instrs /. ns *. 1000.)
+            instrs
+      | Some (Some _) | Some None | None -> ())
+    (Lazy.force lint_workloads)
 
 (* ------------------------------------------------------------------ *)
 

@@ -436,6 +436,102 @@ let analyze_cmd =
     Term.(const run $ bench $ file $ scheme_arg)
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                               *)
+
+let lint_cmd =
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~doc:"Lint an OpenQASM 3 file instead of a benchmark")
+  in
+  let bench =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name (see transform)")
+  in
+  let slots =
+    Arg.(
+      value & opt int 1
+      & info [ "slots" ] ~doc:"Physical data qubits for the compiled output")
+  in
+  let traditional =
+    Arg.(
+      value & flag
+      & info [ "traditional" ]
+          ~doc:"Lint the traditional circuit instead of its compilation")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the dqc.lint/1 JSON report")
+  in
+  let dqc =
+    Arg.(
+      value & flag
+      & info [ "dqc" ]
+          ~doc:
+            "Also run the DQC invariant passes on a --file or --traditional \
+             subject (always on for compiled benchmarks)")
+  in
+  let run bench file scheme mode slots traditional json dqc =
+    let general_passes () =
+      if dqc then Lint.dqc_passes ~max_live:slots () else Lint.default_passes
+    in
+    let subject =
+      match (bench, file) with
+      | _, Some path ->
+          let ic = open_in path in
+          let len = in_channel_length ic in
+          let src = really_input_string ic len in
+          close_in ic;
+          Some (Filename.basename path, Circuit.Qasm.parse src, general_passes ())
+      | Some name, None -> (
+          match benchmark_circuit name with
+          | None ->
+              prerr_endline ("unknown benchmark: " ^ name);
+              exit 1
+          | Some c ->
+              if traditional then Some (name, c, general_passes ())
+              else
+                let module O = Dqc.Pipeline.Options in
+                let options =
+                  O.default |> O.with_scheme scheme |> O.with_mode mode
+                  |> O.with_slots slots |> O.with_check_equivalence false
+                  |> O.with_lint false
+                in
+                let out = Dqc.Pipeline.compile ~options c in
+                Some
+                  ( Printf.sprintf "%s[%s]" name
+                      (Dqc.Toffoli_scheme.to_string scheme),
+                    out.circuit,
+                    Lint.dqc_passes ~max_live:slots () ))
+      | None, None -> None
+    in
+    match subject with
+    | None ->
+        prerr_endline "give a benchmark name or --file <qasm>";
+        exit 1
+    | Some (name, circuit, passes) ->
+        let report = Lint.run ~passes circuit in
+        if json then
+          print_endline (Obs.Json.to_string (Lint.to_json ~name report))
+        else begin
+          Printf.printf "%s: %s\n" name (Lint.summary report);
+          if report.Lint.diagnostics <> [] then
+            print_string (Lint.report_to_string report)
+        end;
+        exit (if Lint.clean report then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static circuit linter (abstract-interpretation passes + \
+          DQC invariants); non-zero exit on error diagnostics")
+    Term.(
+      const run $ bench $ file $ scheme_arg $ mode_arg $ slots $ traditional
+      $ json $ dqc)
+
+(* ------------------------------------------------------------------ *)
 (* qpe                                                                *)
 
 let qpe_cmd =
@@ -548,6 +644,7 @@ let () =
             simulate_cmd;
             stats_cmd;
             analyze_cmd;
+            lint_cmd;
             qpe_cmd;
             simon_cmd;
             slots_cmd;

@@ -1,0 +1,12 @@
+OPENQASM 3.0;
+include "stdgates.inc";
+// Negative corpus for `dqc_cli lint`: the qubit is reused after a
+// mid-circuit measurement without a reset, so the second measurement
+// reads a collapsed-and-flipped state -- the linter must report an
+// error-severity use-after-measure diagnostic and exit non-zero.
+qubit[1] q;
+bit[2] c;
+h q[0];
+c[0] = measure q[0];
+x q[0];
+c[1] = measure q[0];

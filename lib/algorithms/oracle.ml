@@ -78,7 +78,7 @@ let toffoli_count o =
   List.length
     (List.filter
        (fun (i : Instruction.t) ->
-         match i with
+         match[@warning "-4"] i with
          | Unitary { gate = Gate.X; controls = [ _; _ ]; _ } -> true
          | Unitary _ | Conditioned _ | Measure _ | Reset _ | Barrier _ ->
              false)

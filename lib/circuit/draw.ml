@@ -8,7 +8,7 @@ let layers c =
   let place i =
     match (i : Instruction.t) with
     | Barrier _ -> ()
-    | _ ->
+    | Unitary _ | Conditioned _ | Measure _ | Reset _ ->
         let qs = Instruction.qubits i and bs = Instruction.bits i in
         let base =
           List.fold_left

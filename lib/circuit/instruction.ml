@@ -10,7 +10,26 @@ type t =
 
 let app ?(controls = []) gate target = { gate; controls; target }
 let cond_bit bit value = { bits = [ (bit, value) ] }
-let cond_all bits = { bits = List.map (fun b -> (b, true)) bits }
+
+(* Normalized condition entries: sorted by bit, exact duplicates
+   collapsed.  Contradictory pairs (b,true)/(b,false) survive
+   normalization — [cond_tests] rejects them, and [Lint] flags any that
+   reach a circuit through the raw record type. *)
+let normalize_tests bits = List.sort_uniq compare bits
+
+let cond_all bits =
+  { bits = normalize_tests (List.map (fun b -> (b, true)) bits) }
+
+let cond_tests bits =
+  let bits = normalize_tests bits in
+  List.iter
+    (fun (b, v) ->
+      if v && List.mem (b, false) bits then
+        invalid_arg
+          (Printf.sprintf
+             "Instruction.cond_tests: contradictory tests on bit c%d" b))
+    bits;
+  { bits }
 
 let cond_holds c register =
   List.for_all

@@ -29,11 +29,26 @@ val app : ?controls:int list -> Gate.t -> int -> app
 (** [cond_bit bit value] is the single-bit condition [c_bit == value]. *)
 val cond_bit : int -> bool -> cond
 
-(** [cond_all bits] requires every bit in [bits] to read 1. *)
+(** [cond_all bits] requires every bit in [bits] to read 1.  Entries
+    are normalized: sorted ascending, duplicates collapsed, so
+    [cond_all [3; 3]] equals [cond_all [3]]. *)
 val cond_all : int list -> cond
 
+(** [cond_tests tests] builds a conjunction from explicit [(bit,
+    value)] tests.  Entries are normalized as in {!cond_all}; a
+    contradictory pair — the same bit tested against both [true] and
+    [false] — is rejected rather than silently accepted.
+    @raise Invalid_argument on a contradictory pair. *)
+val cond_tests : (int * bool) list -> cond
+
 (** [cond_holds cond register] evaluates the conjunction against a
-    register value (encoded as in [Sim.Bits]: bit [k] of the int). *)
+    register value (encoded as in [Sim.Bits]: bit [k] of the int).
+
+    A contradictory conjunction (same bit tested against both values,
+    only constructible through the raw record type) never holds: the
+    [for_all] over its tests is false for every register value.  The
+    linter's [contradictory-condition] pass flags such conditions
+    statically. *)
 val cond_holds : cond -> int -> bool
 
 (** Qubits the instruction touches (controls then target; measurement

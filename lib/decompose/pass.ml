@@ -4,12 +4,12 @@ type sharing = [ `Fresh | `Per_target | `Global ]
 type toffoli_scheme = [ `Clifford_t | `Barenco | `Ancilla of sharing ]
 
 let is_mct (i : Instruction.t) =
-  match i with
+  match[@warning "-4"] i with
   | Unitary { gate = Gate.X; controls; _ } -> List.length controls >= 3
   | Unitary _ | Conditioned _ | Measure _ | Reset _ | Barrier _ -> false
 
 let reject_unsupported (i : Instruction.t) =
-  match i with
+  match[@warning "-4"] i with
   | Unitary { gate; controls; _ } when List.length controls >= 2 ->
       if not (Gate.equal gate Gate.X) then
         invalid_arg
@@ -26,7 +26,7 @@ let reject_unsupported (i : Instruction.t) =
 let reduce_mct ?(for_dqc = false) c =
   List.iter reject_unsupported (Circ.instructions c);
   let needed (i : Instruction.t) =
-    match i with
+    match[@warning "-4"] i with
     | Unitary { gate = Gate.X; controls; _ } ->
         Mct.ancillas_needed (List.length controls)
     | Unitary _ | Conditioned _ | Measure _ | Reset _ | Barrier _ -> 0
@@ -74,7 +74,7 @@ let substitute_toffoli ?(mct_reduction = `Unitary) scheme c =
   match scheme with
   | `Clifford_t ->
       let rewrite (i : Instruction.t) =
-        match i with
+        match[@warning "-4"] i with
         | Unitary { gate = Gate.X; controls = [ c1; c2 ]; target } ->
             Clifford_t.toffoli ~c1 ~c2 ~target
         | Unitary _ | Conditioned _ | Measure _ | Reset _ | Barrier _ -> [ i ]
@@ -82,7 +82,7 @@ let substitute_toffoli ?(mct_reduction = `Unitary) scheme c =
       Circ.map_instructions rewrite c
   | `Barenco ->
       let rewrite (i : Instruction.t) =
-        match i with
+        match[@warning "-4"] i with
         | Unitary { gate = Gate.X; controls = [ c1; c2 ]; target } ->
             Barenco.toffoli ~c1 ~c2 ~target
         | Unitary _ | Conditioned _ | Measure _ | Reset _ | Barrier _ -> [ i ]
@@ -143,7 +143,7 @@ let substitute_toffoli ?(mct_reduction = `Unitary) scheme c =
           allocated []
       in
       let rewrite (i : Instruction.t) =
-        match (sharing, i) with
+        match[@warning "-4"] (sharing, i) with
         | `Fresh, Unitary { gate = Gate.X; controls = [ c1; c2 ]; target } ->
             let ancilla, _ = ancilla_for ~target in
             Ancilla_unroll.toffoli ~c1 ~c2 ~target ~ancilla
@@ -178,7 +178,7 @@ let substitute_toffoli ?(mct_reduction = `Unitary) scheme c =
    classically conditioned V is already a primitive 1-qubit operation. *)
 let expand_cv c =
   let rewrite (i : Instruction.t) =
-    match i with
+    match[@warning "-4"] i with
     | Unitary { gate = Gate.V; controls = [ ctl ]; target } ->
         Clifford_t.cv ~control:ctl ~target
     | Unitary { gate = Gate.Vdg; controls = [ ctl ]; target } ->

@@ -72,7 +72,7 @@ let removed_count c =
    rotation only merges with the next live instruction sharing its
    wire when that is also a plain rotation of the same family *)
 let rotation_family (i : Instruction.t) =
-  match i with
+  match[@warning "-4"] i with
   | Unitary { gate = Gate.Rz a; controls = []; target } -> Some (`Rz, a, target)
   | Unitary { gate = Gate.Phase a; controls = []; target } ->
       Some (`Phase, a, target)

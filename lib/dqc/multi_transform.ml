@@ -61,7 +61,9 @@ let transform ?(mode = `Algorithm1) ?(mct = false) ~slots c =
     Array.of_list
       (List.filter
          (fun (i : Instruction.t) ->
-           match i with Barrier _ -> false | _ -> true)
+           match i with
+           | Barrier _ -> false
+           | Unitary _ | Conditioned _ | Measure _ | Reset _ -> true)
          (Circ.instructions c))
   in
   let emitted = Array.make (Array.length gates) false in
@@ -148,7 +150,9 @@ let transform ?(mode = `Algorithm1) ?(mct = false) ~slots c =
                 let emit () =
                   (match mapped with
                   | Instruction.Barrier _ -> ()
-                  | _ -> Circ.Builder.add out mapped);
+                  | Instruction.Unitary _ | Instruction.Conditioned _
+                  | Instruction.Measure _ | Instruction.Reset _ ->
+                      Circ.Builder.add out mapped);
                   emitted.(pos) <- true;
                   progress := true
                 in

@@ -31,6 +31,7 @@ module Options = struct
     native : bool;
     check_equivalence : bool;
     backend_policy : Sim.Backend.policy;
+    lint : bool;
   }
 
   let default =
@@ -43,6 +44,7 @@ module Options = struct
       native = false;
       check_equivalence = true;
       backend_policy = Sim.Backend.Auto;
+      lint = true;
     }
 
   let with_scheme scheme t = { t with scheme }
@@ -57,6 +59,7 @@ module Options = struct
   let with_native native t = { t with native }
   let with_check_equivalence check_equivalence t = { t with check_equivalence }
   let with_backend_policy backend_policy t = { t with backend_policy }
+  let with_lint lint t = { t with lint }
 
   let scheme t = t.scheme
   let mode t = t.mode
@@ -66,6 +69,7 @@ module Options = struct
   let native t = t.native
   let check_equivalence t = t.check_equivalence
   let backend_policy t = t.backend_policy
+  let lint t = t.lint
 
   let of_flat (o : options) =
     {
@@ -77,6 +81,7 @@ module Options = struct
       native = o.native;
       check_equivalence = o.check_equivalence;
       backend_policy = Sim.Backend.Auto;
+      lint = true;
     }
 end
 
@@ -92,6 +97,7 @@ type output = {
   duration_ns : float;
   tv : float option;
   tv_sampled : bool;
+  lint : Lint.report option;
 }
 
 let exact_check_max_qubits = 12
@@ -110,7 +116,9 @@ let compile_observed ~options traditional =
       let prepared =
         match options.Options.scheme with
         | Toffoli_scheme.Direct_mct -> traditional
-        | s ->
+        | ( Toffoli_scheme.Traditional | Toffoli_scheme.Dynamic_1
+          | Toffoli_scheme.Dynamic_2 | Toffoli_scheme.Dynamic_2_shared _ ) as s
+          ->
             Obs.with_span "pipeline.prepare" (fun () ->
                 Toffoli_scheme.prepare s traditional)
       in
@@ -196,6 +204,19 @@ let compile_observed ~options traditional =
               Transpile.Basis.to_native c)
         else c
       in
+      (* the lint gate: every compiled output must satisfy the DQC
+         structural invariants; an error-severity diagnostic raises
+         [Lint.Rejected] rather than letting a broken circuit out *)
+      let lint_report =
+        if options.Options.lint then
+          Some
+            (Obs.with_span "pipeline.lint" (fun () ->
+                 Lint.check
+                   ~passes:
+                     (Lint.dqc_passes ~max_live:options.Options.slots ())
+                   lowered))
+        else None
+      in
       {
         circuit = lowered;
         data_bit;
@@ -208,6 +229,7 @@ let compile_observed ~options traditional =
         duration_ns = Metrics.duration lowered;
         tv;
         tv_sampled = sampled;
+        lint = lint_report;
       })
 
 let compile ?(options = Options.default) traditional =
@@ -222,7 +244,7 @@ let compile_flat ?(options = default) traditional =
 let pp fmt o =
   Format.fprintf fmt
     "@[<v>qubits: %d, gates: %d, depth: %d, duration: %.2f us@,\
-     iterations: %d, unsound reorderings: %d@,%s@]"
+     iterations: %d, unsound reorderings: %d@,%s@,%s@]"
     o.qubits o.gates o.depth
     (o.duration_ns /. 1000.)
     o.iterations o.violations
@@ -230,5 +252,8 @@ let pp fmt o =
     | Some tv when o.tv_sampled -> Printf.sprintf "sampled TV distance: %.6f" tv
     | Some tv -> Printf.sprintf "exact TV distance: %.6f" tv
     | None -> "equivalence check skipped")
+    (match o.lint with
+    | Some r -> "lint: " ^ Lint.summary r
+    | None -> "lint: skipped")
 
 let to_string o = Format.asprintf "%a" pp o

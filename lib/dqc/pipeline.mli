@@ -56,6 +56,12 @@ module Options : sig
       equivalence fallback beyond 12 qubits) dispatch through. *)
   val with_backend_policy : Sim.Backend.policy -> t -> t
 
+  (** Run the static lint gate ({!Lint.dqc_passes}, [max_live] =
+      slots) on the compiled output — on by default.  An
+      error-severity diagnostic makes {!compile} raise
+      {!Lint.Rejected}. *)
+  val with_lint : bool -> t -> t
+
   val scheme : t -> Toffoli_scheme.t
   val mode : t -> [ `Algorithm1 | `Sound ]
   val slots : t -> int
@@ -64,8 +70,10 @@ module Options : sig
   val native : t -> bool
   val check_equivalence : t -> bool
   val backend_policy : t -> Sim.Backend.policy
+  val lint : t -> bool
 
-  (** Lift the deprecated flat record ([backend_policy] = [Auto]). *)
+  (** Lift the deprecated flat record ([backend_policy] = [Auto],
+      [lint] on). *)
   val of_flat : options -> t
 end
 
@@ -84,6 +92,9 @@ type output = {
       (** [tv] came from {!Equivalence.sampled_tv_distance} (shot
           estimate through the execution backend) rather than exact
           branch enumeration *)
+  lint : Lint.report option;
+      (** the lint gate's report ([None] when disabled); always
+          {!Lint.clean} when present — errors raise instead *)
 }
 
 (** [compile ?options traditional].  Beyond 12 qubits the exact
@@ -91,7 +102,9 @@ type output = {
     {!Sim.Backend.run} when both circuits are Clifford (single-slot
     only); otherwise it is skipped as before.
     @raise Transform.Not_transformable / Interaction.Cyclic as the
-    underlying stages do. *)
+    underlying stages do.
+    @raise Lint.Rejected when the lint gate (on by default) finds an
+    error-severity diagnostic in the compiled output. *)
 val compile : ?options:Options.t -> Circ.t -> output
 
 (** Deprecated shim for the flat record:

@@ -1,0 +1,70 @@
+(* Abstract domains for the circuit linter.  See docs/LINTING.md. *)
+
+module Qubit = struct
+  type t = Zero | One | Basis | Collapsed | Superposed | Top
+
+  let is_basis_like = function
+    | Zero | One | Basis | Collapsed -> true
+    | Superposed | Top -> false
+
+  (* Collapsed carries the same "diagonal mixture" claim as Basis plus
+     the freshly-measured flag; the flag only survives a join when both
+     sides carry it, so a conditionally-touched qubit stops being
+     "freshly measured" (preferring a missed diagnostic over a false
+     one). *)
+  let join a b =
+    if a = b then a
+    else if is_basis_like a && is_basis_like b then Basis
+    else Top
+
+  let to_string = function
+    | Zero -> "zero"
+    | One -> "one"
+    | Basis -> "basis"
+    | Collapsed -> "collapsed"
+    | Superposed -> "superposed"
+    | Top -> "top"
+end
+
+module Bit = struct
+  type t = Unwritten | Known of bool | Written
+
+  let join a b =
+    match (a, b) with
+    | Unwritten, Unwritten -> Unwritten
+    | Known x, Known y when x = y -> Known x
+    | Known _, Known _ -> Written
+    | Unwritten, (Known _ | Written)
+    | (Known _ | Written), Unwritten
+    | Written, (Known _ | Written)
+    | Known _, Written ->
+        Written
+
+  let to_string = function
+    | Unwritten -> "unwritten"
+    | Known b -> if b then "known:1" else "known:0"
+    | Written -> "written"
+end
+
+type gate_class = Diagonal | Permuting | Superposing
+
+let classify (g : Circuit.Gate.t) =
+  match g with
+  | Z | S | Sdg | T | Tdg | Rz _ | Phase _ -> Diagonal
+  | X | Y -> Permuting
+  | H | V | Vdg | Rx _ | Ry _ -> Superposing
+
+(* Certain single-qubit application: the qubit is definitely hit.
+   Permuting covers exactly X and Y, both of which exchange the basis
+   states (Y only adds phases), so Zero/One map precisely. *)
+let apply_gate g (q : Qubit.t) : Qubit.t =
+  match (classify g, q) with
+  | Diagonal, Collapsed -> Basis
+  | Diagonal, (Zero | One | Basis | Superposed | Top) -> q
+  | Permuting, Zero -> One
+  | Permuting, One -> Zero
+  | Permuting, (Basis | Collapsed) -> Basis
+  | Permuting, Superposed -> Superposed
+  | Permuting, Top -> Top
+  | Superposing, (Zero | One | Basis | Collapsed) -> Superposed
+  | Superposing, (Superposed | Top) -> Top

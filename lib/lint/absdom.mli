@@ -1,0 +1,51 @@
+(** Abstract domains of the circuit linter's forward interpreter.
+
+    The per-qubit lattice abstracts the qubit's {e reduced} state in
+    the computational basis:
+
+    - [Zero] / [One]: exactly that basis state, unentangled;
+    - [Basis]: a classical (diagonal) mixture of basis states, possibly
+      classically correlated with other qubits or bits;
+    - [Collapsed]: [Basis], plus "freshly measured and not yet reset" —
+      the marker the use-after-measure pass fires on;
+    - [Superposed]: may carry coherence introduced by a superposing
+      gate from a previously-known state;
+    - [Top]: no information.
+
+    The per-bit lattice tracks the classical register: [Unwritten]
+    (no measurement has targeted the bit), [Known b] (the writing
+    measurement collapsed a statically known basis state), [Written]
+    (written, value unknown). *)
+
+module Qubit : sig
+  type t = Zero | One | Basis | Collapsed | Superposed | Top
+
+  (** [Zero], [One], [Basis] and [Collapsed] all promise a diagonal
+      reduced density matrix. *)
+  val is_basis_like : t -> bool
+
+  (** Least upper bound; the [Collapsed] flag only survives when both
+      sides carry it. *)
+  val join : t -> t -> t
+
+  val to_string : t -> string
+end
+
+module Bit : sig
+  type t = Unwritten | Known of bool | Written
+
+  val join : t -> t -> t
+  val to_string : t -> string
+end
+
+(** Transfer behaviour of the 1-qubit gate library: [Diagonal] gates
+    fix every basis state (up to phase), [Permuting] gates (X, Y)
+    exchange them, [Superposing] gates (H, V, V†, Rx, Ry) can create
+    coherence. *)
+type gate_class = Diagonal | Permuting | Superposing
+
+val classify : Circuit.Gate.t -> gate_class
+
+(** Abstract effect of definitely applying [gate] to a qubit in the
+    given state (no controls). *)
+val apply_gate : Circuit.Gate.t -> Qubit.t -> Qubit.t

@@ -1,0 +1,54 @@
+type severity = Error | Warning | Hint
+
+type t = {
+  pass : string;
+  severity : severity;
+  instr_index : int;
+  qubits : int list;
+  bits : int list;
+  message : string;
+  suggestion : string option;
+}
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Hint -> 2
+
+let make ?(qubits = []) ?(bits = []) ?suggestion ~pass ~severity ~instr_index
+    message =
+  { pass; severity; instr_index; qubits; bits; message; suggestion }
+
+let compare a b =
+  let c = Stdlib.compare a.instr_index b.instr_index in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+    if c <> 0 then c else Stdlib.compare (a.pass, a.message) (b.pass, b.message)
+
+let pp fmt d =
+  Format.fprintf fmt "#%d %s [%s] %s" d.instr_index
+    (severity_to_string d.severity)
+    d.pass d.message;
+  match d.suggestion with
+  | Some s -> Format.fprintf fmt " — %s" s
+  | None -> ()
+
+let to_string d = Format.asprintf "%a" pp d
+
+let to_json d =
+  Obs.Json.Obj
+    [
+      ("pass", Obs.Json.String d.pass);
+      ("severity", Obs.Json.String (severity_to_string d.severity));
+      ("instr_index", Obs.Json.Int d.instr_index);
+      ("qubits", Obs.Json.List (List.map (fun q -> Obs.Json.Int q) d.qubits));
+      ("bits", Obs.Json.List (List.map (fun b -> Obs.Json.Int b) d.bits));
+      ("message", Obs.Json.String d.message);
+      ( "suggestion",
+        match d.suggestion with
+        | Some s -> Obs.Json.String s
+        | None -> Obs.Json.Null );
+    ]

@@ -1,0 +1,66 @@
+(** Static analysis over the circuit IR: a forward abstract
+    interpreter ({!Trace}, {!State}, {!Absdom}) plus a registry of lint
+    passes producing structured {!Diagnostic}s.  See docs/LINTING.md
+    for the lattice, the pass catalogue and the [dqc.lint/1] JSON
+    schema.
+
+    Typical use:
+    {[
+      let report = Lint.run ~passes:(Lint.dqc_passes ()) circuit in
+      if not (Lint.clean report) then
+        print_string (Lint.report_to_string report)
+    ]}
+
+    Telemetry: one [lint.run] span wrapping a [lint.interpret] span,
+    an [lint.instructions] counter, and one [lint.pass.<name>] counter
+    per pass that produced diagnostics. *)
+
+module Absdom = Absdom
+module State = State
+module Trace = Trace
+module Diagnostic = Diagnostic
+module Pass = Pass
+module Passes = Passes
+module Dqc_rules = Dqc_rules
+
+type report = {
+  diagnostics : Diagnostic.t list;  (** sorted by {!Diagnostic.compare} *)
+  errors : int;
+  warnings : int;
+  hints : int;
+  instructions : int;  (** instructions interpreted *)
+  passes_run : int;
+}
+
+(** Raised by {!check} (and the pipeline's lint gate) when a circuit
+    carries error-severity diagnostics.  A printer is registered, so
+    uncaught exceptions list the errors. *)
+exception Rejected of report
+
+(** {!Passes.general} — the catalogue meaningful for any circuit. *)
+val default_passes : Pass.t list
+
+(** General catalogue plus the DQC-discipline passes
+    ({!Dqc_rules.passes}); [max_live] defaults to 1. *)
+val dqc_passes : ?max_live:int -> unit -> Pass.t list
+
+(** Interpret the circuit once and run every pass over the trace
+    ([passes] defaults to {!default_passes}). *)
+val run : ?passes:Pass.t list -> Circuit.Circ.t -> report
+
+(** A report with no error-severity diagnostics.  Warnings and hints
+    do not make a circuit unclean. *)
+val clean : report -> bool
+
+(** [run], then @raise Rejected when the report is not {!clean}. *)
+val check : ?passes:Pass.t list -> Circuit.Circ.t -> report
+
+(** One-line count summary, e.g. ["2 errors, 0 warnings, 1 hint over
+    34 instructions (10 passes)"]. *)
+val summary : report -> string
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_string : report -> string
+
+(** The [dqc.lint/1] document; [name] fills the [circuit] field. *)
+val to_json : ?name:string -> report -> Obs.Json.t

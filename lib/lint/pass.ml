@@ -1,0 +1,7 @@
+type t = {
+  name : string;
+  description : string;
+  run : Trace.t -> Diagnostic.t list;
+}
+
+let make ~name ~description run = { name; description; run }

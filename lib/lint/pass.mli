@@ -1,0 +1,16 @@
+(** A lint pass: a named analysis over an interpreted circuit trace.
+    Passes are pure — all shared work (the abstract interpretation)
+    lives in the {!Trace} they receive. *)
+
+type t = {
+  name : string;  (** stable kebab-case identifier, e.g. ["use-after-measure"];
+                      also the telemetry counter suffix [lint.pass.<name>] *)
+  description : string;  (** one-line summary for registries and docs *)
+  run : Trace.t -> Diagnostic.t list;
+}
+
+val make :
+  name:string ->
+  description:string ->
+  (Trace.t -> Diagnostic.t list) ->
+  t

@@ -1,0 +1,345 @@
+(* The general pass catalogue.  Every pass is a pure function of the
+   interpreted trace; DQC-discipline passes live in [Dqc_rules]. *)
+
+open Circuit
+
+let q_name q = Printf.sprintf "q%d" q
+let b_name b = Printf.sprintf "c%d" b
+
+(* Last index at which each qubit is referenced by an effectful
+   instruction (barriers read nothing and keep nothing alive). *)
+let last_reference trace =
+  let last = Array.make (Circ.num_qubits (Trace.circuit trace)) (-1) in
+  Trace.iteri
+    (fun i ~pre:_ (instr : Instruction.t) ->
+      match instr with
+      | Barrier _ -> ()
+      | Unitary _ | Conditioned _ | Measure _ | Reset _ ->
+          List.iter (fun q -> last.(q) <- i) (Instruction.qubits instr))
+    trace;
+  last
+
+(* First index at which each qubit is measured (max_int when never). *)
+let first_measure trace =
+  let first = Array.make (Circ.num_qubits (Trace.circuit trace)) max_int in
+  Trace.iteri
+    (fun i ~pre:_ (instr : Instruction.t) ->
+      match instr with
+      | Measure { qubit; _ } -> if first.(qubit) = max_int then first.(qubit) <- i
+      | Unitary _ | Conditioned _ | Reset _ | Barrier _ -> ())
+    trace;
+  first
+
+(* ------------------------------------------------------------------ *)
+
+let use_after_measure =
+  Pass.make ~name:"use-after-measure"
+    ~description:
+      "gate touches a qubit after its measurement with no intervening reset"
+    (fun trace ->
+      let out = ref [] in
+      Trace.iteri
+        (fun i ~pre (instr : Instruction.t) ->
+          match instr with
+          | Unitary _ | Conditioned _ ->
+              List.iter
+                (fun q ->
+                  if State.qubit pre q = Absdom.Qubit.Collapsed then
+                    out :=
+                      Diagnostic.make ~pass:"use-after-measure"
+                        ~severity:Diagnostic.Error ~instr_index:i ~qubits:[ q ]
+                        ~suggestion:
+                          (Printf.sprintf
+                             "insert `reset %s` before reusing the qubit"
+                             (q_name q))
+                        (Printf.sprintf
+                           "%s touches %s after its measurement with no \
+                            intervening reset"
+                           (Instruction.to_string instr) (q_name q))
+                      :: !out)
+                (Instruction.qubits instr)
+          | Measure _ | Reset _ | Barrier _ -> ())
+        trace;
+      List.rev !out)
+
+let cond_unmeasured_bit =
+  Pass.make ~name:"cond-unmeasured-bit"
+    ~description:"classical condition reads a bit no measurement has written"
+    (fun trace ->
+      let out = ref [] in
+      Trace.iteri
+        (fun i ~pre (instr : Instruction.t) ->
+          match instr with
+          | Conditioned (c, _) ->
+              List.iter
+                (fun (b, _) ->
+                  if State.bit pre b = Absdom.Bit.Unwritten then
+                    out :=
+                      Diagnostic.make ~pass:"cond-unmeasured-bit"
+                        ~severity:Diagnostic.Error ~instr_index:i ~bits:[ b ]
+                        ~suggestion:
+                          (Printf.sprintf
+                             "measure into %s before this gate, or drop the \
+                              test"
+                             (b_name b))
+                        (Printf.sprintf
+                           "%s reads %s, which no measurement has written"
+                           (Instruction.to_string instr) (b_name b))
+                      :: !out)
+                c.bits
+          | Unitary _ | Measure _ | Reset _ | Barrier _ -> ())
+        trace;
+      List.rev !out)
+
+let contradictory_condition =
+  Pass.make ~name:"contradictory-condition"
+    ~description:
+      "condition is statically false: internal contradiction or a test \
+       against a known bit value"
+    (fun trace ->
+      let out = ref [] in
+      Trace.iteri
+        (fun i ~pre (instr : Instruction.t) ->
+          match instr with
+          | Conditioned (c, _) ->
+              let contradictions =
+                List.filter_map
+                  (fun (b, v) ->
+                    if v && List.mem (b, false) c.bits then Some b else None)
+                  c.bits
+              in
+              if contradictions <> [] then
+                out :=
+                  Diagnostic.make ~pass:"contradictory-condition"
+                    ~severity:Diagnostic.Error ~instr_index:i
+                    ~bits:contradictions
+                    ~suggestion:
+                      "delete the gate or fix the condition \
+                       (Instruction.cond_tests rejects such conjunctions)"
+                    (Printf.sprintf
+                       "%s tests %s against both 1 and 0: the condition can \
+                        never hold"
+                       (Instruction.to_string instr)
+                       (String.concat ", " (List.map b_name contradictions)))
+                  :: !out
+              else
+                List.iter
+                  (fun (b, v) ->
+                    match State.bit pre b with
+                    | Absdom.Bit.Known x when x <> v ->
+                        out :=
+                          Diagnostic.make ~pass:"contradictory-condition"
+                            ~severity:Diagnostic.Warning ~instr_index:i
+                            ~bits:[ b ]
+                            ~suggestion:"the gate never fires; delete it"
+                            (Printf.sprintf
+                               "%s tests %s == %d, but the bit provably reads \
+                                %d here"
+                               (Instruction.to_string instr) (b_name b)
+                               (if v then 1 else 0)
+                               (if x then 1 else 0))
+                          :: !out
+                    | Absdom.Bit.Known _ | Absdom.Bit.Unwritten
+                    | Absdom.Bit.Written ->
+                        ())
+                  c.bits
+          | Unitary _ | Measure _ | Reset _ | Barrier _ -> ())
+        trace;
+      List.rev !out)
+
+let measurement_clobbers_bit =
+  Pass.make ~name:"measurement-clobbers-bit"
+    ~description:"measurement overwrites an earlier result nothing has read"
+    (fun trace ->
+      let num_bits = Circ.num_bits (Trace.circuit trace) in
+      let last_write = Array.make num_bits (-1) in
+      let read_since = Array.make num_bits true in
+      let out = ref [] in
+      Trace.iteri
+        (fun i ~pre:_ (instr : Instruction.t) ->
+          match instr with
+          | Conditioned (c, _) ->
+              List.iter (fun (b, _) -> read_since.(b) <- true) c.bits
+          | Measure { bit; _ } ->
+              if last_write.(bit) >= 0 && not read_since.(bit) then
+                out :=
+                  Diagnostic.make ~pass:"measurement-clobbers-bit"
+                    ~severity:Diagnostic.Warning ~instr_index:i ~bits:[ bit ]
+                    ~suggestion:
+                      (Printf.sprintf
+                         "read %s before remeasuring, or measure into a \
+                          fresh bit"
+                         (b_name bit))
+                    (Printf.sprintf
+                       "measurement overwrites %s, whose value from \
+                        instruction #%d nothing has read"
+                       (b_name bit) last_write.(bit))
+                  :: !out;
+              last_write.(bit) <- i;
+              read_since.(bit) <- false
+          | Unitary _ | Reset _ | Barrier _ -> ())
+        trace;
+      List.rev !out)
+
+let redundant_reset =
+  Pass.make ~name:"redundant-reset"
+    ~description:"reset of a qubit that provably already reads |0⟩"
+    (fun trace ->
+      let out = ref [] in
+      Trace.iteri
+        (fun i ~pre (instr : Instruction.t) ->
+          match instr with
+          | Reset q when State.qubit pre q = Absdom.Qubit.Zero ->
+              out :=
+                Diagnostic.make ~pass:"redundant-reset"
+                  ~severity:Diagnostic.Hint ~instr_index:i ~qubits:[ q ]
+                  ~suggestion:"drop the reset"
+                  (Printf.sprintf "%s is provably |0⟩ here: the reset is \
+                                   redundant"
+                     (q_name q))
+                :: !out
+          | Reset _ | Unitary _ | Conditioned _ | Measure _ | Barrier _ -> ())
+        trace;
+      List.rev !out)
+
+let dead_gate =
+  Pass.make ~name:"dead-gate"
+    ~description:
+      "gate after the final measurement of every operand cannot affect any \
+       outcome"
+    (fun trace ->
+      let last = last_reference trace in
+      let first_m = first_measure trace in
+      let out = ref [] in
+      Trace.iteri
+        (fun i ~pre:_ (instr : Instruction.t) ->
+          match instr with
+          (* Conditioned gates are exempt: a classically controlled
+             correction after the final measurement is the DQC
+             uncomputation idiom — it returns the physical qubit to
+             |0> so it can be reused beyond this circuit's scope. *)
+          | Conditioned _ -> ()
+          | Unitary _ ->
+              let qs = Instruction.qubits instr in
+              if
+                qs <> []
+                && List.for_all
+                     (fun q -> first_m.(q) < i && last.(q) = i)
+                     qs
+              then
+                out :=
+                  Diagnostic.make ~pass:"dead-gate"
+                    ~severity:Diagnostic.Warning ~instr_index:i ~qubits:qs
+                    ~suggestion:"delete the gate"
+                    (Printf.sprintf
+                       "%s acts after the final measurement of %s and nothing \
+                        references %s again: it cannot affect any outcome"
+                       (Instruction.to_string instr)
+                       (String.concat ", " (List.map q_name qs))
+                       (if List.length qs = 1 then "the qubit" else "them"))
+                  :: !out
+          | Measure _ | Reset _ | Barrier _ -> ())
+        trace;
+      List.rev !out)
+
+let dead_bit =
+  Pass.make ~name:"dead-bit"
+    ~description:"result of a mid-circuit measurement is never read"
+    (fun trace ->
+      let n = Trace.length trace in
+      let num_bits = Circ.num_bits (Trace.circuit trace) in
+      let last = last_reference trace in
+      (* read/write indices per bit, ascending *)
+      let reads = Array.make num_bits [] in
+      let writes = Array.make num_bits [] in
+      Trace.iteri
+        (fun i ~pre:_ (instr : Instruction.t) ->
+          match instr with
+          | Conditioned (c, _) ->
+              List.iter (fun (b, _) -> reads.(b) <- i :: reads.(b)) c.bits
+          | Measure { bit; _ } -> writes.(bit) <- i :: writes.(bit)
+          | Unitary _ | Reset _ | Barrier _ -> ())
+        trace;
+      Array.iteri (fun b l -> reads.(b) <- List.rev l) reads;
+      Array.iteri (fun b l -> writes.(b) <- List.rev l) writes;
+      let out = ref [] in
+      Trace.iteri
+        (fun i ~pre:_ (instr : Instruction.t) ->
+          match instr with
+          | Measure { qubit; bit } when last.(qubit) > i ->
+              (* mid-circuit measurement: the qubit lives on *)
+              let next_write =
+                match List.find_opt (fun j -> j > i) writes.(bit) with
+                | Some j -> j
+                | None -> n
+              in
+              let read_later =
+                List.exists (fun j -> j > i && j < next_write) reads.(bit)
+              in
+              if not read_later then
+                out :=
+                  Diagnostic.make ~pass:"dead-bit" ~severity:Diagnostic.Hint
+                    ~instr_index:i ~qubits:[ qubit ] ~bits:[ bit ]
+                    ~suggestion:
+                      (Printf.sprintf
+                         "if %s is not an output of the circuit, drop the \
+                          measurement"
+                         (b_name bit))
+                    (Printf.sprintf
+                       "the result of this mid-circuit measurement (%s) is \
+                        never read"
+                       (b_name bit))
+                  :: !out
+          | Measure _ | Unitary _ | Conditioned _ | Reset _ | Barrier _ -> ())
+        trace;
+      List.rev !out)
+
+let ancilla_not_zero =
+  Pass.make ~name:"ancilla-not-zero"
+    ~description:"ancilla qubit is not returned to |0⟩ at circuit end (Eqn 3)"
+    (fun trace ->
+      let c = Trace.circuit trace in
+      let final = Trace.final trace in
+      let n = Trace.length trace in
+      let out = ref [] in
+      List.iter
+        (fun q ->
+          match State.qubit final q with
+          | Absdom.Qubit.Zero -> ()
+          | Absdom.Qubit.One ->
+              out :=
+                Diagnostic.make ~pass:"ancilla-not-zero"
+                  ~severity:Diagnostic.Error ~instr_index:n ~qubits:[ q ]
+                  ~suggestion:"uncompute the ancilla before circuit end"
+                  (Printf.sprintf
+                     "ancilla %s provably ends in |1⟩ — its uncomputation is \
+                      broken"
+                     (q_name q))
+                :: !out
+          | Absdom.Qubit.Basis | Absdom.Qubit.Collapsed
+          | Absdom.Qubit.Superposed | Absdom.Qubit.Top ->
+              out :=
+                Diagnostic.make ~pass:"ancilla-not-zero"
+                  ~severity:Diagnostic.Hint ~instr_index:n ~qubits:[ q ]
+                  ~suggestion:
+                    "uncompute the ancilla, or end with an explicit reset"
+                  (Printf.sprintf
+                     "cannot statically verify that ancilla %s is returned \
+                      to |0⟩ (abstract state: %s)"
+                     (q_name q)
+                     (Absdom.Qubit.to_string (State.qubit final q)))
+                :: !out)
+        (Circ.qubits_with_role c Circ.Ancilla);
+      List.rev !out)
+
+let general =
+  [
+    use_after_measure;
+    cond_unmeasured_bit;
+    contradictory_condition;
+    measurement_clobbers_bit;
+    redundant_reset;
+    dead_gate;
+    dead_bit;
+    ancilla_not_zero;
+  ]

@@ -1,0 +1,34 @@
+(** The general pass catalogue — structural checks meaningful for any
+    dynamic circuit.  DQC-discipline passes are in {!Dqc_rules}; the
+    combined registry lives in {!Lint}. *)
+
+(** [Error]: a gate touches a freshly measured, never-reset qubit. *)
+val use_after_measure : Pass.t
+
+(** [Error]: a classical condition reads an [Unwritten] bit. *)
+val cond_unmeasured_bit : Pass.t
+
+(** [Error] on an internally contradictory conjunction
+    ([c3 == 1 && c3 == 0]); [Warning] on a test that contradicts a
+    statically known bit value. *)
+val contradictory_condition : Pass.t
+
+(** [Warning]: a measurement overwrites a result nothing has read. *)
+val measurement_clobbers_bit : Pass.t
+
+(** [Hint]: reset of a provably-|0⟩ qubit. *)
+val redundant_reset : Pass.t
+
+(** [Warning]: a gate whose operands are all measured-and-never-
+    referenced-again cannot affect any outcome. *)
+val dead_gate : Pass.t
+
+(** [Hint]: a mid-circuit measurement whose result is never read. *)
+val dead_bit : Pass.t
+
+(** [Error] when an ancilla provably ends in |1⟩; [Hint] when its
+    return to |0⟩ cannot be verified statically. *)
+val ancilla_not_zero : Pass.t
+
+(** All of the above, in catalogue order. *)
+val general : Pass.t list

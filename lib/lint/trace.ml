@@ -1,0 +1,25 @@
+open Circuit
+
+type t = { circuit : Circ.t; instrs : Instruction.t array; pre : State.t array }
+
+let run c =
+  Obs.with_span "lint.interpret" (fun () ->
+      let instrs = Array.of_list (Circ.instructions c) in
+      let n = Array.length instrs in
+      let s0 =
+        State.init ~num_qubits:(Circ.num_qubits c) ~num_bits:(Circ.num_bits c)
+      in
+      let pre = Array.make (n + 1) s0 in
+      for i = 0 to n - 1 do
+        pre.(i + 1) <- State.step pre.(i) instrs.(i)
+      done;
+      { circuit = c; instrs; pre })
+
+let circuit t = t.circuit
+let length t = Array.length t.instrs
+let instr t i = t.instrs.(i)
+let pre t i = t.pre.(i)
+let final t = t.pre.(Array.length t.instrs)
+
+let iteri f t =
+  Array.iteri (fun i instr -> f i ~pre:t.pre.(i) instr) t.instrs

@@ -1,0 +1,27 @@
+open Circuit
+
+(** Result of running the forward abstract interpreter over a circuit:
+    the pre-state of every instruction plus the final state.  Built
+    once per {!Lint.run} and shared by all passes. *)
+
+type t
+
+(** Interpret the whole circuit (one [lint.interpret] span). *)
+val run : Circ.t -> t
+
+val circuit : t -> Circ.t
+
+(** Number of instructions. *)
+val length : t -> int
+
+val instr : t -> int -> Instruction.t
+
+(** [pre t i] is the abstract state immediately before instruction
+    [i]; [pre t (length t)] equals {!final}. *)
+val pre : t -> int -> State.t
+
+(** State after the last instruction. *)
+val final : t -> State.t
+
+(** [iteri f t] calls [f i ~pre instr] for each instruction in order. *)
+val iteri : (int -> pre:State.t -> Instruction.t -> unit) -> t -> unit

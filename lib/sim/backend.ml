@@ -28,7 +28,9 @@ module Prefix = struct
     let rec go acc = function
       | (Instruction.Measure _ | Instruction.Reset _) :: _ as rest ->
           (List.rev acc, rest)
-      | i :: rest -> go (i :: acc) rest
+      | ((Instruction.Unitary _ | Instruction.Conditioned _
+         | Instruction.Barrier _) as i)
+        :: rest -> go (i :: acc) rest
       | [] -> (List.rev acc, [])
     in
     go [] (Circ.instructions c)
@@ -45,7 +47,8 @@ module Prefix = struct
           (List.filter
              (function
                | Instruction.Measure _ | Instruction.Reset _ -> false
-               | _ -> true)
+               | Instruction.Unitary _ | Instruction.Conditioned _
+               | Instruction.Barrier _ -> true)
              suffix)
     in
     if unitary = 0 then 1.0
@@ -80,7 +83,8 @@ let branch_points c =
     (fun acc i ->
       match i with
       | Instruction.Measure _ | Instruction.Reset _ -> acc + 1
-      | _ -> acc)
+      | Instruction.Unitary _ | Instruction.Conditioned _
+      | Instruction.Barrier _ -> acc)
     0 (Circ.instructions c)
 
 (* The exact backend pays ~2^branch_points statevector replays up

@@ -139,7 +139,10 @@ let prefix_noise_free model prefix =
   model.p_depol1 = 0. && model.p_depol2 = 0. && model.p_amp_damp = 0.
   && (model.p_feedforward_z = 0.
      || List.for_all
-          (function Instruction.Conditioned _ -> false | _ -> true)
+          (function
+            | Instruction.Conditioned _ -> false
+            | Instruction.Unitary _ | Instruction.Measure _
+            | Instruction.Reset _ | Instruction.Barrier _ -> true)
           prefix)
 
 let run_shots ?(seed = 0xD1CE) ?domains ?plan ~model ~shots c =

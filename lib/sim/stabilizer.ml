@@ -113,7 +113,7 @@ let apply_app st (app : Instruction.app) =
   match app.controls with
   | [] -> apply_gate st app.gate app.target
   | [ c ] -> (
-      match app.gate with
+      match[@warning "-4"] app.gate with
       | Gate.X -> apply_cx st c app.target
       | Gate.Z ->
           apply_h st app.target;
@@ -170,7 +170,7 @@ let supports c =
     (fun (i : Instruction.t) ->
       match i with
       | Unitary a | Conditioned (_, a) -> (
-          match (a.gate, a.controls) with
+          match[@warning "-4"] (a.gate, a.controls) with
           | (Gate.H | Gate.X | Gate.Y | Gate.Z | Gate.S | Gate.Sdg), [] ->
               true
           | (Gate.X | Gate.Z), [ _ ] -> true

@@ -138,7 +138,7 @@ let is_native c =
       match i with
       | Unitary { gate; controls; _ } | Conditioned (_, { gate; controls; _ })
         -> (
-          match (gate, controls) with
+          match[@warning "-4"] (gate, controls) with
           | (Gate.Rz _ | Gate.V | Gate.X), [] -> true
           | Gate.X, [ _ ] -> true
           | _ -> false)

@@ -428,6 +428,25 @@ let prop_peephole_preserves_unitary =
       let c = circuit_of ~n:3 instrs in
       Sim.Unitary.equivalent ~up_to_phase:false c (Decompose.Peephole.cancel_inverses c))
 
+(* Every decomposition output must carry no error-severity lint
+   diagnostic: in particular the ancilla-backed schemes must provably
+   or at least plausibly return their scratch qubits to |0>. *)
+let test_substitutions_lint_clean () =
+  let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "CARRY") in
+  let dj = Algorithms.Dj.circuit o in
+  List.iter
+    (fun (label, scheme) ->
+      let out = Decompose.Pass.substitute_toffoli scheme dj in
+      let r = Lint.run out in
+      Alcotest.(check int) (label ^ ": error diagnostics") 0 r.Lint.errors)
+    [
+      ("clifford_t", `Clifford_t);
+      ("barenco", `Barenco);
+      ("ancilla fresh", `Ancilla `Fresh);
+      ("ancilla per-target", `Ancilla `Per_target);
+      ("ancilla global", `Ancilla `Global);
+    ]
+
 let () =
   Alcotest.run "decompose"
     [
@@ -471,6 +490,8 @@ let () =
             test_pass_no_toffoli_unchanged;
           Alcotest.test_case "expand leaves conditioned" `Quick
             test_expand_cv_leaves_conditioned;
+          Alcotest.test_case "substitutions lint clean" `Quick
+            test_substitutions_lint_clean;
         ] );
       ( "peephole",
         [

@@ -654,6 +654,21 @@ let prop_sound_mode_exact =
       | r -> Dqc.Equivalence.equivalent c r
       | exception Dqc.Transform.Not_transformable _ -> true)
 
+(* Transform outputs must satisfy the full DQC lint gate: at most one
+   live data qubit, answer qubits never reset, no use-after-measure. *)
+let test_transform_outputs_lint_clean () =
+  let check name c =
+    let r = Dqc.Transform.transform c in
+    let rep = Lint.run ~passes:(Lint.dqc_passes ()) r.Dqc.Transform.circuit in
+    Alcotest.(check int) (name ^ ": error diagnostics") 0 rep.Lint.errors
+  in
+  check "BV_101" (Algorithms.Bv.circuit "101");
+  check "BV_110111" (Algorithms.Bv.circuit "110111");
+  List.iter
+    (fun (o : Algorithms.Oracle.t) ->
+      check ("DJ_" ^ o.name) (Algorithms.Dj.circuit o))
+    Algorithms.Dj.toffoli_free_oracles
+
 let () =
   Alcotest.run "dqc"
     [
@@ -697,6 +712,8 @@ let () =
             test_transform_sound_rejects_dyn1;
           Alcotest.test_case "answer-answer gate" `Quick
             test_transform_answer_answer_gate;
+          Alcotest.test_case "outputs lint clean" `Quick
+            test_transform_outputs_lint_clean;
           Alcotest.test_case "conditioned value" `Quick
             test_transform_conditioned_gate_value;
         ] );
