@@ -1,4 +1,4 @@
-.PHONY: all build test bench ci fmt-check trace-smoke lint clean
+.PHONY: all build test bench ci fmt-check trace-smoke lint verify-gate clean
 
 all: build
 
@@ -59,6 +59,28 @@ lint:
 	  else echo "lint: negative corpus $$f rejected (non-zero exit)"; fi; \
 	done
 
+# Symbolic certification gate: every lint benchmark must be Proved
+# under both dynamic schemes (exit 0), and fault injection must be
+# Refuted with exit 2 — not merely "not proved".
+verify-gate:
+	@set -e; \
+	dune build bin/dqc_cli.exe; \
+	for b in $(LINT_BENCHES); do \
+	  for s in dynamic-1 dynamic-2; do \
+	    dune exec --no-build bin/dqc_cli.exe -- verify $$b --scheme $$s \
+	      >/dev/null || { echo "verify: $$b [$$s] NOT PROVED"; exit 1; }; \
+	  done; \
+	done; \
+	echo "verify: $(words $(LINT_BENCHES)) benchmarks x 2 schemes proved"; \
+	dune exec --no-build bin/dqc_cli.exe -- verify XOR_16 --scheme dynamic-1 \
+	  >/dev/null || { echo "verify: XOR_16 [dynamic-1] NOT PROVED"; exit 1; }; \
+	echo "verify: XOR_16 (17 qubits) proved"; \
+	code=0; dune exec --no-build bin/dqc_cli.exe -- verify DJ_XOR \
+	  --scheme dynamic-1 --corrupt >/dev/null || code=$$?; \
+	if [ $$code -ne 2 ]; then \
+	  echo "verify: corrupted DJ_XOR exited $$code, want 2 (Refuted)"; exit 1; \
+	else echo "verify: corrupted DJ_XOR refuted (exit 2)"; fi
+
 # One-command gate: full build + tests + a smoke run of the
 # execution-backend study + the telemetry smoke + source hygiene
 # (OCAMLRUNPARAM=b: backtraces on uncaught exceptions).
@@ -67,6 +89,7 @@ ci:
 	OCAMLRUNPARAM=b dune exec bench/main.exe -- backend
 	$(MAKE) trace-smoke
 	$(MAKE) lint
+	$(MAKE) verify-gate
 	$(MAKE) fmt-check
 
 clean:

@@ -337,6 +337,27 @@ let make_benchmarks () =
         Test.make ~name (Staged.stage (fun () -> ignore (Lint.run ~passes c))))
       (Lazy.force lint_workloads)
   in
+  (* the symbolic certifier: no simulation, so the wide instances
+     (AND_12 is 13 qubits, XOR_16 is 17) cost about the same as the
+     small one — the point of the group *)
+  let verify_tests =
+    let certify (oracle : Algorithms.Oracle.t) scheme label =
+      let dj = Algorithms.Dj.circuit oracle in
+      let r = Dqc.Toffoli_scheme.transform scheme dj in
+      Test.make
+        ~name:(Printf.sprintf "verify DJ(%s) %s" oracle.name label)
+        (Staged.stage (fun () -> ignore (Dqc.Certifier.certify dj r)))
+    in
+    [
+      certify
+        (Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND"))
+        Dqc.Toffoli_scheme.Dynamic_2 "dyn2";
+      certify (Algorithms.Mct_bench.and_n 12) Dqc.Toffoli_scheme.Dynamic_1
+        "dyn1";
+      certify (Algorithms.Mct_bench.xor_n 16) Dqc.Toffoli_scheme.Dynamic_1
+        "dyn1";
+    ]
+  in
   Test.make_grouped ~name:"dqc"
     ([
        bv_transform 4;
@@ -357,7 +378,7 @@ let make_benchmarks () =
        routing;
        native;
      ]
-    @ backend_engines @ lint_tests)
+    @ backend_engines @ lint_tests @ verify_tests)
 
 let bench_json_path = "BENCH_backend.json"
 

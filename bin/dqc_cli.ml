@@ -48,6 +48,7 @@ let generated_oracle name =
       ("NAND_", Algorithms.Mct_bench.nand_n);
       ("OR_", Algorithms.Mct_bench.or_n);
       ("MAJ_", Algorithms.Mct_bench.majority_n);
+      ("XOR_", Algorithms.Mct_bench.xor_n);
     ]
 
 let find_oracle name =
@@ -532,6 +533,151 @@ let lint_cmd =
       $ json $ dqc)
 
 (* ------------------------------------------------------------------ *)
+(* verify                                                             *)
+
+let verify_cmd =
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~doc:"Certify an OpenQASM 3 file instead of a benchmark")
+  in
+  let bench =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name (see transform)")
+  in
+  let json =
+    Arg.(
+      value & flag & info [ "json" ] ~doc:"Emit the dqc.verify/1 JSON verdict")
+  in
+  let corrupt =
+    Arg.(
+      value & flag
+      & info [ "corrupt" ]
+          ~doc:
+            "Fault-inject the compiled circuit (flip the qubit under its \
+             first measurement) before certifying — demonstrates Refuted")
+  in
+  let run bench file scheme mode json corrupt =
+    let subject =
+      match (bench, file) with
+      | _, Some path ->
+          let ic = open_in path in
+          let len = in_channel_length ic in
+          let src = really_input_string ic len in
+          close_in ic;
+          Some (Filename.basename path, Circuit.Qasm.parse src)
+      | Some name, None -> (
+          match benchmark_circuit name with
+          | None ->
+              prerr_endline ("unknown benchmark: " ^ name);
+              exit 1
+          | Some c -> Some (name, c))
+      | None, None -> None
+    in
+    match subject with
+    | None ->
+        prerr_endline "give a benchmark name or --file <qasm>";
+        exit 1
+    | Some (name, traditional) -> (
+        try
+          let prepared = Dqc.Toffoli_scheme.prepare scheme traditional in
+          let mct = scheme = Dqc.Toffoli_scheme.Direct_mct in
+          let r = Dqc.Transform.transform ~mode ~mct prepared in
+          let r =
+            if corrupt then
+              {
+                r with
+                Dqc.Transform.circuit = Dqc.Certifier.corrupt r.circuit;
+              }
+            else r
+          in
+          let verdict = Dqc.Certifier.certify traditional r in
+          let module C = Verify.Certify in
+          let cex_json (cex : C.counterexample) =
+            Obs.Json.Obj
+              [
+                ( "bits",
+                  Obs.Json.List
+                    (List.map
+                       (fun (b, v) ->
+                         Obs.Json.Obj
+                           [ ("bit", Obs.Json.Int b); ("value", Obs.Json.Bool v) ])
+                       cex.C.bits) );
+                ("p_left", Obs.Json.Float cex.C.p_left);
+                ("p_right", Obs.Json.Float cex.C.p_right);
+                ("detail", Obs.Json.String cex.C.detail);
+              ]
+          in
+          if json then
+            print_endline
+              (Obs.Json.to_string
+                 (Obs.Json.Obj
+                    ([
+                       ("schema", Obs.Json.String "dqc.verify/1");
+                       ("name", Obs.Json.String name);
+                       ( "scheme",
+                         Obs.Json.String (Dqc.Toffoli_scheme.to_string scheme)
+                       );
+                       ( "mode",
+                         Obs.Json.String
+                           (match mode with
+                           | `Algorithm1 -> "algorithm1"
+                           | `Sound -> "sound") );
+                       ("corrupted", Obs.Json.Bool corrupt);
+                       ( "violations",
+                         Obs.Json.Int (List.length r.Dqc.Transform.violations)
+                       );
+                       ( "verdict",
+                         Obs.Json.String
+                           (match verdict with
+                           | C.Proved _ -> "proved"
+                           | C.Refuted _ -> "refuted"
+                           | C.Unknown _ -> "unknown") );
+                     ]
+                    @ (match verdict with
+                      | C.Proved p ->
+                          [
+                            ( "scope",
+                              Obs.Json.String (C.scope_to_string p.C.scope) );
+                            ("path_vars", Obs.Json.Int p.C.path_vars);
+                            ("reductions", Obs.Json.Int p.C.reductions);
+                          ]
+                          @
+                          (match p.C.schedule_cex with
+                          | Some cex -> [ ("schedule_cex", cex_json cex) ]
+                          | None -> [])
+                      | C.Refuted cex -> [ ("counterexample", cex_json cex) ]
+                      | C.Unknown why ->
+                          [ ("reason", Obs.Json.String why) ]))))
+          else
+            Printf.printf "%s (%s%s): %s\n" name
+              (Dqc.Toffoli_scheme.to_string scheme)
+              (if corrupt then ", corrupted" else "")
+              (C.verdict_to_string verdict);
+          exit
+            (match verdict with
+            | C.Proved _ -> 0
+            | C.Unknown _ -> 1
+            | C.Refuted _ -> 2)
+        with
+        | Dqc.Transform.Not_transformable msg ->
+            prerr_endline ("not transformable: " ^ msg);
+            exit 1
+        | Invalid_argument msg ->
+            prerr_endline msg;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Symbolically certify traditional = DQC equivalence (no \
+          simulation); exit 0 proved, 1 unknown, 2 refuted")
+    Term.(const run $ bench $ file $ scheme_arg $ mode_arg $ json $ corrupt)
+
+(* ------------------------------------------------------------------ *)
 (* qpe                                                                *)
 
 let qpe_cmd =
@@ -645,6 +791,7 @@ let () =
             stats_cmd;
             analyze_cmd;
             lint_cmd;
+            verify_cmd;
             qpe_cmd;
             simon_cmd;
             slots_cmd;

@@ -45,5 +45,20 @@ let majority_n n =
     ~name:(Printf.sprintf "MAJ_%d" n)
     (Boolean_fun.of_fun ~arity:n (fun k -> 2 * popcount k > n))
 
+(* Parity needs no MCT at all — a chain of CXs — so it scales far past
+   the truth-table synthesis limit.  It is the wide-circuit workload
+   for the symbolic certifier (XOR_16 is 17 qubits, well beyond the
+   exact checkers). *)
+let xor_n n =
+  if n < 1 || n > 20 then invalid_arg "Mct_bench.xor_n: arity outside 1..20";
+  let truth =
+    Boolean_fun.of_fun ~arity:n (fun k -> popcount k land 1 = 1)
+  in
+  Oracle.make
+    ~name:(Printf.sprintf "XOR_%d" n)
+    ~arity:n ~truth
+    (List.init n (fun i ->
+         Instruction.Unitary (Instruction.app ~controls:[ i ] Gate.X n)))
+
 let suite =
   [ and_n 2; and_n 3; and_n 4; and_n 5; majority_n 3; majority_n 5 ]

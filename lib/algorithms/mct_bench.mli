@@ -23,6 +23,12 @@ val nand_n : int -> Oracle.t
     via the ANF synthesizer. *)
 val majority_n : int -> Oracle.t
 
+(** [xor_n n] : parity of the inputs, a chain of [n] CXs — no MCT, so
+    it scales to widths the exact checkers cannot reach (the symbolic
+    certifier's wide workload).
+    @raise Invalid_argument unless 1 <= n <= 20. *)
+val xor_n : int -> Oracle.t
+
 (** The benchmark set used in the future-work experiment:
     AND_n for n = 2..5 plus MAJ_3 and MAJ_5. *)
 val suite : Oracle.t list

@@ -1,0 +1,28 @@
+(* Bridge from transform results to the symbolic certifier. *)
+
+open Circuit
+
+let certify ?max_refute_vars (c : Circ.t) (r : Transform.result) =
+  Verify.Certify.certify ?max_refute_vars ~traditional:c ~data_bit:r.data_bit
+    ~answer_phys:r.answer_phys ~iteration_order:r.iteration_order
+    ~violations:(List.length r.violations) r.circuit
+
+(* the CLI's --corrupt fault injection: flip the qubit under the first
+   measurement, which provably flips a recorded shared bit — used to
+   demonstrate that the certifier refutes, not just rubber-stamps *)
+let corrupt (c : Circ.t) =
+  let done_ = ref false in
+  Circ.map_instructions
+    (fun i ->
+      match i with
+      | Instruction.Measure { qubit; _ } when not !done_ ->
+          done_ := true;
+          [
+            Instruction.Unitary { gate = Gate.X; controls = []; target = qubit };
+            i;
+          ]
+      | Instruction.Measure _ | Instruction.Unitary _
+      | Instruction.Conditioned _ | Instruction.Reset _
+      | Instruction.Barrier _ ->
+          [ i ])
+    c

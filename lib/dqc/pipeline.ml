@@ -30,6 +30,7 @@ module Options = struct
     peephole : bool;
     native : bool;
     check_equivalence : bool;
+    certify : bool;
     backend_policy : Sim.Backend.policy;
     lint : bool;
   }
@@ -43,6 +44,7 @@ module Options = struct
       peephole = false;
       native = false;
       check_equivalence = true;
+      certify = true;
       backend_policy = Sim.Backend.Auto;
       lint = true;
     }
@@ -58,6 +60,7 @@ module Options = struct
   let with_peephole peephole t = { t with peephole }
   let with_native native t = { t with native }
   let with_check_equivalence check_equivalence t = { t with check_equivalence }
+  let with_certify certify t = { t with certify }
   let with_backend_policy backend_policy t = { t with backend_policy }
   let with_lint lint t = { t with lint }
 
@@ -68,6 +71,7 @@ module Options = struct
   let peephole t = t.peephole
   let native t = t.native
   let check_equivalence t = t.check_equivalence
+  let certify t = t.certify
   let backend_policy t = t.backend_policy
   let lint t = t.lint
 
@@ -80,6 +84,7 @@ module Options = struct
       peephole = o.peephole;
       native = o.native;
       check_equivalence = o.check_equivalence;
+      certify = true;
       backend_policy = Sim.Backend.Auto;
       lint = true;
     }
@@ -95,6 +100,7 @@ type output = {
   gates : int;
   depth : int;
   duration_ns : float;
+  certified : bool;
   tv : float option;
   tv_sampled : bool;
   lint : Lint.report option;
@@ -127,15 +133,32 @@ let compile_observed ~options traditional =
       let check_span kind f =
         Obs.with_span "pipeline.equivalence" ~attrs:[ ("method", kind) ] f
       in
-      let transformed, data_bit, answer_phys, iterations, violations, tv, sampled
-          =
+      let ( transformed,
+            data_bit,
+            answer_phys,
+            iterations,
+            violations,
+            certified,
+            tv,
+            sampled ) =
         if options.Options.slots = 1 then begin
           let r =
             Obs.with_span "pipeline.transform" (fun () ->
                 Transform.transform ~mode:options.Options.mode ~mct prepared)
           in
+          (* strongest evidence first: the symbolic certifier proves
+             equivalence exactly, at any width, without dispatching a
+             simulation backend; only when it cannot conclude do the
+             numeric checkers run *)
+          let certified =
+            options.Options.check_equivalence && options.Options.certify
+            && Verify.Certify.is_proved
+                 (check_span "certified" (fun () ->
+                      Certifier.certify traditional r))
+          in
           let tv, sampled =
-            if not options.Options.check_equivalence then (None, false)
+            if certified || not options.Options.check_equivalence then
+              (None, false)
             else if small then
               ( Some
                   (check_span "exact" (fun () ->
@@ -159,6 +182,7 @@ let compile_observed ~options traditional =
             r.answer_phys,
             List.length r.iteration_order,
             List.length r.violations,
+            certified,
             tv,
             sampled )
         end
@@ -180,6 +204,7 @@ let compile_observed ~options traditional =
             m.answer_phys,
             List.length m.iteration_order,
             List.length m.violations,
+            false,
             tv,
             false )
         end
@@ -227,6 +252,7 @@ let compile_observed ~options traditional =
         gates = Metrics.gate_count lowered;
         depth = Metrics.dynamic_depth lowered;
         duration_ns = Metrics.duration lowered;
+        certified;
         tv;
         tv_sampled = sampled;
         lint = lint_report;
@@ -248,10 +274,13 @@ let pp fmt o =
     o.qubits o.gates o.depth
     (o.duration_ns /. 1000.)
     o.iterations o.violations
-    (match o.tv with
-    | Some tv when o.tv_sampled -> Printf.sprintf "sampled TV distance: %.6f" tv
-    | Some tv -> Printf.sprintf "exact TV distance: %.6f" tv
-    | None -> "equivalence check skipped")
+    (if o.certified then "equivalence: certified symbolically (exact proof)"
+     else
+       match o.tv with
+       | Some tv when o.tv_sampled ->
+           Printf.sprintf "sampled TV distance: %.6f" tv
+       | Some tv -> Printf.sprintf "exact TV distance: %.6f" tv
+       | None -> "equivalence check skipped")
     (match o.lint with
     | Some r -> "lint: " ^ Lint.summary r
     | None -> "lint: skipped")

@@ -52,6 +52,14 @@ module Options : sig
   val with_native : bool -> t -> t
   val with_check_equivalence : bool -> t -> t
 
+  (** Run the symbolic equivalence certifier ({!Certifier.certify})
+      ahead of the numeric checkers — on by default.  A [Proved]
+      verdict is recorded as [certified] and makes the TV computations
+      unnecessary; on [Unknown] or [Refuted] the numeric evidence
+      chain (exact, then sampled) runs as before.  Only effective when
+      [check_equivalence] is on and [slots = 1]. *)
+  val with_certify : bool -> t -> t
+
   (** Execution backend the pipeline's shot-based stages (the sampled
       equivalence fallback beyond 12 qubits) dispatch through. *)
   val with_backend_policy : Sim.Backend.policy -> t -> t
@@ -69,11 +77,12 @@ module Options : sig
   val peephole : t -> bool
   val native : t -> bool
   val check_equivalence : t -> bool
+  val certify : t -> bool
   val backend_policy : t -> Sim.Backend.policy
   val lint : t -> bool
 
   (** Lift the deprecated flat record ([backend_policy] = [Auto],
-      [lint] on). *)
+      [certify] on, [lint] on). *)
   val of_flat : options -> t
 end
 
@@ -87,6 +96,10 @@ type output = {
   gates : int;
   depth : int;
   duration_ns : float;
+  certified : bool;
+      (** the symbolic certifier proved equivalence — exact evidence,
+          any width, no simulation; when set, [tv] is [None] because
+          the numeric checkers were unnecessary *)
   tv : float option;  (** None when the check was skipped *)
   tv_sampled : bool;
       (** [tv] came from {!Equivalence.sampled_tv_distance} (shot

@@ -20,6 +20,9 @@ exception Rejected of report
 let default_passes = Passes.general
 let dqc_passes ?max_live () = default_passes @ Dqc_rules.passes ?max_live ()
 
+let certifier_passes =
+  [ Passes.cond_after_clobber; Passes.nonzero_global_phase_reset ]
+
 let run ?(passes = default_passes) c =
   Obs.with_span "lint.run"
     ~attrs:[ ("passes", string_of_int (List.length passes)) ]

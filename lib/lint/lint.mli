@@ -44,6 +44,12 @@ val default_passes : Pass.t list
     ({!Dqc_rules.passes}); [max_live] defaults to 1. *)
 val dqc_passes : ?max_live:int -> unit -> Pass.t list
 
+(** Certifier-support passes ({!Passes.cond_after_clobber},
+    {!Passes.nonzero_global_phase_reset}) — advisory warnings about
+    patterns that weaken symbolic certification.  Opt-in: not part of
+    {!default_passes} or {!dqc_passes}. *)
+val certifier_passes : Pass.t list
+
 (** Interpret the circuit once and run every pass over the trace
     ([passes] defaults to {!default_passes}). *)
 val run : ?passes:Pass.t list -> Circuit.Circ.t -> report

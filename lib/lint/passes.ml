@@ -332,6 +332,104 @@ let ancilla_not_zero =
         (Circ.qubits_with_role c Circ.Ancilla);
       List.rev !out)
 
+(* ------------------------------------------------------------------ *)
+(* Certifier-support passes: not part of [general] — they flag
+   patterns that are legal but make symbolic certification weaker or
+   expose a provably-degenerate classical control.  Registered through
+   [Lint.certifier_passes]. *)
+
+let cond_after_clobber =
+  Pass.make ~name:"cond-after-clobber"
+    ~description:
+      "classical condition reads a bit whose value is the measurement of a \
+       freshly reset qubit — provably constant"
+    (fun trace ->
+      let c = Trace.circuit trace in
+      (* [fresh_reset.(q)]: q was reset and nothing has touched it since.
+         [degenerate.(b)]: b's latest write measured such a qubit, so the
+         recorded value is provably 0. *)
+      let fresh_reset = Array.make (Circ.num_qubits c) false in
+      let degenerate = Array.make (Circ.num_bits c) None in
+      let out = ref [] in
+      Trace.iteri
+        (fun i ~pre:_ (instr : Instruction.t) ->
+          match instr with
+          | Unitary _ ->
+              List.iter
+                (fun q -> fresh_reset.(q) <- false)
+                (Instruction.qubits instr)
+          | Conditioned (cond, _) ->
+              List.iter
+                (fun (b, v) ->
+                  match degenerate.(b) with
+                  | Some (q, m) ->
+                      out :=
+                        Diagnostic.make ~pass:"cond-after-clobber"
+                          ~severity:Diagnostic.Warning ~instr_index:i
+                          ~qubits:[ q ] ~bits:[ b ]
+                          ~suggestion:
+                            (if v then "delete the gate: it can never fire"
+                             else
+                               "apply the gate unconditionally: the test \
+                                always passes")
+                          (Printf.sprintf
+                             "%s tests %s, but %s was written (instruction \
+                              %d) by measuring %s immediately after its \
+                              reset — the value is provably 0"
+                             (Instruction.to_string instr) (b_name b)
+                             (b_name b) m (q_name q))
+                        :: !out
+                  | None -> ())
+                cond.bits;
+              List.iter
+                (fun q -> fresh_reset.(q) <- false)
+                (Instruction.qubits instr)
+          | Measure { qubit; bit } ->
+              degenerate.(bit) <-
+                (if fresh_reset.(qubit) then Some (qubit, i) else None);
+              fresh_reset.(qubit) <- false
+          | Reset qubit -> fresh_reset.(qubit) <- true
+          | Barrier _ -> ())
+        trace;
+      List.rev !out)
+
+let nonzero_global_phase_reset =
+  Pass.make ~name:"nonzero-global-phase-reset"
+    ~description:
+      "reset discards a possibly-coherent qubit: the certifier must treat \
+       the discarded state as a ghost observation"
+    (fun trace ->
+      let out = ref [] in
+      Trace.iteri
+        (fun i ~pre (instr : Instruction.t) ->
+          match instr with
+          | Reset q -> (
+              match State.qubit pre q with
+              | Absdom.Qubit.Superposed | Absdom.Qubit.Top ->
+                  out :=
+                    Diagnostic.make ~pass:"nonzero-global-phase-reset"
+                      ~severity:Diagnostic.Warning ~instr_index:i ~qubits:[ q ]
+                      ~suggestion:
+                        (Printf.sprintf
+                           "measure %s first (the DQC discipline), or \
+                            uncompute it to a basis state before the reset"
+                           (q_name q))
+                      (Printf.sprintf
+                         "reset discards %s while it may carry coherence \
+                          (abstract state: %s); relative phases — including \
+                          a branch-dependent global phase — leak into the \
+                          environment, so the certifier must ghost the \
+                          discarded state"
+                         (q_name q)
+                         (Absdom.Qubit.to_string (State.qubit pre q)))
+                    :: !out
+              | Absdom.Qubit.Zero | Absdom.Qubit.One | Absdom.Qubit.Basis
+              | Absdom.Qubit.Collapsed ->
+                  ())
+          | Unitary _ | Conditioned _ | Measure _ | Barrier _ -> ())
+        trace;
+      List.rev !out)
+
 let general =
   [
     use_after_measure;

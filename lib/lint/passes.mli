@@ -32,3 +32,17 @@ val ancilla_not_zero : Pass.t
 
 (** All of the above, in catalogue order. *)
 val general : Pass.t list
+
+(** [Warning]: a condition reads a bit whose latest write measured a
+    qubit immediately after its reset with nothing in between — the
+    recorded value is provably 0, so the test is constant.  Part of
+    {!Lint.certifier_passes}, not {!general}. *)
+val cond_after_clobber : Pass.t
+
+(** [Warning]: a reset discards a qubit that may still carry coherence
+    ([Superposed] or [Top]).  Legal, but the discarded state — down to
+    a branch-dependent global phase — leaks into the environment, and
+    the symbolic certifier must model it as a ghost observation, which
+    weakens channel-scope proofs.  Part of {!Lint.certifier_passes},
+    not {!general}. *)
+val nonzero_global_phase_reset : Pass.t

@@ -21,6 +21,9 @@ type table1_row = {
   depth_trad : int;
   depth_dyn : int;
   tv : float;  (** exact TV distance traditional vs dynamic *)
+  certified : bool;
+      (** the symbolic certifier proved channel equality (exact, no
+          simulation) *)
 }
 
 type table2_row = {
@@ -37,6 +40,8 @@ type table2_row = {
   tv_dyn2 : float;
   violations_dyn1 : int;
   violations_dyn2 : int;
+  certified_dyn1 : bool;  (** channel-scope symbolic proof *)
+  certified_dyn2 : bool;  (** channel-scope symbolic proof *)
 }
 
 type fig7_row = {

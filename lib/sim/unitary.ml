@@ -1,6 +1,6 @@
 open Circuit
 
-let max_qubits = 12
+let default_max_qubits = 12
 
 let check_unitary_only c =
   List.iter
@@ -12,7 +12,7 @@ let check_unitary_only c =
     (Circ.instructions c)
 
 (* Column k of the unitary is the circuit applied to basis state |k>. *)
-let of_instrs ~n instrs =
+let of_instrs ?(max_qubits = default_max_qubits) ~n instrs =
   if n > max_qubits then invalid_arg "Unitary: too many qubits";
   let dim = 1 lsl n in
   let m = Linalg.Cmat.make dim dim in
@@ -36,15 +36,15 @@ let of_instrs ~n instrs =
   done;
   m
 
-let of_circuit c =
+let of_circuit ?max_qubits c =
   check_unitary_only c;
-  of_instrs ~n:(Circ.num_qubits c) (Circ.instructions c)
+  of_instrs ?max_qubits ~n:(Circ.num_qubits c) (Circ.instructions c)
 
 let of_app ~n app = of_instrs ~n [ Instruction.Unitary app ]
 
-let equivalent ?(up_to_phase = true) a b =
+let equivalent ?max_qubits ?(up_to_phase = true) a b =
   Circ.num_qubits a = Circ.num_qubits b
   &&
-  let ua = of_circuit a and ub = of_circuit b in
+  let ua = of_circuit ?max_qubits a and ub = of_circuit ?max_qubits b in
   if up_to_phase then Linalg.Cmat.approx_equal_up_to_phase ua ub
   else Linalg.Cmat.approx_equal ua ub

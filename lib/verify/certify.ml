@@ -1,0 +1,711 @@
+(* Top-level certification: prove a dynamic circuit equivalent to its
+   traditional original without simulating either.
+
+   Both sides are symbolically executed into path sums and normalized
+   (Reduce); equivalence of the induced classical channel over the
+   shared measurement bits is then decided structurally:
+
+   - the sums are matched up to path-variable renaming
+     (Weisfeiler-Leman-style color refinement) and up to a global
+     phase that may depend only on the decohered branch data;
+   - when matching fails on a small instance, an exact exhaustive
+     comparison over the path variables (in Ring, no floats) either
+     proves equality or produces a concrete measurement-branch
+     counterexample;
+   - when the transform recorded scheduling violations (the paper's
+     Algorithm 1 is knowingly unsound for interacting data qubits),
+     full channel equality is genuinely false; the certifier then
+     proves the weaker but still non-trivial {e dynamics} claim: the
+     DQC is exactly equivalent to the coherent replay of its own
+     instruction stream, i.e. the mid-circuit measure / reset /
+     classically-controlled machinery introduces no error beyond the
+     recorded schedule deviation. *)
+
+open Circuit
+module B = Pathsum.Bexpr
+module P = Pathsum.Phase
+
+type scope = Channel | Dynamics
+
+type counterexample = {
+  bits : (int * bool) list;
+  p_left : float;
+  p_right : float;
+  detail : string;
+}
+
+type proof = {
+  scope : scope;
+  path_vars : int;
+  reductions : int;
+  schedule_cex : counterexample option;
+}
+
+type verdict = Proved of proof | Refuted of counterexample | Unknown of string
+
+type refutation =
+  | Equal
+  | Differs of counterexample
+  | Inconclusive of string
+
+(* ------------------------------------------------------------------ *)
+(* Views: a path sum packaged for comparison over a channel            *)
+
+(* canonical representative of an expression up to negation — an
+   observation and its negation pin exactly the same paths *)
+let canon e =
+  let n = B.not_ e in
+  if B.compare e n <= 0 then e else n
+
+type view = {
+  v_scale : int;
+  v_phase : P.t;
+  v_anchors : B.t list;  (* ordered observable expressions *)
+  v_ghosts : B.t list;  (* decohered environment, canonical *)
+  v_inputs : int array option;
+}
+
+(* fold an environment expression into the pool unless it pins nothing
+   new (constant, or duplicate of an anchor or pool entry) *)
+let add_pool anchors pool e =
+  if B.is_const e <> None then pool
+  else
+    let c = canon e in
+    if List.exists (fun a -> B.equal (canon a) c) anchors then pool
+    else if List.exists (B.equal c) pool then pool
+    else c :: pool
+
+(* channel view: ordered anchors are the shared measurement bits;
+   everything else recorded or left on a qubit is traced-out
+   environment *)
+let view_channel (ps : Pathsum.t) ~shared =
+  let anchors =
+    List.map
+      (fun b ->
+        if b < Array.length ps.Pathsum.bits then ps.Pathsum.bits.(b) else None)
+      shared
+  in
+  if List.exists (fun a -> a = None) anchors then None
+  else
+    let anchors = List.filter_map (fun a -> a) anchors in
+    let pool = ref [] in
+    Array.iteri
+      (fun b e ->
+        match e with
+        | Some e when not (List.mem b shared) ->
+            pool := add_pool anchors !pool e
+        | Some _ | None -> ())
+      ps.Pathsum.bits;
+    List.iter (fun e -> pool := add_pool anchors !pool e) ps.Pathsum.ghosts;
+    Array.iter (fun e -> pool := add_pool anchors !pool e) ps.Pathsum.outputs;
+    Some
+      {
+        v_scale = ps.Pathsum.scale;
+        v_phase = ps.Pathsum.phase;
+        v_anchors = anchors;
+        v_ghosts = List.sort B.compare !pool;
+        v_inputs = ps.Pathsum.inputs;
+      }
+
+(* static view: the outputs themselves are the ordered observables
+   (unitary / state-preparation comparison) *)
+let view_static (ps : Pathsum.t) =
+  let anchors = Array.to_list ps.Pathsum.outputs in
+  let pool = ref [] in
+  Array.iter
+    (function
+      | Some e -> pool := add_pool anchors !pool e | None -> ())
+    ps.Pathsum.bits;
+  List.iter (fun e -> pool := add_pool anchors !pool e) ps.Pathsum.ghosts;
+  {
+    v_scale = ps.Pathsum.scale;
+    v_phase = ps.Pathsum.phase;
+    v_anchors = anchors;
+    v_ghosts = List.sort B.compare !pool;
+    v_inputs = ps.Pathsum.inputs;
+  }
+
+let view_vars v =
+  let acc = ref (P.vars v.v_phase) in
+  List.iter (fun e -> acc := B.union_vars !acc (B.vars e)) v.v_anchors;
+  List.iter (fun e -> acc := B.union_vars !acc (B.vars e)) v.v_ghosts;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Variable matching by color refinement                               *)
+
+let ints l = String.concat "." (List.map string_of_int l)
+let strs l = String.concat ";" l
+
+(* structural signature of variable [x] inside view [v] under the
+   current coloring *)
+let signature v col x =
+  let co m =
+    List.sort compare
+      (List.filter_map (fun y -> if y = x then None else Some (col y)) m)
+  in
+  let in_poly monos =
+    match List.filter (fun m -> List.mem x m) monos with
+    | [] -> None
+    | ms -> Some (strs (List.sort compare (List.map (fun m -> ints (co m)) ms)))
+  in
+  let anchor_part =
+    List.mapi
+      (fun i a ->
+        match in_poly (B.monomials a) with
+        | Some s -> Printf.sprintf "a%d(%s)" i s
+        | None -> "")
+      v.v_anchors
+  in
+  (* the ghost pool is unordered: aggregate per-ghost signatures as a
+     sorted multiset *)
+  let ghost_part =
+    List.filter_map (fun e -> in_poly (B.monomials e)) v.v_ghosts
+    |> List.sort compare
+  in
+  let phase_part =
+    List.filter (fun (m, _) -> List.mem x m) (P.terms v.v_phase)
+    |> List.map (fun (m, c) -> Printf.sprintf "p%d(%s)" c (ints (co m)))
+    |> List.sort compare
+  in
+  strs anchor_part ^ "|" ^ strs ghost_part ^ "|" ^ strs phase_part
+
+(* match the free variables of [vb] to those of [va]; pinned input
+   variables map positionally by qubit.  Returns a total renaming for
+   [vb]'s variables, or None when the structures cannot correspond. *)
+let build_rename va vb =
+  match (va.v_inputs, vb.v_inputs) with
+  | Some _, None | None, Some _ -> None
+  | (Some _ | None), _ -> (
+      let pinned_pairs =
+        match (va.v_inputs, vb.v_inputs) with
+        | Some ia, Some ib when Array.length ia = Array.length ib ->
+            Some (Array.to_list (Array.map2 (fun a b -> (b, a)) ia ib))
+        | Some _, Some _ -> None
+        | None, None -> Some []
+        | Some _, None | None, Some _ -> None
+      in
+      match pinned_pairs with
+      | None -> None
+      | Some pinned_pairs ->
+          let pinned_b = List.map fst pinned_pairs in
+          let free side_pinned v =
+            List.filter (fun x -> not (List.mem x side_pinned)) (view_vars v)
+          in
+          let free_a = free (List.map snd pinned_pairs) va in
+          let free_b = free pinned_b vb in
+          if List.length free_a <> List.length free_b then None
+          else begin
+            (* shared string -> color table so colors are comparable
+               across the two sides *)
+            let table : (string, int) Hashtbl.t = Hashtbl.create 97 in
+            let color_of s =
+              match Hashtbl.find_opt table s with
+              | Some c -> c
+              | None ->
+                  let c = Hashtbl.length table in
+                  Hashtbl.add table s c;
+                  c
+            in
+            let init v side_pinned qubit_of =
+              let cols : (int, int) Hashtbl.t = Hashtbl.create 31 in
+              List.iter
+                (fun x -> Hashtbl.replace cols x (color_of ("f")))
+                (free side_pinned v);
+              List.iter
+                (fun x ->
+                  Hashtbl.replace cols x
+                    (color_of (Printf.sprintf "in%d" (qubit_of x))))
+                side_pinned;
+              cols
+            in
+            let qubit_of inputs x =
+              match inputs with
+              | Some a ->
+                  let q = ref (-1) in
+                  Array.iteri (fun i v -> if v = x then q := i) a;
+                  !q
+              | None -> -1
+            in
+            let cols_a =
+              init va (List.map snd pinned_pairs) (qubit_of va.v_inputs)
+            in
+            let cols_b = init vb pinned_b (qubit_of vb.v_inputs) in
+            let refine v cols =
+              let lookup x =
+                match Hashtbl.find_opt cols x with Some c -> c | None -> -1
+              in
+              let next =
+                List.map
+                  (fun x ->
+                    ( x,
+                      color_of
+                        (Printf.sprintf "%d#%s" (lookup x) (signature v lookup x))
+                    ))
+                  (view_vars v)
+              in
+              List.iter (fun (x, c) -> Hashtbl.replace cols x c) next
+            in
+            for _round = 1 to 3 do
+              (* both sides in the same round so the shared table stays
+                 aligned *)
+              refine va cols_a;
+              refine vb cols_b
+            done;
+            let col cols x =
+              match Hashtbl.find_opt cols x with Some c -> c | None -> -1
+            in
+            let sorted cols l =
+              List.sort
+                (fun x y -> compare (col cols x, x) (col cols y, y))
+                l
+            in
+            let sa = sorted cols_a free_a and sb = sorted cols_b free_b in
+            if
+              List.map (col cols_a) sa <> List.map (col cols_b) sb
+            then None
+            else begin
+              let map : (int, int) Hashtbl.t = Hashtbl.create 31 in
+              List.iter2 (fun b a -> Hashtbl.replace map b a) sb sa;
+              List.iter
+                (fun (b, a) -> Hashtbl.replace map b a)
+                pinned_pairs;
+              Some
+                (fun x ->
+                  match Hashtbl.find_opt map x with Some y -> y | None -> x)
+            end
+          end)
+
+(* ------------------------------------------------------------------ *)
+(* Phase comparison                                                   *)
+
+(* The residual phase difference may depend on the decohered branch
+   data (anchors and ghosts): paths in distinct branches never
+   interfere, so a branch-constant phase offset is unobservable.
+   Check that the difference is constant within every branch class. *)
+let branch_constant va d =
+  let vs =
+    List.fold_left
+      (fun acc e -> B.union_vars acc (B.vars e))
+      (P.vars d)
+      (va.v_anchors @ va.v_ghosts)
+  in
+  let n = List.length vs in
+  n <= 16
+  && begin
+       let pos : (int, int) Hashtbl.t = Hashtbl.create 31 in
+       List.iteri (fun i v -> Hashtbl.add pos v i) vs;
+       let seen : (bool list, int) Hashtbl.t = Hashtbl.create 256 in
+       let ok = ref true in
+       let mask = ref 0 in
+       let total = 1 lsl n in
+       while !ok && !mask < total do
+         let assign v =
+           match Hashtbl.find_opt pos v with
+           | Some i -> (!mask lsr i) land 1 = 1
+           | None -> false
+         in
+         let key =
+           List.map (B.eval assign) va.v_anchors
+           @ List.map (B.eval assign) va.v_ghosts
+         in
+         let value = P.eval assign d in
+         (match Hashtbl.find_opt seen key with
+         | Some v -> if v <> value then ok := false
+         | None -> Hashtbl.add seen key value);
+         incr mask
+       done;
+       !ok
+     end
+
+let phase_ok ~branch_phase va phase_b =
+  let d = P.add va.v_phase (P.neg phase_b) in
+  match P.is_const d with
+  | Some _ -> true
+  | None -> branch_phase && branch_constant va d
+
+(* ------------------------------------------------------------------ *)
+(* The structural comparator                                          *)
+
+let equate ?(branch_phase = true) va vb =
+  Obs.with_span "verify.compare" (fun () ->
+      va.v_scale = vb.v_scale
+      && List.length va.v_anchors = List.length vb.v_anchors
+      && List.length va.v_ghosts = List.length vb.v_ghosts
+      &&
+      match build_rename va vb with
+      | None -> false
+      | Some f ->
+          let anchors_b = List.map (B.rename f) vb.v_anchors in
+          let ghosts_b =
+            List.sort B.compare
+              (List.map (fun e -> canon (B.rename f e)) vb.v_ghosts)
+          in
+          let ghosts_a =
+            List.sort B.compare (List.map canon va.v_ghosts)
+          in
+          List.for_all2 B.equal va.v_anchors anchors_b
+          && List.for_all2 B.equal ghosts_a ghosts_b
+          && phase_ok ~branch_phase va (P.rename f vb.v_phase))
+
+let compare_channel ps_a ps_b ~shared =
+  if ps_a.Pathsum.zero_amplitude || ps_b.Pathsum.zero_amplitude then
+    ps_a.Pathsum.zero_amplitude && ps_b.Pathsum.zero_amplitude
+  else
+    match (view_channel ps_a ~shared, view_channel ps_b ~shared) with
+    | Some va, Some vb -> equate va vb
+    | (Some _ | None), _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive exact refutation                                        *)
+
+(* classical outcome distribution over the shared bits, by exhaustive
+   path enumeration with exact Ring arithmetic: amplitudes of paths
+   with identical (branch data, basis state) interfere; squared norms
+   then marginalize over everything but the shared bits *)
+let distribution ~max_vars (ps : Pathsum.t) ~shared =
+  if ps.Pathsum.zero_amplitude then Some (Hashtbl.create 1)
+  else
+    let vars = Pathsum.all_vars ps in
+    let n = List.length vars in
+    if n > max_vars then None
+    else if
+      List.exists
+        (fun b ->
+          b >= Array.length ps.Pathsum.bits || ps.Pathsum.bits.(b) = None)
+        shared
+    then None
+    else begin
+      let pos : (int, int) Hashtbl.t = Hashtbl.create 31 in
+      List.iteri (fun i v -> Hashtbl.add pos v i) vars;
+      let shared_exprs =
+        List.map (fun b -> Option.get ps.Pathsum.bits.(b)) shared
+      in
+      let env_exprs =
+        let acc = ref [] in
+        Array.iteri
+          (fun b e ->
+            match e with
+            | Some e when not (List.mem b shared) -> acc := e :: !acc
+            | Some _ | None -> ())
+          ps.Pathsum.bits;
+        List.rev !acc @ ps.Pathsum.ghosts
+        @ Array.to_list ps.Pathsum.outputs
+      in
+      let amps : (bool list * bool list, Ring.t) Hashtbl.t =
+        Hashtbl.create 256
+      in
+      for mask = 0 to (1 lsl n) - 1 do
+        let assign v =
+          match Hashtbl.find_opt pos v with
+          | Some i -> (mask lsr i) land 1 = 1
+          | None -> false
+        in
+        let beta = List.map (B.eval assign) shared_exprs in
+        let env = List.map (B.eval assign) env_exprs in
+        let amp = Pathsum.amplitude ps assign in
+        let key = (beta, env) in
+        let prev =
+          match Hashtbl.find_opt amps key with
+          | Some a -> a
+          | None -> Ring.zero
+        in
+        Hashtbl.replace amps key (Ring.add prev amp)
+      done;
+      let probs : (bool list, Ring.t) Hashtbl.t = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun (beta, _) a ->
+          let p = Ring.norm_sq a in
+          let prev =
+            match Hashtbl.find_opt probs beta with
+            | Some q -> q
+            | None -> Ring.zero
+          in
+          Hashtbl.replace probs beta (Ring.add prev p))
+        amps;
+      Some probs
+    end
+
+let refute ?(max_vars = 14) ps_a ps_b ~shared =
+  Obs.with_span "verify.refute" (fun () ->
+      match
+        ( distribution ~max_vars ps_a ~shared,
+          distribution ~max_vars ps_b ~shared )
+      with
+      | Some pa, Some pb ->
+          let betas = Hashtbl.create 64 in
+          Hashtbl.iter (fun b _ -> Hashtbl.replace betas b ()) pa;
+          Hashtbl.iter (fun b _ -> Hashtbl.replace betas b ()) pb;
+          let lookup tbl b =
+            match Hashtbl.find_opt tbl b with
+            | Some r -> r
+            | None -> Ring.zero
+          in
+          let mismatch = ref None in
+          Hashtbl.iter
+            (fun beta () ->
+              if !mismatch = None then begin
+                let ra = lookup pa beta and rb = lookup pb beta in
+                if not (Ring.equal ra rb) then
+                  mismatch := Some (beta, ra, rb)
+              end)
+            betas;
+          (match !mismatch with
+          | None -> Equal
+          | Some (beta, ra, rb) ->
+              Differs
+                {
+                  bits = List.combine shared beta;
+                  p_left = Ring.to_float ra;
+                  p_right = Ring.to_float rb;
+                  detail =
+                    Printf.sprintf
+                      "P[%s] = %s on the left vs %s on the right"
+                      (String.concat ", "
+                         (List.map2
+                            (fun b v -> Printf.sprintf "c%d=%d" b
+                                          (if v then 1 else 0))
+                            shared beta))
+                      (Ring.to_string ra) (Ring.to_string rb);
+                })
+      | (Some _ | None), _ ->
+          Inconclusive "too many path variables for exhaustive refutation")
+
+(* ------------------------------------------------------------------ *)
+(* Coherent replay of a dynamic instruction stream                    *)
+
+exception Replay_unsupported of string
+
+(* Rebuild, on the traditional qubit layout, the unitary circuit the
+   DQC schedule denotes: segment k of the stream (delimited by the
+   work-qubit resets) acts on work qubit iteration_order.(k), answer
+   operands map back through answer_phys, and classical conditions
+   become quantum controls on the (still coherent) source data qubits
+   — the deferred-measurement image of the DQC. *)
+let build_replay ~data_bit ~answer_phys ~iteration_order (dqc : Circ.t) =
+  try
+    let inv_answer = List.map (fun (q, phys) -> (phys, q)) answer_phys in
+    let inv_bit = List.map (fun (q, b) -> (b, q)) data_bit in
+    let order = Array.of_list iteration_order in
+    let nq =
+      1
+      + List.fold_left max 0 (iteration_order @ List.map fst answer_phys)
+    in
+    let seg = ref 0 in
+    let work () =
+      if !seg < Array.length order then order.(!seg)
+      else raise (Replay_unsupported "more segments than iterations")
+    in
+    let map_q p =
+      if p = 0 then work ()
+      else
+        match List.assoc_opt p inv_answer with
+        | Some q -> q
+        | None ->
+            raise
+              (Replay_unsupported
+                 (Printf.sprintf "physical qubit %d is neither work nor answer"
+                    p))
+    in
+    let instrs = ref [] in
+    let emit i = instrs := i :: !instrs in
+    List.iter
+      (fun (i : Instruction.t) ->
+        match i with
+        | Instruction.Unitary { gate; controls; target } ->
+            emit
+              (Instruction.Unitary
+                 {
+                   gate;
+                   controls = List.map map_q controls;
+                   target = map_q target;
+                 })
+        | Instruction.Conditioned (cond, { gate; controls; target }) ->
+            let tests =
+              List.map
+                (fun (b, v) ->
+                  match List.assoc_opt b inv_bit with
+                  | Some q -> (q, v)
+                  | None ->
+                      raise
+                        (Replay_unsupported
+                           (Printf.sprintf "condition on non-data bit c%d" b)))
+                cond.Instruction.bits
+            in
+            let falses =
+              List.filter_map (fun (q, v) -> if v then None else Some q) tests
+            in
+            let wrap () =
+              List.iter
+                (fun q ->
+                  emit
+                    (Instruction.Unitary
+                       { gate = Gate.X; controls = []; target = q }))
+                falses
+            in
+            wrap ();
+            emit
+              (Instruction.Unitary
+                 {
+                   gate;
+                   controls = List.map map_q controls @ List.map fst tests;
+                   target = map_q target;
+                 });
+            wrap ()
+        | Instruction.Measure { qubit = 0; _ } -> ()
+        | Instruction.Measure { qubit; _ } ->
+            raise
+              (Replay_unsupported
+                 (Printf.sprintf "measurement of physical qubit %d" qubit))
+        | Instruction.Reset 0 -> incr seg
+        | Instruction.Reset q ->
+            raise
+              (Replay_unsupported (Printf.sprintf "reset of physical qubit %d" q))
+        | Instruction.Barrier _ -> ())
+      (Circ.instructions dqc);
+    let roles =
+      Array.init nq (fun q ->
+          if List.exists (fun (a, _) -> a = q) answer_phys then Circ.Answer
+          else Circ.Data)
+    in
+    Ok (Circ.create ~roles ~num_bits:(Circ.num_bits dqc) (List.rev !instrs))
+  with
+  | Replay_unsupported msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Static netlist identity                                            *)
+
+let check_static ?(inputs = `Symbolic) a b =
+  Circ.num_qubits a = Circ.num_qubits b
+  &&
+  let symbolic_inputs = inputs = `Symbolic in
+  let pa, _ = Reduce.normalize (Symexec.run ~symbolic_inputs a) in
+  let pb, _ = Reduce.normalize (Symexec.run ~symbolic_inputs b) in
+  if pa.Pathsum.zero_amplitude || pb.Pathsum.zero_amplitude then
+    pa.Pathsum.zero_amplitude && pb.Pathsum.zero_amplitude
+  else equate ~branch_phase:false (view_static pa) (view_static pb)
+
+(* ------------------------------------------------------------------ *)
+(* Certification of a transform result                                *)
+
+let certify ?(max_refute_vars = 14) ~traditional ~data_bit ~answer_phys
+    ~iteration_order ~violations (dqc : Circ.t) =
+  Obs.with_span "verify.certify" (fun () ->
+      let verdict =
+        try
+          let num_data = List.length data_bit in
+          let nq_orig = Circ.num_qubits traditional in
+          let shared =
+            List.filter_map
+              (fun (q, b) -> if q < nq_orig then Some b else None)
+              data_bit
+            @ List.mapi (fun k (_ : int * int) -> num_data + k) answer_phys
+          in
+          let trad_measures =
+            List.filter (fun (q, _) -> q < nq_orig) data_bit
+            @ List.mapi (fun k (q, _) -> (q, num_data + k)) answer_phys
+          in
+          let dyn_measures =
+            List.mapi (fun k (_, phys) -> (phys, num_data + k)) answer_phys
+          in
+          let t_ps, t_st =
+            Reduce.normalize (Symexec.run ~measures:trad_measures traditional)
+          in
+          let d_ps, d_st =
+            Reduce.normalize (Symexec.run ~measures:dyn_measures dqc)
+          in
+          let path_vars =
+            List.length (Pathsum.all_vars t_ps)
+            + List.length (Pathsum.all_vars d_ps)
+          in
+          Obs.incr ~n:path_vars "verify.path_vars";
+          let reductions = Reduce.total t_st + Reduce.total d_st in
+          let proved scope schedule_cex =
+            Proved { scope; path_vars; reductions; schedule_cex }
+          in
+          (* the coherent-replay route: prove the DQC equal to the
+             deferred-measurement image of its own schedule, then try
+             to relate that schedule to the traditional circuit *)
+          let replay_route () =
+            match build_replay ~data_bit ~answer_phys ~iteration_order dqc with
+            | Error msg -> Unknown (Printf.sprintf "replay failed: %s" msg)
+            | Ok replay ->
+                let shared_all =
+                  List.map snd data_bit
+                  @ List.mapi (fun k (_ : int * int) -> num_data + k)
+                      answer_phys
+                in
+                let replay_measures =
+                  data_bit
+                  @ List.mapi (fun k (q, _) -> (q, num_data + k)) answer_phys
+                in
+                let r_ps, _ =
+                  Reduce.normalize
+                    (Symexec.run ~measures:replay_measures replay)
+                in
+                let against_traditional () =
+                  if compare_channel t_ps r_ps ~shared then
+                    proved Channel None
+                  else
+                    match
+                      refute ~max_vars:max_refute_vars t_ps r_ps ~shared
+                    with
+                    | Equal -> proved Channel None
+                    | Differs cex -> proved Dynamics (Some cex)
+                    | Inconclusive _ -> proved Dynamics None
+                in
+                if compare_channel d_ps r_ps ~shared:shared_all then
+                  against_traditional ()
+                else (
+                  match
+                    refute ~max_vars:max_refute_vars d_ps r_ps
+                      ~shared:shared_all
+                  with
+                  | Differs cex -> Refuted cex
+                  | Equal -> against_traditional ()
+                  | Inconclusive msg ->
+                      Unknown
+                        (Printf.sprintf
+                           "replay comparison inconclusive: %s" msg))
+          in
+          if compare_channel t_ps d_ps ~shared then proved Channel None
+          else if violations = 0 then
+            (* the transform claims exactness: any difference is a
+               genuine bug, so exhaust before falling back *)
+            match refute ~max_vars:max_refute_vars t_ps d_ps ~shared with
+            | Differs cex -> Refuted cex
+            | Equal -> proved Channel None
+            | Inconclusive _ -> replay_route ()
+          else replay_route ()
+        with Symexec.Unsupported msg ->
+          Unknown (Printf.sprintf "outside the exact gate fragment: %s" msg)
+      in
+      (match verdict with
+      | Proved _ -> Obs.incr "verify.proved"
+      | Refuted _ -> Obs.incr "verify.refuted"
+      | Unknown _ -> Obs.incr "verify.unknown");
+      verdict)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+
+let scope_to_string = function
+  | Channel -> "channel"
+  | Dynamics -> "dynamics"
+
+let pp_verdict fmt = function
+  | Proved { scope; path_vars; reductions; schedule_cex } ->
+      Format.fprintf fmt "proved (%s scope, %d path vars, %d reductions%s)"
+        (scope_to_string scope) path_vars reductions
+        (match schedule_cex with
+        | Some _ -> ", schedule deviation witnessed"
+        | None -> "")
+  | Refuted cex ->
+      Format.fprintf fmt "REFUTED: %s (P=%.6f vs P=%.6f)" cex.detail
+        cex.p_left cex.p_right
+  | Unknown msg -> Format.fprintf fmt "unknown: %s" msg
+
+let verdict_to_string v = Format.asprintf "%a" pp_verdict v
+
+let is_proved = function Proved _ -> true | Refuted _ | Unknown _ -> false

@@ -1,0 +1,233 @@
+(* Normalization of path sums by Amy-style rewriting:
+
+   [Elim]  a path variable y occurring nowhere contributes
+           sum_y 1 = 2: drop it, scale -= 2.
+
+   [HH]    y occurring only in the phase, as 4.y.R(rest): the sum over
+           y yields 2.[R = 0].  R = 0 identically re-creates [Elim];
+           R = 1 kills the whole amplitude; otherwise the constraint
+           R = 0 is solved for a linearly occurring variable z
+           (z := R xor z substituted everywhere), scale -= 2.
+
+   [omega] y occurring only in the phase, as y.(c + 4.R) with
+           c in {2,6}: sum_y omega^{y(c+4R)} = 1 + (+-i).(-1)^R =
+           sqrt2.omega^{1+6.L(R)} (c = 2) or sqrt2.omega^{7+2.L(R)}
+           (c = 6): drop y, scale -= 1, fold the residue into the
+           phase.
+
+   Variables occurring in an output still parametrize the state and
+   variables occurring in a recorded observation are pinned by it
+   (Pathsum.protected_vars); neither may be eliminated. *)
+
+type stats = { elim : int; hh : int; omega : int; subst : int }
+
+let no_stats = { elim = 0; hh = 0; omega = 0; subst = 0 }
+
+let total s = s.elim + s.hh + s.omega + s.subst
+
+module B = Pathsum.Bexpr
+module P = Pathsum.Phase
+
+type work = {
+  mutable scale : int;
+  mutable phase : P.t;
+  outputs : B.t array;
+  bits : B.t option array;
+  mutable ghosts : B.t list;
+  inputs : int array option;
+  live : bool array;
+  mutable zero : bool;
+  mutable st : stats;
+}
+
+let mem_sorted v l = List.mem v l
+
+(* substitute z := e everywhere (phase, outputs, observations) *)
+let subst_everywhere w z e =
+  w.phase <- P.subst z e w.phase;
+  Array.iteri (fun q o -> w.outputs.(q) <- B.subst z e o) w.outputs;
+  Array.iteri
+    (fun b o ->
+      match o with
+      | Some o -> w.bits.(b) <- Some (B.subst z e o)
+      | None -> ())
+    w.bits;
+  w.ghosts <- List.map (B.subst z e) w.ghosts
+
+(* a variable of R occurring exactly once, as the lone monomial [z]
+   (and not a pinned input): the constraint R = 0 solves to
+   z = R xor z *)
+let solvable_var ~inputs r =
+  let monos = B.monomials r in
+  let is_input z =
+    match inputs with
+    | Some a -> Array.exists (fun v -> v = z) a
+    | None -> false
+  in
+  List.find_map
+    (fun m ->
+      match m with
+      | [ z ]
+        when (not (is_input z))
+             && not
+                  (List.exists
+                     (fun n -> n <> m && List.mem z n)
+                     monos) ->
+          Some z
+      | _ -> None)
+    monos
+
+let try_var w protected v =
+  if (not w.live.(v)) || mem_sorted v protected then false
+  else begin
+    let in_outputs = Array.exists (B.mem_var v) w.outputs in
+    if in_outputs then false
+    else begin
+      let q, s = P.factor v w.phase in
+      match P.terms q with
+      | [] ->
+          (* absent everywhere *)
+          w.live.(v) <- false;
+          w.scale <- w.scale - 2;
+          w.phase <- s;
+          w.st <- { w.st with elim = w.st.elim + 1 };
+          true
+      | terms ->
+          let c =
+            match List.assoc_opt [] terms with Some c -> c | None -> 0
+          in
+          let rest = List.filter (fun (m, _) -> m <> []) terms in
+          if List.for_all (fun (_, k) -> k = 4) rest then begin
+            let r_of_rest =
+              List.fold_left
+                (fun acc (m, _) ->
+                  B.xor acc
+                    (List.fold_left
+                       (fun e x -> B.conj e (B.var x))
+                       B.one m))
+                B.zero rest
+            in
+            match c with
+            | 0 | 4 ->
+                let r =
+                  if c = 4 then B.not_ r_of_rest else r_of_rest
+                in
+                if B.is_zero r then begin
+                  w.live.(v) <- false;
+                  w.scale <- w.scale - 2;
+                  w.phase <- s;
+                  w.st <- { w.st with hh = w.st.hh + 1 };
+                  true
+                end
+                else if B.is_const r = Some true then begin
+                  w.zero <- true;
+                  true
+                end
+                else begin
+                  match solvable_var ~inputs:w.inputs r with
+                  | Some z ->
+                      let r' = B.xor r (B.var z) in
+                      w.live.(v) <- false;
+                      w.live.(z) <- false;
+                      w.scale <- w.scale - 2;
+                      w.phase <- s;
+                      subst_everywhere w z r';
+                      w.st <-
+                        {
+                          w.st with
+                          hh = w.st.hh + 1;
+                          subst = w.st.subst + 1;
+                        };
+                      true
+                  | None -> false
+                end
+            | 2 | 6 ->
+                w.live.(v) <- false;
+                w.scale <- w.scale - 1;
+                w.phase <-
+                  P.add s
+                    (P.add
+                       (P.const (if c = 2 then 1 else 7))
+                       (P.scale (if c = 2 then 6 else 2) (P.lift r_of_rest)));
+                w.st <- { w.st with omega = w.st.omega + 1 };
+                true
+            | _ -> false
+          end
+          else false
+    end
+  end
+
+let normalize (ps : Pathsum.t) =
+  Obs.with_span "verify.reduce" (fun () ->
+      if ps.Pathsum.zero_amplitude then (ps, no_stats)
+      else begin
+        let w =
+          {
+            scale = ps.Pathsum.scale;
+            phase = ps.Pathsum.phase;
+            outputs = Array.copy ps.Pathsum.outputs;
+            bits = Array.copy ps.Pathsum.bits;
+            ghosts = ps.Pathsum.ghosts;
+            inputs = ps.Pathsum.inputs;
+            live = Array.make ps.Pathsum.next_var true;
+            zero = false;
+            st = no_stats;
+          }
+        in
+        (* a ghost observation that substitution collapsed to a
+           constant, or that now duplicates another observation (up to
+           negation), pins nothing: sweeping it may unblock further
+           reduction *)
+        let sweep_ghosts () =
+          let recorded =
+            Array.to_list w.bits |> List.filter_map (fun o -> o)
+          in
+          let kept = ref [] in
+          let swept = ref false in
+          List.iter
+            (fun g ->
+              let dup o = B.equal o g || B.equal o (B.not_ g) in
+              if
+                B.is_const g <> None
+                || List.exists dup recorded
+                || List.exists dup !kept
+              then swept := true
+              else kept := g :: !kept)
+            w.ghosts;
+          if !swept then w.ghosts <- List.rev !kept;
+          !swept
+        in
+        let changed = ref true in
+        while !changed && not w.zero do
+          changed := false;
+          if sweep_ghosts () then changed := true;
+          let protected =
+            Pathsum.protected_vars
+              {
+                ps with
+                Pathsum.bits = w.bits;
+                ghosts = w.ghosts;
+                inputs = w.inputs;
+              }
+          in
+          let v = ref 0 in
+          while !v < Array.length w.live && not w.zero do
+            if try_var w protected !v then changed := true;
+            incr v
+          done
+        done;
+        Obs.incr ~n:w.st.elim "verify.reduce.elim";
+        Obs.incr ~n:w.st.hh "verify.reduce.hh";
+        Obs.incr ~n:w.st.omega "verify.reduce.omega";
+        Obs.incr ~n:w.st.subst "verify.reduce.subst";
+        ( {
+            ps with
+            Pathsum.scale = w.scale;
+            phase = w.phase;
+            outputs = w.outputs;
+            bits = w.bits;
+            ghosts = w.ghosts;
+            zero_amplitude = w.zero;
+          },
+          w.st )
+      end)

@@ -1,0 +1,36 @@
+open Circuit
+
+(** Symbolic execution of a full dynamic instruction stream into a
+    {!Pathsum.t}.
+
+    - unitary gates apply exact phase-polynomial transfer rules
+      (Clifford+T, V/V† via V = H·S·H, and the π/2, π/4 multiples of
+      the parametric gates);
+    - quantum controls and classical conditions both become GF(2)
+      guard factors on the gate's transfer (a test [c_b == 0]
+      contributes the factor [e_b ⊕ 1]);
+    - [Measure] records the qubit's current function as the bit's
+      expression — this pins the measurement branches without
+      case-splitting (see {!Pathsum});
+    - [Reset] is measure-and-discard: the discarded expression joins
+      the ghost observations unless it is constant or duplicates an
+      existing observation, and the qubit's function becomes 0.
+
+    Telemetry: one [verify.symexec] span, a
+    [verify.symexec.instructions] counter.  No simulation backend is
+    touched. *)
+
+(** Raised on instructions outside the exact fragment (controlled H,
+    arbitrary-angle rotations, a condition on an unwritten bit).  The
+    certifier converts this into [Unknown]. *)
+exception Unsupported of string
+
+(** [run ?symbolic_inputs ?measures c] executes every instruction of
+    [c], then appends terminal measurements [(qubit, bit)] from
+    [measures] (the bit space grows to accommodate them).
+    [symbolic_inputs] starts each qubit in a pinned symbolic basis
+    state instead of |0⟩ — use it to compare circuits as unitaries
+    rather than as state preparations.
+    @raise Unsupported outside the exact fragment. *)
+val run :
+  ?symbolic_inputs:bool -> ?measures:(int * int) list -> Circ.t -> Pathsum.t

@@ -1,0 +1,5 @@
+module Ring = Ring
+module Pathsum = Pathsum
+module Symexec = Symexec
+module Reduce = Reduce
+module Certify = Certify

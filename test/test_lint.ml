@@ -241,6 +241,51 @@ let corpus_dqc_answer_reset () =
   expect_exactly ~pass:"dqc-answer-reset" ~severity:Lint.Diagnostic.Error
     (Lint.run ~passes:(Lint.Dqc_rules.passes ()) c)
 
+let corpus_cond_after_clobber () =
+  (* bit 1 is written by measuring q0 immediately after its reset, so
+     the condition below provably tests the constant 0 *)
+  let c =
+    Circ.create ~roles:[| Circ.Data; Circ.Answer |] ~num_bits:2
+      [
+        u Gate.H 0;
+        Instruction.Measure { qubit = 0; bit = 0 };
+        Instruction.Reset 0;
+        Instruction.Measure { qubit = 0; bit = 1 };
+        Instruction.Conditioned
+          (Instruction.cond_bit 1 true, Instruction.app Gate.X 1);
+      ]
+  in
+  expect_exactly ~pass:"cond-after-clobber" ~severity:Lint.Diagnostic.Warning
+    (Lint.run ~passes:Lint.certifier_passes c)
+
+let corpus_nonzero_global_phase_reset () =
+  (* resetting a superposed qubit discards coherence: the certifier
+     must ghost the discarded state *)
+  let c =
+    Circ.create ~roles:d1 ~num_bits:0 [ u Gate.H 0; Instruction.Reset 0 ]
+  in
+  expect_exactly ~pass:"nonzero-global-phase-reset"
+    ~severity:Lint.Diagnostic.Warning
+    (Lint.run ~passes:Lint.certifier_passes c)
+
+(* A gate between the reset and the measurement re-randomizes the
+   qubit: the condition is no longer constant, so no diagnostic. *)
+let corpus_cond_after_clobber_negative () =
+  let c =
+    Circ.create ~roles:[| Circ.Data; Circ.Answer |] ~num_bits:2
+      [
+        u Gate.H 0;
+        Instruction.Measure { qubit = 0; bit = 0 };
+        Instruction.Reset 0;
+        u Gate.H 0;
+        Instruction.Measure { qubit = 0; bit = 1 };
+        Instruction.Conditioned
+          (Instruction.cond_bit 1 true, Instruction.app Gate.X 1);
+      ]
+  in
+  let r = Lint.run ~passes:Lint.certifier_passes c in
+  check_int "silent" 0 (List.length (of_pass "cond-after-clobber" r))
+
 (* Each corpus circuit makes the CLI gate (and Lint.check) reject. *)
 let test_check_raises () =
   let c =
@@ -350,6 +395,25 @@ let test_lowered_variants_lint_clean () =
   | None -> Alcotest.fail "lint gate did not run"
   | Some r -> strictly_clean "AND peephole+native" r
 
+(* The certifier-support passes are advisory, but the compiler's own
+   output must not trip them: every compiled Table II benchmark obeys
+   the measure-before-reset discipline and never conditions on a
+   degenerate bit. *)
+let test_certifier_passes_silent_on_compilations () =
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun (o : Algorithms.Oracle.t) ->
+          let r =
+            Dqc.Toffoli_scheme.transform scheme (Algorithms.Dj.circuit o)
+          in
+          strictly_clean
+            (Printf.sprintf "%s/%s certifier passes" o.name
+               (Dqc.Toffoli_scheme.to_string scheme))
+            (Lint.run ~passes:Lint.certifier_passes r.circuit))
+        Algorithms.Dj_toffoli.oracles)
+    [ Dqc.Toffoli_scheme.Dynamic_1; Dqc.Toffoli_scheme.Dynamic_2 ]
+
 let test_direct_mct_lint_clean () =
   let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND") in
   let r =
@@ -430,6 +494,12 @@ let () =
           Alcotest.test_case "dqc-live-data" `Quick corpus_dqc_live_data;
           Alcotest.test_case "dqc-answer-reset" `Quick
             corpus_dqc_answer_reset;
+          Alcotest.test_case "cond-after-clobber" `Quick
+            corpus_cond_after_clobber;
+          Alcotest.test_case "cond-after-clobber negative" `Quick
+            corpus_cond_after_clobber_negative;
+          Alcotest.test_case "nonzero-global-phase-reset" `Quick
+            corpus_nonzero_global_phase_reset;
           Alcotest.test_case "Lint.check raises" `Quick test_check_raises;
         ] );
       ( "constructors",
@@ -453,6 +523,8 @@ let () =
           Alcotest.test_case "multi-slot" `Quick test_multi_slot_lint_clean;
           Alcotest.test_case "peephole+native" `Quick
             test_lowered_variants_lint_clean;
+          Alcotest.test_case "certifier passes silent" `Quick
+            test_certifier_passes_silent_on_compilations;
           Alcotest.test_case "direct mct" `Quick test_direct_mct_lint_clean;
         ] );
       ( "report",
