@@ -1,0 +1,18 @@
+(* check: does Pipeline report certified for an Algorithm1 output with violations? *)
+let () =
+  let oracles = Algorithms.Dj_toffoli.oracles in
+  List.iter
+    (fun (o : Algorithms.Oracle.t) ->
+      let dj = Algorithms.Dj_toffoli.circuit o in
+      let prepared = Dqc.Toffoli_scheme.prepare Dqc.Toffoli_scheme.Dynamic_2 dj in
+      let r = Dqc.Transform.transform ~mode:`Algorithm1 prepared in
+      if r.Dqc.Transform.violations <> [] then begin
+        let tv = Dqc.Equivalence.tv_distance prepared r in
+        let out = Dqc.Pipeline.compile ~options:Dqc.Pipeline.Options.default dj in
+        Printf.printf "%s: violations=%d tv=%.6f pipeline.certified=%b pipeline.tv=%s\n%!"
+          o.Algorithms.Oracle.name
+          (List.length r.Dqc.Transform.violations) tv
+          out.Dqc.Pipeline.certified
+          (match out.Dqc.Pipeline.tv with Some t -> Printf.sprintf "%.6f" t | None -> "None")
+      end)
+    oracles
