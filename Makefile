@@ -1,4 +1,4 @@
-.PHONY: all build test bench ci fmt-check trace-smoke lint verify-gate clean
+.PHONY: all build test bench ci fmt-check trace-smoke kernel-smoke lint verify-gate clean
 
 all: build
 
@@ -34,7 +34,14 @@ trace-smoke:
 	m = json.load(open('/tmp/dqc_metrics.json')); \
 	assert m['schema'] == 'dqc.obs.metrics/1', m['schema']; \
 	assert m['counters']['backend.shots'] == 256, m['counters']; \
+	assert m['counters']['sim.program.ops'] > 0, m['counters']; \
 	print('trace-smoke: OK (%d events)' % len(t['traceEvents']))"
+
+# Kernel smoke: the compiled execution plans (fused specialized
+# kernels, Sim.Program) must agree with the generic interpreter
+# amplitude-for-amplitude on the paper's benchmark family.
+kernel-smoke:
+	OCAMLRUNPARAM=b dune exec bench/main.exe -- kernels
 
 # Static lint gate: every Table II benchmark and a spread of generated
 # AND_/OR_/NAND_/MAJ_<n> oracles must compile to a lint-clean dynamic
@@ -87,6 +94,7 @@ verify-gate:
 ci:
 	OCAMLRUNPARAM=b dune build @runtest
 	OCAMLRUNPARAM=b dune exec bench/main.exe -- backend
+	$(MAKE) kernel-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) lint
 	$(MAKE) verify-gate

@@ -183,6 +183,68 @@ let run_backend () =
   Printf.printf "engine metrics written to %s\n" obs_json_path
 
 (* ------------------------------------------------------------------ *)
+(* Kernel-differential smoke: the compiled execution path must agree
+   with the generic interpreter on the paper's benchmark family,
+   amplitude for amplitude.  Fast enough for `make kernel-smoke`. *)
+
+let run_kernels () =
+  section "E13 / Kernel differential: compiled plans vs generic interpreter";
+  let cases =
+    List.concat_map
+      (fun name ->
+        let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name name) in
+        let dj = Algorithms.Dj.circuit o in
+        let dyn scheme label =
+          ( Printf.sprintf "DJ(%s) %s" name label,
+            (Dqc.Toffoli_scheme.transform scheme dj).Dqc.Transform.circuit )
+        in
+        [
+          (Printf.sprintf "DJ(%s) traditional" name, dj);
+          dyn Dqc.Toffoli_scheme.Dynamic_1 "dyn1";
+          dyn Dqc.Toffoli_scheme.Dynamic_2 "dyn2";
+        ])
+      [ "AND"; "OR"; "NAND"; "CARRY" ]
+  in
+  let seeds = [ 1; 7; 42 ] in
+  let failures = ref 0 in
+  List.iter
+    (fun (label, c) ->
+      let program = Sim.Program.compile c in
+      List.iter
+        (fun seed ->
+          let compiled =
+            Sim.Statevector.run ~rng:(Random.State.make [| seed |]) c
+          in
+          let reference =
+            Sim.Statevector.run_reference ~rng:(Random.State.make [| seed |]) c
+          in
+          let ok =
+            Sim.Statevector.register compiled
+            = Sim.Statevector.register reference
+            && Linalg.Cvec.approx_equal ~eps:1e-9
+                 (Sim.Statevector.amplitudes compiled)
+                 (Sim.Statevector.amplitudes reference)
+          in
+          if not ok then begin
+            incr failures;
+            Printf.printf "  MISMATCH %-24s seed %d\n" label seed
+          end)
+        seeds;
+      Printf.printf "  %-24s %2d ops (%d gates, %d fused, %d fallback)\n" label
+        (Sim.Program.length program)
+        (Sim.Program.source_gates program)
+        (Sim.Program.fused_count program)
+        (Sim.Program.fallback_count program))
+    cases;
+  if !failures > 0 then begin
+    Printf.printf "\nkernel differential: %d MISMATCH(ES)\n" !failures;
+    exit 1
+  end
+  else
+    Printf.printf "\nkernel differential: %d circuits x %d seeds identical\n"
+      (List.length cases) (List.length seeds)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                    *)
 
 (* Lint-throughput workloads: the full pass catalogue over the
@@ -306,6 +368,40 @@ let make_benchmarks () =
       (Staged.stage (fun () ->
            ignore (Transpile.Basis.to_native r.Dqc.Transform.circuit)))
   in
+  (* compiled-program kernel study: lowering cost in isolation, the
+     fused vs unfused op streams, and the generic full-scan interpreter
+     over the same SoA storage as the reference point *)
+  let kernels =
+    let n = 12 in
+    let roles = Array.make n Circuit.Circ.Data in
+    let b = Circuit.Circ.Builder.make ~roles ~num_bits:0 () in
+    for q = 0 to n - 1 do
+      Circuit.Circ.Builder.h b q
+    done;
+    for q = 0 to n - 2 do
+      Circuit.Circ.Builder.cx b q (q + 1)
+    done;
+    for q = 0 to n - 1 do
+      Circuit.Circ.Builder.gate b Circuit.Gate.T q;
+      Circuit.Circ.Builder.gate b Circuit.Gate.S q
+    done;
+    let c = Circuit.Circ.Builder.build b in
+    let fused = Sim.Program.compile c in
+    let unfused = Sim.Program.compile ~fuse:false c in
+    let rng () = Random.State.make [| 7 |] in
+    [
+      Test.make ~name:(Printf.sprintf "kernels compile %d qubits" n)
+        (Staged.stage (fun () -> ignore (Sim.Program.compile c)));
+      Test.make ~name:(Printf.sprintf "kernels fused %d qubits" n)
+        (Staged.stage (fun () -> ignore (Sim.Program.run ~rng:(rng ()) fused)));
+      Test.make ~name:(Printf.sprintf "kernels unfused %d qubits" n)
+        (Staged.stage (fun () ->
+             ignore (Sim.Program.run ~rng:(rng ()) unfused)));
+      Test.make ~name:(Printf.sprintf "kernels reference %d qubits" n)
+        (Staged.stage (fun () ->
+             ignore (Sim.Statevector.run_reference ~rng:(rng ()) c)));
+    ]
+  in
   (* serial vs parallel vs prefix-cached shot execution on the Table II
      DJ family (dense backend throughout, so only the engine varies) *)
   let backend_engines =
@@ -378,7 +474,7 @@ let make_benchmarks () =
        routing;
        native;
      ]
-    @ backend_engines @ lint_tests @ verify_tests)
+    @ kernels @ backend_engines @ lint_tests @ verify_tests)
 
 let bench_json_path = "BENCH_backend.json"
 
@@ -471,6 +567,7 @@ let () =
   | "slots" -> run_slots ()
   | "ablation" -> run_ablation ()
   | "backend" -> run_backend ()
+  | "kernels" -> run_kernels ()
   | "bechamel" -> run_bechamel ()
   | "all" ->
       run_table1 ();
@@ -484,9 +581,10 @@ let () =
       run_slots ();
       run_ablation ();
       run_backend ();
+      run_kernels ();
       run_bechamel ()
   | other ->
       Printf.eprintf
-        "unknown target %S (expected table1|table2|fig7|equivalence|mct|routing|duration|scale|slots|ablation|backend|bechamel|all)\n"
+        "unknown target %S (expected table1|table2|fig7|equivalence|mct|routing|duration|scale|slots|ablation|backend|kernels|bechamel|all)\n"
         other;
       exit 1

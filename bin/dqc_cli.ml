@@ -323,7 +323,12 @@ let stats_cmd =
              acceptance workload; see transform for the name grammar)")
   in
   let shots = Arg.(value & opt int 1024 & info [ "shots" ] ~doc:"Shot count") in
-  let seed = Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"RNG seed") in
+  let seed =
+    Arg.(
+      value
+      & opt int Sim.Runner.default_seed
+      & info [ "seed" ] ~doc:"RNG seed")
+  in
   let backend =
     Arg.(
       value

@@ -1,4 +1,8 @@
-(** Dense complex vectors. *)
+(** Dense complex vectors, stored structure-of-arrays: one unboxed
+    float array for the real parts, one for the imaginary parts.  The
+    layout is what lets the simulator's compiled kernels
+    ([Sim.Program]) run allocation-free float loops; everything else
+    goes through the boxed {!Complex.t} accessors. *)
 
 type t
 
@@ -14,6 +18,16 @@ val copy : t -> t
 val dim : t -> int
 val get : t -> int -> Complex.t
 val set : t -> int -> Complex.t -> unit
+
+(** {1 Raw storage}
+
+    The live component arrays (no copy): index [k] of {!re}/{!im} is
+    the real/imaginary part of component [k].  Mutating them mutates
+    the vector — this is the kernel-facing escape hatch, not a general
+    API. *)
+
+val re : t -> float array
+val im : t -> float array
 
 (** Sum of squared moduli of all components. *)
 val norm2 : t -> float

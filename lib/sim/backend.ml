@@ -22,6 +22,7 @@ module Prefix = struct
   type t = {
     state : Statevector.t;
     suffix : Instruction.t list;
+    suffix_program : Program.t;
   }
 
   let split c =
@@ -57,15 +58,20 @@ module Prefix = struct
   (* the prefix consumes no randomness: measure/reset never appear in it *)
   let no_random () = assert false
 
+  (* The cache keys on compiled program segments: the whole circuit is
+     lowered once and split at the first measure/reset op (the same
+     boundary as the instruction-level [split] — fusion never crosses
+     it), the prefix segment is executed once here, and [run_shot]
+     replays only the compiled suffix. *)
   let prepare c =
     Obs.with_span "backend.prefix.prepare" (fun () ->
-        let prefix, suffix = split c in
-        let st =
-          Statevector.create (Circ.num_qubits c) ~num_bits:(Circ.num_bits c)
-        in
-        List.iter (Statevector.run_instruction ~random:no_random st) prefix;
+        let _, suffix = split c in
+        let program = Program.compile c in
+        let prefix_program, suffix_program = Program.split_prefix program in
+        let st = Program.fresh_state program in
+        Program.exec ~random:no_random st prefix_program;
         Obs.set_gauge "backend.prefix.fraction" (fraction c);
-        { state = st; suffix })
+        { state = st; suffix; suffix_program })
 
   let state t = t.state
   let suffix t = t.suffix
@@ -74,7 +80,7 @@ module Prefix = struct
     Obs.incr "backend.prefix.hit";
     let st = Statevector.copy t.state in
     let random () = Random.State.float rng 1.0 in
-    List.iter (Statevector.run_instruction ~random st) t.suffix;
+    Program.exec ~random st t.suffix_program;
     Statevector.register st
 end
 
@@ -133,8 +139,8 @@ let engine_name = function
   | `Exact -> "exact"
   | `Dense -> "dense"
 
-let run ?policy ?(seed = 0xC0FFEE) ?domains ?plan ?(prefix_cache = true)
-    ~shots c =
+let run ?policy ?(seed = Runner.default_seed) ?domains ?plan
+    ?(prefix_cache = true) ~shots c =
   let c =
     match plan with
     | None -> c
@@ -157,15 +163,25 @@ let run ?policy ?(seed = 0xC0FFEE) ?domains ?plan ?(prefix_cache = true)
           Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
               Prefix.run_shot cached ~rng)
         end
-        else
+        else begin
+          (* still compiled — one whole-circuit program replayed per
+             shot, bit-identical to the prefix-cached execution *)
+          let program = Program.compile c in
           Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
               Obs.incr "backend.prefix.miss";
-              Statevector.register (Statevector.run ~rng c))
+              Statevector.register (Program.run ~rng program))
+        end
   in
   if not (Obs.enabled ()) then dispatch ()
   else begin
     let name = engine_name engine in
     Obs.incr ("backend.run." ^ name);
+    (* dense dispatches execute compiled programs: count them under the
+       program engine as well so the compiled/interpreted split is
+       visible in the metrics JSON *)
+    (match engine with
+    | `Dense -> Obs.incr "backend.run.program"
+    | `Stabilizer | `Exact -> ());
     Obs.incr ~n:shots "backend.shots";
     let r =
       Obs.with_span "backend.run"

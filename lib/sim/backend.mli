@@ -56,7 +56,9 @@ module Prefix : sig
       [backend.prefix.fraction] telemetry gauge by {!prepare}. *)
   val fraction : Circ.t -> float
 
-  (** Simulate the deterministic prefix once.
+  (** Compile the circuit and simulate the deterministic prefix
+      segment once; the cache keys on the compiled program's
+      prefix/suffix split ({!Program.split_prefix}).
       @raise Invalid_argument beyond {!Statevector.max_qubits}. *)
   val prepare : Circ.t -> t
 
@@ -93,12 +95,17 @@ val select :
     the dense backend; disabling it replays the full circuit per shot
     and yields the same histogram bit-for-bit.
 
+    [seed] defaults to {!Runner.default_seed} — the constant shared
+    with the serial engine.
+
     Telemetry (when an [Obs] collector is installed): a [backend.run]
     span (attrs: engine, shots, qubits) around the dispatch, counters
     [backend.run.<engine>], [backend.shots], per-shot
     [backend.prefix.hit] / [backend.prefix.miss], and the
-    [backend.prefix.fraction] gauge.  The histogram itself is
-    byte-identical whether or not telemetry is on. *)
+    [backend.prefix.fraction] gauge.  Dense dispatches execute
+    compiled kernel programs ({!Program}) and additionally bump
+    [backend.run.program].  The histogram itself is byte-identical
+    whether or not telemetry is on. *)
 val run :
   ?policy:policy ->
   ?seed:int ->

@@ -8,38 +8,37 @@ type leaf = {
 
 let default_prune = 1e-12
 
-(* Depth-first enumeration: unitaries and conditioned gates act in
-   place; measure and reset fork into the outcomes with non-negligible
-   Born probability. *)
+(* Depth-first enumeration over the compiled op array ([Program]):
+   unitaries and conditioned gates act in place through the fused
+   kernels; measure and reset ops fork into the outcomes with
+   non-negligible Born probability. *)
 let leaves ?(prune = default_prune) c =
   if not (prune >= 0.) then invalid_arg "Exact.leaves: negative prune threshold";
   let prune_threshold = prune in
+  let program = Program.compile c in
+  let len = Program.length program in
+  let n = Circ.num_qubits c in
   let acc = ref [] in
-  let rec go st prob instrs =
+  let rec go st prob k =
     if prob > prune_threshold then
-      match instrs with
-      | [] ->
-          Obs.incr "sim.exact.leaves";
-          acc :=
-            { probability = prob; register = Statevector.register st; state = st }
-            :: !acc
-      | i :: rest -> step st prob i rest
-  and step st prob (i : Instruction.t) rest =
-    match i with
-    | Unitary a ->
-        Statevector.apply_app st a;
+      if k = len then begin
+        Obs.incr "sim.exact.leaves";
+        acc :=
+          { probability = prob; register = Statevector.register st; state = st }
+          :: !acc
+      end
+      else step st prob (Program.get program k) (k + 1)
+  and step st prob op rest =
+    match Program.view ~n op with
+    | Program.Unitary _ | Program.Conditional _ ->
+        Program.apply st op;
         go st prob rest
-    | Conditioned (cnd, a) ->
-        if Instruction.cond_holds cnd (Statevector.register st) then
-          Statevector.apply_app st a;
-        go st prob rest
-    | Barrier _ -> go st prob rest
-    | Measure { qubit; bit } ->
+    | Program.Measurement { qubit; bit } ->
         fork st prob qubit rest ~on_branch:(fun st' outcome ->
             Statevector.set_bit st' bit outcome)
-    | Reset q ->
+    | Program.Reset q ->
         fork st prob q rest ~on_branch:(fun st' outcome ->
-            if outcome then Statevector.apply_gate st' Gate.X q)
+            if outcome then State.flip st' q)
   and fork st prob qubit rest ~on_branch =
     let p1 = Statevector.prob_one st qubit in
     let branch outcome p st' =
@@ -58,12 +57,10 @@ let leaves ?(prune = default_prune) c =
     else if p1 *. prob > prune_threshold then branch true p1 st
     else branch false (1. -. p1) st
   in
-  let st0 =
-    Statevector.create (Circ.num_qubits c) ~num_bits:(Circ.num_bits c)
-  in
+  let st0 = Program.fresh_state program in
   Obs.with_span "exact.enumerate"
     ~attrs:[ ("qubits", string_of_int (Circ.num_qubits c)) ]
-    (fun () -> go st0 1.0 (Circ.instructions c));
+    (fun () -> go st0 1.0 0);
   List.rev !acc
 
 let register_distribution ?prune c =

@@ -77,34 +77,39 @@ let maybe_dephase ~rng ~p st q =
   if p > 0. && Random.State.float rng 1.0 < p then
     Statevector.apply_gate st Gate.Z q
 
-let run_instructions ~rng ~model ~num_qubits st instrs =
-  let step (i : Instruction.t) =
-    match i with
-    | Unitary a ->
-        Statevector.apply_app st a;
-        let p = if a.controls = [] then model.p_depol1 else model.p_depol2 in
+(* Noisy trajectories run over a compiled program ([Program]) lowered
+   with [~fuse:false]: fusion would merge the very gate boundaries the
+   channels attach to, so the 1:1 gate-to-op lowering keeps noise
+   injection points identical to the source circuit.  [Program.view]
+   recovers the target/control structure each channel needs. *)
+let run_ops ~rng ~model ~num_qubits st program =
+  let len = Program.length program in
+  for k = 0 to len - 1 do
+    let op = Program.get program k in
+    match Program.view ~n:num_qubits op with
+    | Program.Unitary { target; controls } ->
+        Program.apply st op;
+        let p = if controls = [] then model.p_depol1 else model.p_depol2 in
         List.iter
           (fun q ->
             maybe_depolarize ~rng ~p st q;
             maybe_amp_damp ~rng ~gamma:model.p_amp_damp st q)
-          (a.controls @ [ a.target ])
-    | Conditioned (cnd, a) ->
+          (controls @ [ target ])
+    | Program.Conditional { mask; value; target; controls } ->
         (* the feed-forward latency penalty applies whether or not the
            gate fires: the controller must wait for the classical value *)
         (match model.feedforward_scope with
-        | `Target -> maybe_dephase ~rng ~p:model.p_feedforward_z st a.target
+        | `Target -> maybe_dephase ~rng ~p:model.p_feedforward_z st target
         | `All_qubits ->
             for q = 0 to num_qubits - 1 do
               maybe_dephase ~rng ~p:model.p_feedforward_z st q
             done);
-        if Instruction.cond_holds cnd (Statevector.register st) then begin
-          Statevector.apply_app st a;
-          let p =
-            if a.controls = [] then model.p_depol1 else model.p_depol2
-          in
-          List.iter (maybe_depolarize ~rng ~p st) (a.controls @ [ a.target ])
+        if Statevector.register st land mask = value then begin
+          Program.apply st op;
+          let p = if controls = [] then model.p_depol1 else model.p_depol2 in
+          List.iter (maybe_depolarize ~rng ~p st) (controls @ [ target ])
         end
-    | Measure { qubit; bit } ->
+    | Program.Measurement { qubit; bit } ->
         let outcome =
           Statevector.measure ~random:(Random.State.float rng 1.0) st ~qubit
             ~bit
@@ -113,37 +118,42 @@ let run_instructions ~rng ~model ~num_qubits st instrs =
           model.p_meas_flip > 0.
           && Random.State.float rng 1.0 < model.p_meas_flip
         then Statevector.set_bit st bit (not outcome)
-    | Reset q ->
+    | Program.Reset q ->
         Statevector.reset ~random:(Random.State.float rng 1.0) st q;
         if
           model.p_reset_flip > 0.
           && Random.State.float rng 1.0 < model.p_reset_flip
-        then Statevector.apply_gate st Gate.X q
-    | Barrier _ -> ()
-  in
-  List.iter step instrs;
+        then State.flip st q
+  done;
   Statevector.register st
+
+let compile_noisy c = Program.compile ~fuse:false c
 
 let run_shot ~rng ~model c =
   validate model;
-  let st =
-    Statevector.create (Circ.num_qubits c) ~num_bits:(Circ.num_bits c)
-  in
-  run_instructions ~rng ~model ~num_qubits:(Circ.num_qubits c) st
-    (Circ.instructions c)
+  let program = compile_noisy c in
+  run_ops ~rng ~model ~num_qubits:(Circ.num_qubits c)
+    (Program.fresh_state program)
+    program
 
 (* The shared-prefix cache is sound under noise only when the model
    injects nothing into the prefix: no per-unitary channels, and no
-   feed-forward dephasing if the prefix holds a conditioned gate. *)
-let prefix_noise_free model prefix =
+   feed-forward dephasing if the prefix holds a conditioned op. *)
+let prefix_noise_free ~num_qubits model prefix_program =
   model.p_depol1 = 0. && model.p_depol2 = 0. && model.p_amp_damp = 0.
-  && (model.p_feedforward_z = 0.
-     || List.for_all
-          (function
-            | Instruction.Conditioned _ -> false
-            | Instruction.Unitary _ | Instruction.Measure _
-            | Instruction.Reset _ | Instruction.Barrier _ -> true)
-          prefix)
+  &&
+  (model.p_feedforward_z = 0.
+  ||
+  let conditional = ref false in
+  for k = 0 to Program.length prefix_program - 1 do
+    match Program.view ~n:num_qubits (Program.get prefix_program k) with
+    | Program.Conditional _ -> conditional := true
+    | Program.Unitary _ | Program.Measurement _ | Program.Reset _ -> ()
+  done;
+  not !conditional)
+
+(* the prefix segment consumes no randomness: no measure/reset ops *)
+let no_random () = assert false
 
 let run_shots ?(seed = 0xD1CE) ?domains ?plan ~model ~shots c =
   validate model;
@@ -154,17 +164,19 @@ let run_shots ?(seed = 0xD1CE) ?domains ?plan ~model ~shots c =
   in
   let width = Circ.num_bits c in
   let num_qubits = Circ.num_qubits c in
-  let prefix, _suffix = Backend.Prefix.split c in
-  if prefix_noise_free model prefix then begin
-    let cached = Backend.Prefix.prepare c in
-    let suffix = Backend.Prefix.suffix cached in
+  let program = compile_noisy c in
+  let prefix_program, suffix_program = Program.split_prefix program in
+  if prefix_noise_free ~num_qubits model prefix_program then begin
+    let cached = Program.fresh_state program in
+    Program.exec ~random:no_random cached prefix_program;
     Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
-        let st = Statevector.copy (Backend.Prefix.state cached) in
-        run_instructions ~rng ~model ~num_qubits st suffix)
+        run_ops ~rng ~model ~num_qubits (Statevector.copy cached)
+          suffix_program)
   end
   else
     Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
-        run_shot ~rng ~model c)
+        let st = Program.fresh_state program in
+        run_ops ~rng ~model ~num_qubits st program)
 
 let expected_outcome_probability ?seed ?domains ~model ~shots ~expected c =
   let h = run_shots ?seed ?domains ~model ~shots c in

@@ -54,10 +54,12 @@ val run_shot : rng:Random.State.t -> model:model -> Circ.t -> int
 (** [run_shots ?seed ?domains ?plan ~model ~shots c] tallies noisy
     trajectories, sharded across domains by the parallel shot engine
     ({!Parallel}): deterministic for a fixed [seed] regardless of
-    [domains].  When the model injects no noise into the deterministic
-    prefix (before the first measurement/reset) the prefix state is
-    simulated once and shared across all trajectories
-    ({!Backend.Prefix}).  [plan] appends terminal measurements. *)
+    [domains].  Trajectories execute a compiled program
+    ({!Program.compile} with fusion disabled, so every gate keeps its
+    own noise injection point).  When the model injects no noise into
+    the deterministic prefix (before the first measurement/reset) the
+    prefix segment is simulated once and shared across all
+    trajectories.  [plan] appends terminal measurements. *)
 val run_shots :
   ?seed:int ->
   ?domains:int ->

@@ -41,7 +41,7 @@ let observed_block ~k rngs f lo hi =
     r
   end
 
-let run ?domains ~seed ~width ~shots f =
+let run ?domains ?(seed = Runner.default_seed) ~width ~shots f =
   if shots < 0 then invalid_arg "Parallel.run: negative shots";
   let domains =
     match domains with

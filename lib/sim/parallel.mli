@@ -23,16 +23,18 @@
 (** [Domain.recommended_domain_count ()] — the default worker count. *)
 val recommended_domains : unit -> int
 
-(** [run ?domains ~seed ~width ~shots f] tallies
+(** [run ?domains ?seed ~width ~shots f] tallies
     [f ~rng ~index:i] for [i = 0 .. shots-1] into a histogram of the
     given bit [width].  [f] runs concurrently on [domains] workers
     (default {!recommended_domains}; clamped to [shots]) and must not
     share mutable state across calls beyond [rng], which is private to
-    shot [index].
+    shot [index].  [seed] defaults to {!Runner.default_seed} — the
+    same constant the serial engine uses, so the default-seed contract
+    is engine-independent.
     @raise Invalid_argument when [shots < 0] or [domains < 1]. *)
 val run :
   ?domains:int ->
-  seed:int ->
+  ?seed:int ->
   width:int ->
   shots:int ->
   (rng:Random.State.t -> index:int -> int) ->

@@ -8,12 +8,19 @@ let tally_n counts outcome n =
 
 let tally counts outcome = tally_n counts outcome 1
 
-let run_shots ?(seed = 0xC0FFEE) ~shots c =
+(* The one default-seed constant of the execution layer: Runner,
+   Parallel and Backend all default to it, so the serial and parallel
+   engines sample the same configuration when the caller does not pick
+   a seed (asserted in test/test_program.ml). *)
+let default_seed = 0xC0FFEE
+
+let run_shots ?(seed = default_seed) ~shots c =
   let rng = Random.State.make [| seed |] in
+  let prog = Program.compile c in
   let counts = Hashtbl.create 16 in
   for _ = 1 to shots do
-    let st = Statevector.run ~rng c in
-    tally counts (Statevector.register st)
+    let st = Program.run ~rng prog in
+    tally counts (State.register st)
   done;
   { w = Circ.num_bits c; total = shots; counts }
 

@@ -5,10 +5,17 @@ open Circuit
 
 type histogram
 
+(** The default RNG seed (0xC0FFEE) shared by every shot engine:
+    {!run_shots}, {!Parallel.run} and [Backend.run] all default to it,
+    so serial and parallel execution sample the same configuration
+    unless the caller picks a seed explicitly. *)
+val default_seed : int
+
 (** [run_shots ?seed ~shots c] executes [c] independently [shots]
-    times and tallies final register values.  This is the serial
-    single-RNG-stream reference; {!Backend.run} is the parallel,
-    backend-dispatched entry point built on top of it. *)
+    times and tallies final register values ([seed] defaults to
+    {!default_seed}).  The circuit is compiled once ({!Program}) and
+    the program replayed per shot on one serial RNG stream;
+    {!Backend.run} is the parallel, backend-dispatched entry point. *)
 val run_shots : ?seed:int -> shots:int -> Circ.t -> histogram
 
 (** [run_plan ?seed ~shots ~plan c] instruments [c] with the plan's

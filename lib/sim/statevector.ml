@@ -1,46 +1,49 @@
 open Circuit
 
-type t = {
-  n : int;
-  num_bits : int;
-  amps : Complex.t array;
-  mutable reg : int;
-}
+(* Public face of the dense simulator.  The state itself lives in
+   [State] (SoA amplitudes); the compiled execution path lives in
+   [Program].  This module re-exports the state primitives, keeps the
+   generic boxed-matrix interpreter as the differential-testing
+   reference, and routes [run] through the compiled path. *)
 
-let max_qubits = 24
+type t = State.t
 
-let create n ~num_bits =
-  if n < 0 || n > max_qubits then
-    invalid_arg
-      (Printf.sprintf "Statevector.create: %d qubits (max %d)" n max_qubits);
-  let amps = Array.make (1 lsl n) Complex.zero in
-  amps.(0) <- Complex.one;
-  { n; num_bits; amps; reg = 0 }
+let max_qubits = State.max_qubits
+let create = State.create
+let num_qubits = State.num_qubits
+let num_bits = State.num_bits
+let copy = State.copy
+let amplitudes = State.amplitudes
+let register = State.register
+let set_bit = State.set_bit
+let get_bit = State.get_bit
 
-let num_qubits st = st.n
-let num_bits st = st.num_bits
-let copy st = { st with amps = Array.copy st.amps }
-let amplitudes st = Linalg.Cvec.of_array st.amps
-let register st = st.reg
-let set_bit st k b = st.reg <- Bits.set st.reg k b
-let get_bit st k = Bits.get st.reg k
-
-(* Apply the 2x2 matrix [m] to qubit [q] on amplitude pairs whose index
-   has every bit of [cmask] set. *)
+(* Reference path: apply the 2x2 matrix [m] to qubit [q] on amplitude
+   pairs whose index has every bit of [cmask] set — a full 2^n scan
+   with a per-index mask test.  [Program]'s kernels are the optimized
+   replacement; this stays as the semantics oracle. *)
 let apply_matrix1 st m ~q ~cmask =
   let bit = 1 lsl q in
-  let m00 = Linalg.Cmat.get m 0 0
-  and m01 = Linalg.Cmat.get m 0 1
-  and m10 = Linalg.Cmat.get m 1 0
-  and m11 = Linalg.Cmat.get m 1 1 in
-  let amps = st.amps in
-  let dim = Array.length amps in
+  let m00 : Complex.t = Linalg.Cmat.get m 0 0
+  and m01 : Complex.t = Linalg.Cmat.get m 0 1
+  and m10 : Complex.t = Linalg.Cmat.get m 1 0
+  and m11 : Complex.t = Linalg.Cmat.get m 1 1 in
+  let v = State.raw st in
+  let re = Linalg.Cvec.re v and im = Linalg.Cvec.im v in
+  let dim = Array.length re in
   for idx = 0 to dim - 1 do
     if idx land bit = 0 && idx land cmask = cmask then begin
       let i0 = idx and i1 = idx lor bit in
-      let a0 = amps.(i0) and a1 = amps.(i1) in
-      amps.(i0) <- Complex.add (Complex.mul m00 a0) (Complex.mul m01 a1);
-      amps.(i1) <- Complex.add (Complex.mul m10 a0) (Complex.mul m11 a1)
+      let r0 = re.(i0) and x0 = im.(i0) in
+      let r1 = re.(i1) and x1 = im.(i1) in
+      re.(i0) <-
+        ((m00.re *. r0) -. (m00.im *. x0)) +. ((m01.re *. r1) -. (m01.im *. x1));
+      im.(i0) <-
+        ((m00.re *. x0) +. (m00.im *. r0)) +. ((m01.re *. x1) +. (m01.im *. r1));
+      re.(i1) <-
+        ((m10.re *. r0) -. (m10.im *. x0)) +. ((m11.re *. r1) -. (m11.im *. x1));
+      im.(i1) <-
+        ((m10.re *. x0) +. (m10.im *. r0)) +. ((m11.re *. x1) +. (m11.im *. r1))
     end
   done
 
@@ -59,65 +62,36 @@ let apply_kraus1 st m q =
   if Linalg.Cmat.rows m <> 2 || Linalg.Cmat.cols m <> 2 then
     invalid_arg "Statevector.apply_kraus1: not a 1-qubit operator";
   apply_matrix1 st m ~q ~cmask:0;
-  let norm2 = Array.fold_left (fun acc a -> acc +. Complex.norm2 a) 0. st.amps in
-  if norm2 <= 1e-18 then
+  if State.norm2 st <= 1e-18 then
     invalid_arg "Statevector.apply_kraus1: zero-norm result";
-  let scale = Linalg.Complex_ext.of_float (1. /. sqrt norm2) in
-  Array.iteri (fun k a -> st.amps.(k) <- Complex.mul scale a) st.amps
+  State.renormalize st
 
-let prob_one st q =
-  let bit = 1 lsl q in
-  let acc = ref 0. in
-  Array.iteri
-    (fun idx a -> if idx land bit <> 0 then acc := !acc +. Complex.norm2 a)
-    st.amps;
-  !acc
+let prob_one = State.prob_one
 
-exception Zero_probability_branch of { qubit : int; outcome : bool }
+exception Zero_probability_branch = State.Zero_probability_branch
 
-let project st q outcome =
-  let bit = 1 lsl q in
-  let p1 = prob_one st q in
-  let p = if outcome then p1 else 1. -. p1 in
-  if p <= 1e-15 then raise (Zero_probability_branch { qubit = q; outcome });
-  let keep idx = (idx land bit <> 0) = outcome in
-  let scale = Linalg.Complex_ext.of_float (1. /. sqrt p) in
-  Array.iteri
-    (fun idx a ->
-      st.amps.(idx) <-
-        (if keep idx then Complex.mul scale a else Complex.zero))
-    st.amps;
-  p
-
-let measure ~random st ~qubit ~bit =
-  Obs.incr "sim.statevector.measure";
-  let p1 = prob_one st qubit in
-  let outcome = random < p1 in
-  ignore (project st qubit outcome);
-  set_bit st bit outcome;
-  outcome
-
-let reset ~random st q =
-  Obs.incr "sim.statevector.reset";
-  let p1 = prob_one st q in
-  let outcome = random < p1 in
-  ignore (project st q outcome);
-  if outcome then apply_gate st Gate.X q
+let project = State.project
+let measure = State.measure
+let reset = State.reset
 
 let run_instruction ~random st (i : Instruction.t) =
   match i with
   | Unitary a -> apply_app st a
   | Conditioned (c, a) ->
-      if Instruction.cond_holds c st.reg then apply_app st a
+      if Instruction.cond_holds c (State.register st) then apply_app st a
   | Measure { qubit; bit } ->
       ignore (measure ~random:(random ()) st ~qubit ~bit)
   | Reset q -> reset ~random:(random ()) st q
   | Barrier _ -> ()
 
-let run ~rng c =
+(* The generic interpreter, kept verbatim as the differential-testing
+   reference for the compiled path (test/test_program.ml). *)
+let run_reference ~rng c =
   let st = create (Circ.num_qubits c) ~num_bits:(Circ.num_bits c) in
   let random () = Random.State.float rng 1.0 in
   List.iter (run_instruction ~random st) (Circ.instructions c);
   st
 
-let probabilities st = Array.map Complex.norm2 st.amps
+let run ~rng c = Program.run_circuit ~rng c
+
+let probabilities = State.probabilities

@@ -4,9 +4,15 @@ open Circuit
     the execution engine behind the samplers and the exact evaluator.
 
     Amplitude indexing is little-endian: bit [q] of an index is the
-    computational-basis state of qubit [q]. *)
+    computational-basis state of qubit [q].
 
-type t
+    The state itself is {!State.t} (SoA float storage); {!run} executes
+    through the compiled-kernel path ({!Program}), while the
+    instruction-at-a-time entry points here ({!apply_app},
+    {!run_instruction}, {!run_reference}) form the generic boxed-matrix
+    interpreter kept as the differential-testing reference. *)
+
+type t = State.t
 
 (** Dense-vector qubit cap (24): {!create} rejects anything larger. *)
 val max_qubits : int
@@ -61,13 +67,21 @@ val measure : random:float -> t -> qubit:int -> bit:int -> bool
     recording) then flip to |0> if needed. *)
 val reset : random:float -> t -> int -> unit
 
-(** [run_instruction ~random st i] executes one instruction; [random]
-    is consulted by measure/reset only. *)
+(** [run_instruction ~random st i] executes one instruction through the
+    generic interpreter; [random] is consulted by measure/reset only. *)
 val run_instruction : random:(unit -> float) -> t -> Instruction.t -> unit
 
 (** Run a full circuit from scratch and return the final state.
-    [rng] drives measurements and resets. *)
+    [rng] drives measurements and resets.  Compiles the circuit to a
+    kernel program and executes it ({!Program.run_circuit}); for
+    repeated execution compile once and reuse the program instead. *)
 val run : rng:Random.State.t -> Circ.t -> t
+
+(** [run] through the generic instruction-at-a-time interpreter — the
+    reference the compiled path is differentially tested against.
+    Consumes randomness in the same order as {!run}, and agrees with it
+    amplitude-for-amplitude up to kernel-fusion rounding (~1e-15). *)
+val run_reference : rng:Random.State.t -> Circ.t -> t
 
 (** Probability of each computational basis state (for analyses). *)
 val probabilities : t -> float array

@@ -11,24 +11,23 @@ let check_unitary_only c =
           invalid_arg "Unitary.of_circuit: non-unitary instruction")
     (Circ.instructions c)
 
-(* Column k of the unitary is the circuit applied to basis state |k>. *)
+(* Column k of the unitary is the circuit applied to basis state |k>.
+   The instruction list is compiled once ([Program]) and the fused op
+   array replayed per column. *)
 let of_instrs ?(max_qubits = default_max_qubits) ~n instrs =
   if n > max_qubits then invalid_arg "Unitary: too many qubits";
   let dim = 1 lsl n in
   let m = Linalg.Cmat.make dim dim in
+  let program = Program.compile_instructions ~num_qubits:n ~num_bits:0 instrs in
+  (* unitary-only input: the program never branches *)
+  let no_random () = assert false in
   for k = 0 to dim - 1 do
-    let st = Statevector.create n ~num_bits:0 in
-    (* start in |k>: apply X to the set bits *)
+    let st = Program.fresh_state program in
+    (* start in |k>: flip the set bits *)
     for q = 0 to n - 1 do
-      if Bits.get k q then Statevector.apply_gate st Gate.X q
+      if Bits.get k q then State.flip st q
     done;
-    List.iter
-      (fun (i : Instruction.t) ->
-        match i with
-        | Unitary a -> Statevector.apply_app st a
-        | Barrier _ -> ()
-        | Conditioned _ | Measure _ | Reset _ -> assert false)
-      instrs;
+    Program.exec ~random:no_random st program;
     let v = Statevector.amplitudes st in
     for r = 0 to dim - 1 do
       Linalg.Cmat.set m r k (Linalg.Cvec.get v r)
