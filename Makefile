@@ -1,4 +1,4 @@
-.PHONY: all build test bench ci fmt-check trace-smoke kernel-smoke lint verify-gate clean
+.PHONY: all build test bench ci fmt-check trace-smoke kernel-smoke lint verify-gate reuse-gate clean
 
 all: build
 
@@ -88,6 +88,14 @@ verify-gate:
 	  echo "verify: corrupted DJ_XOR exited $$code, want 2 (Refuted)"; exit 1; \
 	else echo "verify: corrupted DJ_XOR refuted (exit 2)"; fi
 
+# Qubit-reuse gate: the causal-cone reuse pass over the algorithm
+# benchmark suite (Grover / Kitaev QPE / Simon / adder).  Every
+# rewiring must be proved by the path-sum channel certifier — no
+# sampled fallbacks — and Grover/QPE/Simon must all save qubits;
+# non-zero exit otherwise.
+reuse-gate:
+	OCAMLRUNPARAM=b dune exec bin/dqc_cli.exe -- reuse --gate
+
 # One-command gate: full build + tests + a smoke run of the
 # execution-backend study + the telemetry smoke + source hygiene
 # (OCAMLRUNPARAM=b: backtraces on uncaught exceptions).
@@ -98,6 +106,7 @@ ci:
 	$(MAKE) trace-smoke
 	$(MAKE) lint
 	$(MAKE) verify-gate
+	$(MAKE) reuse-gate
 	$(MAKE) fmt-check
 
 clean:

@@ -46,6 +46,10 @@ let run_slots () =
   section "E11 / Multi-slot frontier (extension)";
   print_string (Report.Experiments.slots_report ())
 
+let run_reuse () =
+  section "E14 / Causal-cone qubit reuse (extension)";
+  print_string (Report.Experiments.reuse_report ())
+
 (* Ablation: design choices DESIGN.md calls out — ancilla sharing
    policy (Lemma 1) and the peephole cleanup. *)
 let run_ablation () =
@@ -454,6 +458,24 @@ let make_benchmarks () =
         "dyn1";
     ]
   in
+  (* the reuse pass in isolation: scheduling + rewiring cost, no
+     certification (the gate is timed separately via reuse_rows) *)
+  let reuse_tests =
+    let prepared_grover =
+      Dqc.Toffoli_scheme.prepare
+        (Dqc.Toffoli_scheme.Dynamic_2_shared `Fresh)
+        (Algorithms.Grover.measured ~n:3 ~marked:5)
+    in
+    List.map
+      (fun (name, c) ->
+        Test.make ~name
+          (Staged.stage (fun () -> ignore (Dqc.Reuse.rewire c))))
+      [
+        ("reuse GROVER-3(fresh)", prepared_grover);
+        ("reuse SIMON-1011", Algorithms.Simon.measured_circuit "1011");
+        ("reuse QPE-4", Algorithms.Qpe.kitaev ~bits:4 ~phase:(3. /. 8.));
+      ]
+  in
   Test.make_grouped ~name:"dqc"
     ([
        bv_transform 4;
@@ -474,7 +496,7 @@ let make_benchmarks () =
        routing;
        native;
      ]
-    @ kernels @ backend_engines @ lint_tests @ verify_tests)
+    @ kernels @ backend_engines @ lint_tests @ verify_tests @ reuse_tests)
 
 let bench_json_path = "BENCH_backend.json"
 
@@ -484,7 +506,7 @@ let group_of_name name =
   | Some k -> String.sub name 0 k
   | None -> name
 
-let write_bechamel_json estimates =
+let write_bechamel_json ?(extra = []) estimates =
   let results =
     List.map
       (fun (name, est) ->
@@ -504,7 +526,7 @@ let write_bechamel_json estimates =
        [
          ("schema", Obs.Json.String "dqc.bench/1");
          ("unit", Obs.Json.String "ns/op");
-         ("results", Obs.Json.List results);
+         ("results", Obs.Json.List (results @ extra));
        ]);
   Printf.printf "\nmachine-readable results written to %s\n" bench_json_path
 
@@ -536,7 +558,31 @@ let run_bechamel () =
           tbl)
       results
   in
-  write_bechamel_json !estimates;
+  (* per-benchmark qubit savings and pass runtimes from the reuse flow:
+     value-typed rows (explicit per-row unit) alongside the ns/op ones *)
+  let reuse_extra =
+    List.concat_map
+      (fun (r : Report.Experiments.reuse_row) ->
+        let row suffix value unit =
+          Obs.Json.Obj
+            [
+              ( "name",
+                Obs.Json.String
+                  (Printf.sprintf "reuse %s %s" suffix
+                     r.Report.Experiments.name) );
+              ("group", Obs.Json.String "reuse");
+              ("value", Obs.Json.Float value);
+              ("unit", Obs.Json.String unit);
+            ]
+        in
+        [
+          row "qubits-saved" (float_of_int r.Report.Experiments.saved) "qubits";
+          row "pass-runtime" r.Report.Experiments.reuse_ms "ms";
+          row "certify-runtime" r.Report.Experiments.certify_ms "ms";
+        ])
+      (Report.Experiments.reuse_rows ())
+  in
+  write_bechamel_json ~extra:reuse_extra !estimates;
   (* lint throughput re-expressed as instructions/second: ns/op over a
      known instruction count makes the rate explicit *)
   List.iter
@@ -565,6 +611,7 @@ let () =
   | "duration" -> run_duration ()
   | "scale" -> run_scale ()
   | "slots" -> run_slots ()
+  | "reuse" -> run_reuse ()
   | "ablation" -> run_ablation ()
   | "backend" -> run_backend ()
   | "kernels" -> run_kernels ()
@@ -579,12 +626,13 @@ let () =
       run_duration ();
       run_scale ();
       run_slots ();
+      run_reuse ();
       run_ablation ();
       run_backend ();
       run_kernels ();
       run_bechamel ()
   | other ->
       Printf.eprintf
-        "unknown target %S (expected table1|table2|fig7|equivalence|mct|routing|duration|scale|slots|ablation|backend|kernels|bechamel|all)\n"
+        "unknown target %S (expected table1|table2|fig7|equivalence|mct|routing|duration|scale|slots|reuse|ablation|backend|kernels|bechamel|all)\n"
         other;
       exit 1

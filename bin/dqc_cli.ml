@@ -66,10 +66,41 @@ let find_oracle name =
           | Some o -> Some o
           | None -> generated_oracle name))
 
+(* GROVER_3, QPE_4, SIMON_110, ADDER_2, ... — measured algorithm
+   circuits, the subjects of the qubit-reuse pass *)
+let algorithm_circuit name =
+  let suffix prefix =
+    let pl = String.length prefix in
+    if String.length name > pl && String.sub name 0 pl = prefix then
+      Some (String.sub name pl (String.length name - pl))
+    else None
+  in
+  let sized prefix = Option.bind (suffix prefix) int_of_string_opt in
+  let try_make make = try Some (make ()) with Invalid_argument _ -> None in
+  match sized "GROVER_" with
+  | Some n ->
+      try_make (fun () ->
+          Algorithms.Grover.measured ~n ~marked:(min 5 ((1 lsl n) - 1)))
+  | None -> (
+      match sized "QPE_" with
+      | Some bits ->
+          try_make (fun () -> Algorithms.Qpe.kitaev ~bits ~phase:(3. /. 8.))
+      | None -> (
+          match sized "ADDER_" with
+          | Some n -> try_make (fun () -> Algorithms.Arithmetic.measured n)
+          | None -> (
+              match suffix "SIMON_" with
+              | Some secret ->
+                  try_make (fun () -> Algorithms.Simon.measured_circuit secret)
+              | None -> None)))
+
 let benchmark_circuit name =
   if String.length name > 3 && String.sub name 0 3 = "BV_" then
     Some (Algorithms.Bv.circuit (String.sub name 3 (String.length name - 3)))
-  else Option.map Algorithms.Dj.circuit (find_oracle name)
+  else
+    match algorithm_circuit name with
+    | Some c -> Some c
+    | None -> Option.map Algorithms.Dj.circuit (find_oracle name)
 
 (* ------------------------------------------------------------------ *)
 (* tables / fig7 / equivalence                                        *)
@@ -341,7 +372,17 @@ let stats_cmd =
       value & flag
       & info [ "no-check" ] ~doc:"Skip the equivalence-check pipeline stage")
   in
-  let run name scheme mode shots seed backend domains no_check trace metrics =
+  let passes =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "passes" ]
+          ~doc:
+            "Override the pass schedule with a comma-separated list of \
+             registered pass names (see the passes subcommand)")
+  in
+  let run name scheme mode shots seed backend domains no_check passes trace
+      metrics =
     match benchmark_circuit name with
     | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
     | Some c -> (
@@ -351,6 +392,12 @@ let stats_cmd =
             O.default |> O.with_scheme scheme |> O.with_mode mode
             |> O.with_backend_policy backend
             |> O.with_check_equivalence (not no_check)
+          in
+          let options =
+            match passes with
+            | None -> options
+            | Some names ->
+                O.with_passes (String.split_on_char ',' names) options
           in
           let collector, (out, h) =
             Obs.with_collector (fun () ->
@@ -387,6 +434,9 @@ let stats_cmd =
         | Dqc.Transform.Not_transformable msg ->
             prerr_endline ("not transformable: " ^ msg);
             exit 1
+        | Dqc.Pipeline.Invalid_options msg ->
+            prerr_endline ("invalid options: " ^ msg);
+            exit 1
         | Invalid_argument msg -> prerr_endline msg; exit 1)
   in
   Cmd.v
@@ -397,7 +447,7 @@ let stats_cmd =
           trace and metrics JSON")
     Term.(
       const run $ bench $ scheme_arg $ mode_arg $ shots $ seed $ backend
-      $ domains_arg $ no_check $ trace_arg $ metrics_arg)
+      $ domains_arg $ no_check $ passes $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                            *)
@@ -501,9 +551,13 @@ let lint_cmd =
               else
                 let module O = Dqc.Pipeline.Options in
                 let options =
-                  O.default |> O.with_scheme scheme |> O.with_mode mode
-                  |> O.with_slots slots |> O.with_check_equivalence false
-                  |> O.with_lint false
+                  try
+                    O.default |> O.with_scheme scheme |> O.with_mode mode
+                    |> O.with_slots slots |> O.with_check_equivalence false
+                    |> O.with_lint false
+                  with Dqc.Pipeline.Invalid_options msg ->
+                    prerr_endline ("invalid options: " ^ msg);
+                    exit 1
                 in
                 let out = Dqc.Pipeline.compile ~options c in
                 Some
@@ -740,6 +794,118 @@ let slots_cmd =
     Term.(const run $ benchmark_arg $ scheme_arg)
 
 (* ------------------------------------------------------------------ *)
+(* passes                                                             *)
+
+let passes_cmd =
+  let run () =
+    List.iter
+      (fun (p : Dqc.Pass.t) ->
+        Printf.printf "%-14s %-10s %s\n" p.Dqc.Pass.name
+          (Dqc.Pass.kind_to_string p.Dqc.Pass.kind)
+          p.Dqc.Pass.doc)
+      (Dqc.Pipeline.registered_passes ())
+  in
+  Cmd.v
+    (Cmd.info "passes"
+       ~doc:"List the registered compilation passes (name, kind, summary)")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* reuse                                                              *)
+
+let reuse_cmd =
+  let bench =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK"
+          ~doc:
+            "Measured benchmark to rewire (GROVER_<n>, QPE_<bits>, \
+             SIMON_<secret>, ADDER_<n>, or any transform benchmark). \
+             Without it, run the whole reuse suite")
+  in
+  let gate =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "CI gate: run the suite and exit non-zero unless every \
+             rewiring is certified and Grover/QPE/Simon all save qubits")
+  in
+  let run bench scheme gate =
+    match bench with
+    | Some name -> (
+        match benchmark_circuit name with
+        | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
+        | Some c ->
+            let s =
+              match algorithm_circuit name with
+              | Some _ -> scheme
+              | None -> Dqc.Toffoli_scheme.Traditional
+            in
+            let options =
+              Dqc.Pipeline.Options.(
+                default |> with_reuse true |> with_scheme s)
+            in
+            let out = Dqc.Pipeline.compile ~options c in
+            (match out.Dqc.Pipeline.reuse with
+            | Some r -> print_endline (Dqc.Reuse.report_to_string r)
+            | None -> ());
+            List.iter
+              (fun (k, v) -> Printf.printf "%s: %s\n" k v)
+              out.Dqc.Pipeline.notes;
+            exit (if out.Dqc.Pipeline.certified then 0 else 1))
+    | None ->
+        let rows = Report.Experiments.reuse_rows () in
+        print_string (Report.Experiments.reuse_report ());
+        if gate then begin
+          let bad_certify =
+            List.filter
+              (fun (r : Report.Experiments.reuse_row) ->
+                r.Report.Experiments.saved > 0
+                && not r.Report.Experiments.certified)
+              rows
+          in
+          let must_save prefix =
+            List.filter
+              (fun (r : Report.Experiments.reuse_row) ->
+                let n = r.Report.Experiments.name in
+                String.length n >= String.length prefix
+                && String.sub n 0 (String.length prefix) = prefix
+                && r.Report.Experiments.saved = 0)
+              rows
+              |> List.map (fun (r : Report.Experiments.reuse_row) ->
+                     r.Report.Experiments.name)
+          in
+          let no_savings =
+            must_save "GROVER" @ must_save "QPE" @ must_save "SIMON"
+          in
+          if bad_certify <> [] then begin
+            Printf.eprintf "reuse gate: uncertified rewiring on %s\n"
+              (String.concat ", "
+                 (List.map
+                    (fun (r : Report.Experiments.reuse_row) ->
+                      r.Report.Experiments.name)
+                    bad_certify));
+            exit 1
+          end;
+          if no_savings <> [] then begin
+            Printf.eprintf "reuse gate: no qubits saved on %s\n"
+              (String.concat ", " no_savings);
+            exit 1
+          end;
+          print_endline
+            "reuse gate: all rewirings certified; Grover/QPE/Simon reduced"
+        end
+  in
+  Cmd.v
+    (Cmd.info "reuse"
+       ~doc:
+         "Run the causal-cone qubit-reuse pass; every rewiring is proved \
+          by the path-sum channel certifier")
+    Term.(const run $ bench $ scheme_arg $ gate)
+
+(* ------------------------------------------------------------------ *)
 (* simon                                                              *)
 
 let simon_cmd =
@@ -797,6 +963,8 @@ let () =
             analyze_cmd;
             lint_cmd;
             verify_cmd;
+            passes_cmd;
+            reuse_cmd;
             qpe_cmd;
             simon_cmd;
             slots_cmd;

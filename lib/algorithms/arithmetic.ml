@@ -35,6 +35,16 @@ let adder n =
   in
   (Circ.create ~roles ~num_bits:0 instrs, { ancilla; a; b; carry_out })
 
+let measured n =
+  let c, layout = adder n in
+  let measures =
+    List.mapi
+      (fun i q -> Instruction.Measure { qubit = q; bit = i })
+      (Array.to_list layout.b @ [ layout.carry_out ])
+  in
+  Circ.create ~roles:(Circ.roles c) ~num_bits:(n + 1)
+    (Circ.instructions c @ measures)
+
 let add_values ~n x y =
   let c, layout = adder n in
   let st = Sim.Statevector.create (Circ.num_qubits c) ~num_bits:0 in

@@ -19,6 +19,12 @@ type layout = {
     @raise Invalid_argument unless 1 <= n <= 10. *)
 val adder : int -> Circ.t * layout
 
+(** [adder n] with the sum register and carry measured into bits
+    0..n.  The adder's qubits interlock (the carry threads through
+    every wire in both directions), so this is the natural negative
+    control for the qubit-reuse pass: nothing retires early. *)
+val measured : int -> Circ.t
+
 (** [add_values ~n a b] runs the adder on basis inputs and returns
     (sum mod 2^n, carry) read from the final state — exercised
     exhaustively in the tests. *)

@@ -52,6 +52,12 @@ let circuit ~n ~marked =
   done;
   Circ.Builder.build b
 
+let measured ~n ~marked =
+  let c = circuit ~n ~marked in
+  Circ.create ~roles:(Circ.roles c) ~num_bits:n
+    (Circ.instructions c
+    @ List.init n (fun q -> Instruction.Measure { qubit = q; bit = q }))
+
 let success_probability ~n ~marked =
   let c = circuit ~n ~marked in
   let dist = Sim.Exact.measure_all_distribution c in

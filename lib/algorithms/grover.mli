@@ -15,6 +15,11 @@ open Circuit
     [n] outside 2..8. *)
 val circuit : n:int -> marked:int -> Circ.t
 
+(** [circuit] with a terminal measurement of every qubit into its own
+    classical bit — the form the qubit-reuse pipeline ({!Dqc.Reuse})
+    and the channel certifier consume. *)
+val measured : n:int -> marked:int -> Circ.t
+
 (** Exact success probability (probability of measuring [marked]). *)
 val success_probability : n:int -> marked:int -> float
 

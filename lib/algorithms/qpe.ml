@@ -60,6 +60,31 @@ let iterative ~bits ~phase =
   done;
   Circ.Builder.build b
 
+(* Per-digit Hadamard tests with no classical feed-forward: counting
+   qubit k runs H; C-P(2.pi.phase.2^k); H and is measured into bit k.
+   Unlike [iterative] the digits carry no corrections, so the ancillas'
+   causal cones are pairwise disjoint — the form qubit-reuse collapses
+   to 2 wires. Digits are exact only when phase is an exact [bits]-bit
+   fraction times a power of two per digit; we use it as a reuse
+   benchmark, not an estimator. *)
+let kitaev ~bits ~phase =
+  check_bits bits;
+  let eigen = bits in
+  let roles =
+    Array.init (bits + 1) (fun q ->
+        if q < bits then Circ.Data else Circ.Answer)
+  in
+  let b = Circ.Builder.make ~roles ~num_bits:bits () in
+  Circ.Builder.x b eigen;
+  for k = 0 to bits - 1 do
+    Circ.Builder.h b k;
+    let angle = two_pi *. phase *. float_of_int (1 lsl k) in
+    Circ.Builder.cgate b (Gate.Phase angle) k eigen;
+    Circ.Builder.h b k;
+    Circ.Builder.measure b ~qubit:k ~bit:k
+  done;
+  Circ.Builder.build b
+
 let distribution kind ~bits ~phase =
   match kind with
   | `Traditional ->

@@ -28,6 +28,15 @@ val traditional : bits:int -> phase:float -> Circ.t
     (same outcome encoding as {!traditional}). *)
 val iterative : bits:int -> phase:float -> Circ.t
 
+(** [kitaev ~bits ~phase] — Kitaev-style per-digit Hadamard tests
+    without feed-forward: counting qubit k (Data) is Hadamard-
+    sandwiched around [C-P(2.pi.phase.2^k)] on the eigenstate qubit
+    [bits] (Answer) and measured into bit k.  The digits' causal cones
+    are pairwise disjoint, which makes this the canonical qubit-reuse
+    benchmark (see {!Dqc.Reuse}): reuse collapses it to 2 wires.
+    @raise Invalid_argument unless 1 <= bits <= 10. *)
+val kitaev : bits:int -> phase:float -> Circ.t
+
 (** Exact outcome distribution over the counting register.
     [`Traditional] measures the counting qubits; [`Iterative] reads the
     mid-circuit measurement record. *)

@@ -37,6 +37,13 @@ let circuit s =
   done;
   Circ.Builder.build b
 
+let measured_circuit s =
+  let n = parse_secret s in
+  let c = circuit s in
+  Circ.create ~roles:(Circ.roles c) ~num_bits:n
+    (Circ.instructions c
+    @ List.init n (fun q -> Instruction.Measure { qubit = q; bit = q }))
+
 let sample_constraints ?(seed = 0x51707) ~runs ~dynamic s =
   let n = parse_secret s in
   let c = circuit s in

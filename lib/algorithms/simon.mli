@@ -19,6 +19,12 @@ val oracle : string -> Instruction.t list
     (data measured by the caller). *)
 val circuit : string -> Circ.t
 
+(** [circuit s] with each data qubit measured into its own classical
+    bit — the form the qubit-reuse pipeline ({!Dqc.Reuse}) and the
+    channel certifier consume.  The answer register stays unmeasured,
+    which is what lets reuse chain it onto a single wire. *)
+val measured_circuit : string -> Circ.t
+
 (** [sample_constraints ?seed ~runs s ~dynamic] executes the circuit
     (2-qubit-data dynamic realization when [dynamic]) and returns the
     observed data outcomes, each of which satisfies y.s = 0. *)

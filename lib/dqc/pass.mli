@@ -1,0 +1,102 @@
+open Circuit
+
+(** First-class compilation passes — the unit the staged pass manager
+    ({!Pass_manager}) schedules and the {!Pipeline} builds its
+    compile flows from.
+
+    A pass is a named, kinded function over a typed context that
+    carries the circuit being compiled together with everything the
+    stages accumulate: the transform bookkeeping, equivalence
+    evidence, lint facts (the abstract interpreter's trace, shared so
+    downstream passes need not re-interpret), reports and free-form
+    notes.  Passes never talk to each other directly — the context is
+    the only channel, which is what makes schedules reorderable and
+    custom passes composable with the built-in ones.
+
+    See docs/PASSES.md for the catalogue, the default schedules and a
+    worked custom-pass example. *)
+
+(** What a pass is allowed to do, surfaced in listings and telemetry:
+
+    - [Analysis] computes facts or evidence but leaves the circuit
+      unchanged;
+    - [Transform] may rewrite the circuit;
+    - [Gate] may abort compilation by raising (the lint gate, the
+      reuse certification gate). *)
+type kind = Analysis | Transform | Gate
+
+(** Static configuration the schedule was built from — everything a
+    pass body may branch on besides the context's accumulated state. *)
+type config = {
+  scheme : Toffoli_scheme.t;
+  mode : [ `Algorithm1 | `Sound ];
+  slots : int;
+  backend_policy : Sim.Backend.policy;
+}
+
+(** The transform stage's full result, kept for downstream evidence
+    passes (the certifier and equivalence checkers need the complete
+    bookkeeping, not just the circuit). *)
+type transformed =
+  | Single of Transform.result
+  | Multi of Multi_transform.result
+
+type ctx = {
+  config : config;
+  traditional : Circ.t;  (** the untouched compile input *)
+  reference : Circ.t;
+      (** what equivalence evidence compares against: the prepared
+          (scheme-substituted) circuit once [prepare] has run *)
+  circuit : Circ.t;  (** the current rewrite state *)
+  transformed : transformed option;
+  data_bit : (int * int) list;
+  answer_phys : (int * int) list;
+  iterations : int;
+  violations : int;
+  certified : bool;
+  tv : float option;
+  tv_sampled : bool;
+  facts : Lint.Trace.t option;
+      (** abstract-interpretation facts for some earlier rewrite
+          state; consumers must check the trace still belongs to
+          [circuit] before using it *)
+  lint : Lint.report option;
+  reuse : Reuse.report option;
+  notes : (string * string) list;
+      (** accumulated diagnostics, newest first *)
+}
+
+(** A fresh context over the compile input. *)
+val init : config:config -> Circ.t -> ctx
+
+(** [note key value ctx] prepends a diagnostic note. *)
+val note : string -> string -> ctx -> ctx
+
+(** [fresh_facts ctx] is the context's trace when it was computed for
+    the {e current} circuit, [None] otherwise (stale facts are never
+    returned). *)
+val fresh_facts : ctx -> Lint.Trace.t option
+
+type t = { name : string; kind : kind; doc : string; run : ctx -> ctx }
+
+(** @raise Invalid_argument on an empty name. *)
+val make : name:string -> kind:kind -> doc:string -> (ctx -> ctx) -> t
+
+val kind_to_string : kind -> string
+
+(** {1 Registry}
+
+    A process-wide name-to-pass table.  The pipeline registers its
+    built-in stages at initialization; library users add their own
+    with {!register} and can then schedule them by name through
+    [Pipeline.Options.with_passes]. *)
+
+(** Register (or replace, keeping the original position) a pass. *)
+val register : t -> unit
+
+val find : string -> t option
+
+(** Registered names, in first-registration order. *)
+val names : unit -> string list
+
+val all : unit -> t list

@@ -1,0 +1,70 @@
+open Circuit
+
+type event = {
+  pass : string;
+  kind : Pass.kind;
+  elapsed_ns : float;
+  qubits_before : int;
+  qubits_after : int;
+  gates_before : int;
+  gates_after : int;
+  depth_before : int;
+  depth_after : int;
+}
+
+type outcome = { ctx : Pass.ctx; events : event list }
+
+let snapshot c =
+  (Circ.num_qubits c, Metrics.gate_count c, Metrics.dynamic_depth c)
+
+let run passes ctx =
+  let events = ref [] in
+  let final =
+    List.fold_left
+      (fun (ctx : Pass.ctx) (p : Pass.t) ->
+        let qb, gb, db = snapshot ctx.Pass.circuit in
+        let span = "pipeline.pass." ^ p.Pass.name in
+        let t0 = Sys.time () in
+        let ctx' =
+          try
+            Obs.with_span span
+              ~attrs:
+                [
+                  ("kind", Pass.kind_to_string p.Pass.kind);
+                  ("qubits", string_of_int qb);
+                  ("gates", string_of_int gb);
+                ]
+              (fun () -> p.Pass.run ctx)
+          with e ->
+            Obs.incr "pipeline.pass.failed";
+            if Obs.enabled () then Obs.incr (span ^ ".failed");
+            raise e
+        in
+        let elapsed_ns = (Sys.time () -. t0) *. 1e9 in
+        if Obs.enabled () then Obs.incr (span ^ ".runs");
+        let qa, ga, da = snapshot ctx'.Pass.circuit in
+        events :=
+          {
+            pass = p.Pass.name;
+            kind = p.Pass.kind;
+            elapsed_ns;
+            qubits_before = qb;
+            qubits_after = qa;
+            gates_before = gb;
+            gates_after = ga;
+            depth_before = db;
+            depth_after = da;
+          }
+          :: !events;
+        ctx')
+      ctx passes
+  in
+  { ctx = final; events = List.rev !events }
+
+let pp_event fmt e =
+  Format.fprintf fmt "%-14s %-9s %8.0f ns  qubits %d -> %d, gates %d -> %d, \
+                      depth %d -> %d"
+    e.pass
+    (Pass.kind_to_string e.kind)
+    e.elapsed_ns e.qubits_before e.qubits_after e.gates_before e.gates_after
+    e.depth_before e.depth_after

@@ -1,25 +1,252 @@
 open Circuit
 
-type options = {
-  scheme : Toffoli_scheme.t;
-  mode : [ `Algorithm1 | `Sound ];
-  slots : int;
-  expand_cv : bool;
-  peephole : bool;
-  native : bool;
-  check_equivalence : bool;
-}
+exception Invalid_options of string
+exception Reuse_refuted of string
 
-let default =
+let exact_check_max_qubits = 12
+
+(* ------------------------------------------------------------------ *)
+(* Built-in pass bodies.  Each is a pure ctx -> ctx function; the
+   manager wraps them in [pipeline.pass.<name>] spans and counters. *)
+
+let prepare_body (ctx : Pass.ctx) =
+  match ctx.Pass.config.Pass.scheme with
+  | Toffoli_scheme.Direct_mct -> ctx
+  | ( Toffoli_scheme.Traditional | Toffoli_scheme.Dynamic_1
+    | Toffoli_scheme.Dynamic_2 | Toffoli_scheme.Dynamic_2_shared _ ) as s ->
+      let prepared = Toffoli_scheme.prepare s ctx.Pass.circuit in
+      { ctx with Pass.circuit = prepared; Pass.reference = prepared }
+
+let transform_body (ctx : Pass.ctx) =
+  let config = ctx.Pass.config in
+  let mct = config.Pass.scheme = Toffoli_scheme.Direct_mct in
+  if config.Pass.slots = 1 then begin
+    let r = Transform.transform ~mode:config.Pass.mode ~mct ctx.Pass.circuit in
+    {
+      ctx with
+      Pass.circuit = r.Transform.circuit;
+      Pass.transformed = Some (Pass.Single r);
+      Pass.data_bit = r.Transform.data_bit;
+      Pass.answer_phys = r.Transform.answer_phys;
+      Pass.iterations = List.length r.Transform.iteration_order;
+      Pass.violations = List.length r.Transform.violations;
+    }
+  end
+  else begin
+    let m =
+      Multi_transform.transform ~mode:config.Pass.mode ~mct
+        ~slots:config.Pass.slots ctx.Pass.circuit
+    in
+    {
+      ctx with
+      Pass.circuit = m.Multi_transform.circuit;
+      Pass.transformed = Some (Pass.Multi m);
+      Pass.data_bit = m.Multi_transform.data_bit;
+      Pass.answer_phys = m.Multi_transform.answer_phys;
+      Pass.iterations = List.length m.Multi_transform.iteration_order;
+      Pass.violations = List.length m.Multi_transform.violations;
+    }
+  end
+
+(* strongest evidence first: the symbolic certifier proves equivalence
+   exactly, at any width, without dispatching a simulation backend;
+   only when it cannot conclude does the numeric chain run *)
+let certify_body (ctx : Pass.ctx) =
+  match ctx.Pass.transformed with
+  | Some (Pass.Single r) ->
+      let verdict = Certifier.certify ctx.Pass.traditional r in
+      let ctx =
+        Pass.note "certify.verdict"
+          (Verify.Certify.verdict_to_string verdict)
+          ctx
+      in
+      { ctx with Pass.certified = Verify.Certify.is_proved verdict }
+  | Some (Pass.Multi _) | None -> ctx
+
+let equivalence_body (ctx : Pass.ctx) =
+  if ctx.Pass.certified then ctx
+  else begin
+    let reference = ctx.Pass.reference in
+    let small = Circ.num_qubits reference <= exact_check_max_qubits in
+    match ctx.Pass.transformed with
+    | Some (Pass.Single r) ->
+        if small then
+          {
+            ctx with
+            Pass.tv = Some (Equivalence.tv_distance reference r);
+            Pass.tv_sampled = false;
+          }
+        else if
+          (* the exact evaluator is out of reach: fall back to a shot
+             estimate when both sides run on a scalable backend *)
+          Sim.Stabilizer.supports reference
+          && Sim.Stabilizer.supports r.Transform.circuit
+        then
+          {
+            ctx with
+            Pass.tv =
+              Some
+                (Equivalence.sampled_tv_distance
+                   ~policy:ctx.Pass.config.Pass.backend_policy reference r);
+            Pass.tv_sampled = true;
+          }
+        else ctx
+    | Some (Pass.Multi m) ->
+        if small then
+          { ctx with Pass.tv = Some (Multi_transform.tv_distance reference m) }
+        else ctx
+    | None -> ctx
+  end
+
+let reuse_body (ctx : Pass.ctx) =
+  let circuit, report = Reuse.rewire ctx.Pass.circuit in
+  let ctx = { ctx with Pass.circuit; Pass.reuse = Some report } in
+  if Reuse.saved report = 0 then
+    Pass.note "reuse" "no retired wire could be re-hosted" ctx
+  else ctx
+
+let analyze_body (ctx : Pass.ctx) =
+  match Pass.fresh_facts ctx with
+  | Some _ -> ctx
+  | None -> { ctx with Pass.facts = Some (Lint.Trace.run ctx.Pass.circuit) }
+
+let prune_resets_body (ctx : Pass.ctx) =
+  match Pass.fresh_facts ctx with
+  | None -> ctx
+  | Some trace ->
+      let circuit, pruned = Reuse.prune_resets trace in
+      if pruned = 0 then ctx
+      else begin
+        let reuse =
+          match ctx.Pass.reuse with
+          | Some r ->
+              Some
+                {
+                  r with
+                  Reuse.resets_pruned = r.Reuse.resets_pruned + pruned;
+                }
+          | None -> None
+        in
+        Pass.note "prune_resets"
+          (Printf.sprintf "%d provably-redundant reset%s dropped" pruned
+             (if pruned = 1 then "" else "s"))
+          { ctx with Pass.circuit; Pass.reuse = reuse }
+      end
+
+(* prove the rewired circuit's outcome channel unchanged.  Try the
+   strongest claim first — channel equality against the untouched
+   compile input, structural comparison only — and fall back to full
+   certification against the prepared reference, which is what the
+   reuse step actually rewired. *)
+let reuse_certify_body (ctx : Pass.ctx) =
+  match ctx.Pass.reuse with
+  | None -> ctx
+  | Some _
+    when ctx.Pass.circuit == ctx.Pass.reference
+         && ctx.Pass.reference == ctx.Pass.traditional ->
+      (* nothing was rewired and nothing was prepared: the output IS
+         the compile input, so equality holds by reflexivity and the
+         certifier has nothing to prove *)
+      {
+        (Pass.note "reuse.verdict" "proved: identity (no rewiring)" ctx) with
+        Pass.certified = true;
+      }
+  | Some _ -> (
+      let verdict =
+        if ctx.Pass.reference == ctx.Pass.traditional then
+          Verify.Certify.check_channel ctx.Pass.traditional ctx.Pass.circuit
+        else begin
+          let strong =
+            Verify.Certify.check_channel ~max_refute_vars:0
+              ctx.Pass.traditional ctx.Pass.circuit
+          in
+          if Verify.Certify.is_proved strong then strong
+          else Verify.Certify.check_channel ctx.Pass.reference ctx.Pass.circuit
+        end
+      in
+      let ctx =
+        Pass.note "reuse.verdict"
+          (Verify.Certify.verdict_to_string verdict)
+          ctx
+      in
+      match verdict with
+      | Verify.Certify.Proved _ -> { ctx with Pass.certified = true }
+      | Verify.Certify.Refuted cex ->
+          raise (Reuse_refuted cex.Verify.Certify.detail)
+      | Verify.Certify.Unknown _ -> { ctx with Pass.certified = false })
+
+let expand_cv_body (ctx : Pass.ctx) =
+  { ctx with Pass.circuit = Decompose.Pass.expand_cv ctx.Pass.circuit }
+
+let peephole_body (ctx : Pass.ctx) =
   {
-    scheme = Toffoli_scheme.Dynamic_2;
-    mode = `Algorithm1;
-    slots = 1;
-    expand_cv = true;
-    peephole = false;
-    native = false;
-    check_equivalence = true;
+    ctx with
+    Pass.circuit =
+      Decompose.Peephole.merge_rotations
+        (Decompose.Peephole.cancel_inverses ctx.Pass.circuit);
   }
+
+let lower_native_body (ctx : Pass.ctx) =
+  { ctx with Pass.circuit = Transpile.Basis.to_native ctx.Pass.circuit }
+
+(* the lint gate: every compiled output must satisfy the structural
+   invariants; an error-severity diagnostic raises [Lint.Rejected]
+   rather than letting a broken circuit out.  DQC-transformed outputs
+   get the DQC-discipline catalogue; reuse-rewired outputs are general
+   dynamic circuits, so they get the general catalogue. *)
+let lint_body (ctx : Pass.ctx) =
+  let passes =
+    match ctx.Pass.reuse with
+    | Some _ -> Lint.default_passes
+    | None -> Lint.dqc_passes ~max_live:ctx.Pass.config.Pass.slots ()
+  in
+  let trace = Pass.fresh_facts ctx in
+  let report = Lint.check ?trace ~passes ctx.Pass.circuit in
+  { ctx with Pass.lint = Some report }
+
+let builtin_passes =
+  [
+    Pass.make ~name:"prepare" ~kind:Pass.Transform
+      ~doc:"Toffoli-scheme substitution (Eqn 1 / Eqn 3 netlists)"
+      prepare_body;
+    Pass.make ~name:"transform" ~kind:Pass.Transform
+      ~doc:"Algorithm 1 dynamic transformation (single- or multi-slot)"
+      transform_body;
+    Pass.make ~name:"certify" ~kind:Pass.Analysis
+      ~doc:"symbolic path-sum certification against the compile input"
+      certify_body;
+    Pass.make ~name:"equivalence" ~kind:Pass.Analysis
+      ~doc:"numeric TV-distance evidence (exact <= 12 qubits, else sampled)"
+      equivalence_body;
+    Pass.make ~name:"reuse" ~kind:Pass.Transform
+      ~doc:"causal-cone qubit reuse: rewire retired wires behind resets"
+      reuse_body;
+    Pass.make ~name:"analyze" ~kind:Pass.Analysis
+      ~doc:"abstract interpretation; shares its facts through the context"
+      analyze_body;
+    Pass.make ~name:"prune_resets" ~kind:Pass.Transform
+      ~doc:"drop resets the analysis facts prove redundant"
+      prune_resets_body;
+    Pass.make ~name:"reuse_certify" ~kind:Pass.Gate
+      ~doc:"path-sum channel certification of the reuse rewiring"
+      reuse_certify_body;
+    Pass.make ~name:"expand_cv" ~kind:Pass.Transform
+      ~doc:"lower CV/CV-dagger to Clifford+T (Fig 6)" expand_cv_body;
+    Pass.make ~name:"peephole" ~kind:Pass.Transform
+      ~doc:"cancel inverse pairs and merge rotations" peephole_body;
+    Pass.make ~name:"lower_native" ~kind:Pass.Transform
+      ~doc:"lower to the IBM native basis {rz, sx, x, cx}"
+      lower_native_body;
+    Pass.make ~name:"lint" ~kind:Pass.Gate
+      ~doc:"static lint gate; error diagnostics raise Lint.Rejected"
+      lint_body;
+  ]
+
+let () = List.iter Pass.register builtin_passes
+let registered_passes () = Pass.all ()
+
+(* ------------------------------------------------------------------ *)
+(* Options: a thin schedule builder over the registry                  *)
 
 module Options = struct
   type t = {
@@ -33,6 +260,8 @@ module Options = struct
     certify : bool;
     backend_policy : Sim.Backend.policy;
     lint : bool;
+    reuse : bool;
+    passes : string list option;
   }
 
   let default =
@@ -47,13 +276,19 @@ module Options = struct
       certify = true;
       backend_policy = Sim.Backend.Auto;
       lint = true;
+      reuse = false;
+      passes = None;
     }
 
   let with_scheme scheme t = { t with scheme }
   let with_mode mode t = { t with mode }
 
   let with_slots slots t =
-    if slots < 1 then invalid_arg "Pipeline.Options.with_slots: slots < 1";
+    if slots < 1 then
+      raise
+        (Invalid_options
+           (Printf.sprintf "with_slots: %d is invalid — slots must be >= 1"
+              slots));
     { t with slots }
 
   let with_expand_cv expand_cv t = { t with expand_cv }
@@ -63,6 +298,19 @@ module Options = struct
   let with_certify certify t = { t with certify }
   let with_backend_policy backend_policy t = { t with backend_policy }
   let with_lint lint t = { t with lint }
+  let with_reuse reuse t = { t with reuse }
+
+  let lookup name =
+    match Pass.find name with
+    | Some p -> p
+    | None ->
+        raise
+          (Invalid_options
+             (Printf.sprintf "unknown pass %S (see `dqc_cli passes`)" name))
+
+  let with_passes names t =
+    List.iter (fun name -> ignore (lookup name)) names;
+    { t with passes = Some names }
 
   let scheme t = t.scheme
   let mode t = t.mode
@@ -74,21 +322,42 @@ module Options = struct
   let certify t = t.certify
   let backend_policy t = t.backend_policy
   let lint t = t.lint
+  let reuse t = t.reuse
+  let passes t = t.passes
 
-  let of_flat (o : options) =
+  let config t =
     {
-      scheme = o.scheme;
-      mode = o.mode;
-      slots = o.slots;
-      expand_cv = o.expand_cv;
-      peephole = o.peephole;
-      native = o.native;
-      check_equivalence = o.check_equivalence;
-      certify = true;
-      backend_policy = Sim.Backend.Auto;
-      lint = true;
+      Pass.scheme = t.scheme;
+      Pass.mode = t.mode;
+      Pass.slots = t.slots;
+      Pass.backend_policy = t.backend_policy;
     }
+
+  let schedule_names t =
+    match t.passes with
+    | Some names -> names
+    | None ->
+        let opt flag names = if flag then names else [] in
+        if t.reuse then
+          [ "prepare"; "reuse"; "analyze"; "prune_resets"; "reuse_certify" ]
+          @ opt t.expand_cv [ "expand_cv" ]
+          @ opt t.peephole [ "peephole" ]
+          @ opt t.native [ "lower_native" ]
+          @ opt t.lint [ "analyze"; "lint" ]
+        else
+          [ "prepare"; "transform" ]
+          @ opt (t.check_equivalence && t.certify) [ "certify" ]
+          @ opt t.check_equivalence [ "equivalence" ]
+          @ opt t.expand_cv [ "expand_cv" ]
+          @ opt t.peephole [ "peephole" ]
+          @ opt t.native [ "lower_native" ]
+          @ opt t.lint [ "lint" ]
+
+  let schedule t = List.map lookup (schedule_names t)
 end
+
+(* ------------------------------------------------------------------ *)
+(* Compilation driver                                                  *)
 
 type output = {
   circuit : Circ.t;
@@ -104,173 +373,51 @@ type output = {
   tv : float option;
   tv_sampled : bool;
   lint : Lint.report option;
+  reuse : Reuse.report option;
+  events : Pass_manager.event list;
+  notes : (string * string) list;
 }
 
-let exact_check_max_qubits = 12
-
-(* Each stage runs inside an [Obs] span so `dqc_cli stats`, the Chrome
-   trace and the metrics JSON can break compile time down per pass.
-   Stages that are switched off simply record no span. *)
-let compile_observed ~options traditional =
-  Obs.with_span "pipeline.compile"
-    ~attrs:
-      [
-        ("scheme", Toffoli_scheme.to_string options.Options.scheme);
-        ("slots", string_of_int options.Options.slots);
-      ]
-    (fun () ->
-      let prepared =
-        match options.Options.scheme with
-        | Toffoli_scheme.Direct_mct -> traditional
-        | ( Toffoli_scheme.Traditional | Toffoli_scheme.Dynamic_1
-          | Toffoli_scheme.Dynamic_2 | Toffoli_scheme.Dynamic_2_shared _ ) as s
-          ->
-            Obs.with_span "pipeline.prepare" (fun () ->
-                Toffoli_scheme.prepare s traditional)
-      in
-      let mct = options.Options.scheme = Toffoli_scheme.Direct_mct in
-      let small = Circ.num_qubits prepared <= exact_check_max_qubits in
-      let check_span kind f =
-        Obs.with_span "pipeline.equivalence" ~attrs:[ ("method", kind) ] f
-      in
-      let ( transformed,
-            data_bit,
-            answer_phys,
-            iterations,
-            violations,
-            certified,
-            tv,
-            sampled ) =
-        if options.Options.slots = 1 then begin
-          let r =
-            Obs.with_span "pipeline.transform" (fun () ->
-                Transform.transform ~mode:options.Options.mode ~mct prepared)
-          in
-          (* strongest evidence first: the symbolic certifier proves
-             equivalence exactly, at any width, without dispatching a
-             simulation backend; only when it cannot conclude do the
-             numeric checkers run *)
-          let certified =
-            options.Options.check_equivalence && options.Options.certify
-            && Verify.Certify.is_proved
-                 (check_span "certified" (fun () ->
-                      Certifier.certify traditional r))
-          in
-          let tv, sampled =
-            if certified || not options.Options.check_equivalence then
-              (None, false)
-            else if small then
-              ( Some
-                  (check_span "exact" (fun () ->
-                       Equivalence.tv_distance prepared r)),
-                false )
-            else if
-              (* the exact evaluator is out of reach: fall back to a shot
-                 estimate when both sides run on a scalable backend *)
-              Sim.Stabilizer.supports prepared
-              && Sim.Stabilizer.supports r.circuit
-            then
-              ( Some
-                  (check_span "sampled" (fun () ->
-                       Equivalence.sampled_tv_distance
-                         ~policy:options.Options.backend_policy prepared r)),
-                true )
-            else (None, false)
-          in
-          ( r.circuit,
-            r.data_bit,
-            r.answer_phys,
-            List.length r.iteration_order,
-            List.length r.violations,
-            certified,
-            tv,
-            sampled )
-        end
-        else begin
-          let m =
-            Obs.with_span "pipeline.transform" (fun () ->
-                Multi_transform.transform ~mode:options.Options.mode ~mct
-                  ~slots:options.Options.slots prepared)
-          in
-          let tv =
-            if options.Options.check_equivalence && small then
-              Some
-                (check_span "exact" (fun () ->
-                     Multi_transform.tv_distance prepared m))
-            else None
-          in
-          ( m.circuit,
-            m.data_bit,
-            m.answer_phys,
-            List.length m.iteration_order,
-            List.length m.violations,
-            false,
-            tv,
-            false )
-        end
-      in
-      let lowered =
-        let c = transformed in
-        let c =
-          if options.Options.expand_cv then
-            Obs.with_span "pipeline.expand_cv" (fun () ->
-                Decompose.Pass.expand_cv c)
-          else c
-        in
-        let c =
-          if options.Options.peephole then
-            Obs.with_span "pipeline.peephole" (fun () ->
-                Decompose.Peephole.merge_rotations
-                  (Decompose.Peephole.cancel_inverses c))
-          else c
-        in
-        if options.Options.native then
-          Obs.with_span "pipeline.lower_native" (fun () ->
-              Transpile.Basis.to_native c)
-        else c
-      in
-      (* the lint gate: every compiled output must satisfy the DQC
-         structural invariants; an error-severity diagnostic raises
-         [Lint.Rejected] rather than letting a broken circuit out *)
-      let lint_report =
-        if options.Options.lint then
-          Some
-            (Obs.with_span "pipeline.lint" (fun () ->
-                 Lint.check
-                   ~passes:
-                     (Lint.dqc_passes ~max_live:options.Options.slots ())
-                   lowered))
-        else None
-      in
-      {
-        circuit = lowered;
-        data_bit;
-        answer_phys;
-        iterations;
-        violations;
-        qubits = Circ.num_qubits lowered;
-        gates = Metrics.gate_count lowered;
-        depth = Metrics.dynamic_depth lowered;
-        duration_ns = Metrics.duration lowered;
-        certified;
-        tv;
-        tv_sampled = sampled;
-        lint = lint_report;
-      })
-
 let compile ?(options = Options.default) traditional =
-  let output = compile_observed ~options traditional in
+  let output =
+    Obs.with_span "pipeline.compile"
+      ~attrs:
+        [
+          ("scheme", Toffoli_scheme.to_string (Options.scheme options));
+          ("slots", string_of_int (Options.slots options));
+        ]
+      (fun () ->
+        let schedule = Options.schedule options in
+        let ctx = Pass.init ~config:(Options.config options) traditional in
+        let { Pass_manager.ctx; events } = Pass_manager.run schedule ctx in
+        let circuit = ctx.Pass.circuit in
+        {
+          circuit;
+          data_bit = ctx.Pass.data_bit;
+          answer_phys = ctx.Pass.answer_phys;
+          iterations = ctx.Pass.iterations;
+          violations = ctx.Pass.violations;
+          qubits = Circ.num_qubits circuit;
+          gates = Metrics.gate_count circuit;
+          depth = Metrics.dynamic_depth circuit;
+          duration_ns = Metrics.duration circuit;
+          certified = ctx.Pass.certified;
+          tv = ctx.Pass.tv;
+          tv_sampled = ctx.Pass.tv_sampled;
+          lint = ctx.Pass.lint;
+          reuse = ctx.Pass.reuse;
+          events;
+          notes = List.rev ctx.Pass.notes;
+        })
+  in
   (* compile runs on the caller's domain: publish what we recorded *)
   Obs.flush ();
   output
 
-let compile_flat ?(options = default) traditional =
-  compile ~options:(Options.of_flat options) traditional
-
 let pp fmt o =
   Format.fprintf fmt
     "@[<v>qubits: %d, gates: %d, depth: %d, duration: %.2f us@,\
-     iterations: %d, unsound reorderings: %d@,%s@,%s@]"
+     iterations: %d, unsound reorderings: %d@,%s@,%s"
     o.qubits o.gates o.depth
     (o.duration_ns /. 1000.)
     o.iterations o.violations
@@ -283,6 +430,13 @@ let pp fmt o =
        | None -> "equivalence check skipped")
     (match o.lint with
     | Some r -> "lint: " ^ Lint.summary r
-    | None -> "lint: skipped")
+    | None -> "lint: skipped");
+  (match o.reuse with
+  | Some r when Reuse.saved r > 0 ->
+      Format.fprintf fmt "@,reuse: %d qubits saved (%d resets, %d pruned)"
+        (Reuse.saved r) r.Reuse.resets_inserted r.Reuse.resets_pruned
+  | Some _ -> Format.fprintf fmt "@,reuse: no qubits saved"
+  | None -> ());
+  Format.fprintf fmt "@]"
 
 let to_string o = Format.asprintf "%a" pp o

@@ -1,13 +1,19 @@
 open Circuit
 
-(** End-to-end compilation pipeline: the convenience layer a
-    downstream user drives.
+(** End-to-end compilation driver, built on the staged pass manager:
+    {!Options} assembles a schedule of registered {!Pass}es and
+    {!compile} hands it to {!Pass_manager.run}, so every stage runs
+    inside a [pipeline.pass.<name>] span with before/after metrics
+    snapshots (see docs/PASSES.md).
 
-    [compile] chains: Toffoli-scheme substitution -> dynamic
-    transformation (single- or multi-slot) -> optional CV expansion ->
-    optional peephole cleanup -> optional native-basis lowering, and
-    returns the circuit together with the metrics and equivalence
-    evidence accumulated along the way.
+    The default (DQC) schedule chains: Toffoli-scheme substitution ->
+    dynamic transformation (single- or multi-slot) -> symbolic
+    certification -> numeric equivalence evidence -> optional CV
+    expansion / peephole / native lowering -> the lint gate.  With
+    {!Options.with_reuse} the transform stage is replaced by the
+    general causal-cone qubit-reuse pass, whose rewiring is proved
+    channel-equivalent by the path-sum certifier
+    ({!Verify.Certify.check_channel}) — never sampled.
 
     Options are built in pipeline style:
     {[
@@ -17,34 +23,34 @@ open Circuit
       |> Pipeline.Options.with_backend_policy Sim.Backend.Stabilizer
     ]} *)
 
-(** The pre-builder flat options record.  Deprecated shim: retained so
-    existing callers keep compiling — new code should use {!Options}
-    and {!compile}; this record cannot carry a backend policy. *)
-type options = {
-  scheme : Toffoli_scheme.t;  (** defaults to [Dynamic_2] in {!default} *)
-  mode : [ `Algorithm1 | `Sound ];
-  slots : int;  (** physical data qubits; 1 = the paper's design *)
-  expand_cv : bool;  (** lower CV/CV† to Clifford+T (Fig 6) *)
-  peephole : bool;  (** cancel inverse pairs and merge rotations *)
-  native : bool;  (** lower to the IBM basis {rz, sx, x, cx} *)
-  check_equivalence : bool;  (** TV distance (exact <= 12 qubits) *)
-}
+(** Raised by the {!Options} builders on invalid input — a slot count
+    below 1, a schedule naming an unregistered pass. *)
+exception Invalid_options of string
 
-(** Deprecated shim alongside {!type-options}; {!Options.default} is
-    the builder-era equivalent. *)
-val default : options
+(** Raised by the [reuse_certify] gate pass when the certifier
+    {e refutes} the rewiring (a genuine bug in the reuse transform):
+    the payload is the counterexample detail.  An [Unknown] verdict
+    does not raise — it leaves [certified] false for the caller to
+    judge. *)
+exception Reuse_refuted of string
+
+(** The built-in passes, in registration order — what
+    [dqc_cli passes] lists.  Calling this (or anything else in this
+    module) guarantees the built-ins are registered. *)
+val registered_passes : unit -> Pass.t list
 
 module Options : sig
   type t
 
   (** [Dynamic_2], [`Algorithm1], 1 slot, CV expansion on, peephole
-      off, native off, equivalence check on, [Sim.Backend.Auto]. *)
+      off, native off, equivalence check on, certifier on,
+      [Sim.Backend.Auto], lint on, reuse off, default schedule. *)
   val default : t
 
   val with_scheme : Toffoli_scheme.t -> t -> t
   val with_mode : [ `Algorithm1 | `Sound ] -> t -> t
 
-  (** @raise Invalid_argument when [slots < 1]. *)
+  (** @raise Invalid_options when [slots < 1]. *)
   val with_slots : int -> t -> t
 
   val with_expand_cv : bool -> t -> t
@@ -64,11 +70,26 @@ module Options : sig
       equivalence fallback beyond 12 qubits) dispatch through. *)
   val with_backend_policy : Sim.Backend.policy -> t -> t
 
-  (** Run the static lint gate ({!Lint.dqc_passes}, [max_live] =
-      slots) on the compiled output — on by default.  An
+  (** Run the lint gate on the compiled output — on by default.  An
       error-severity diagnostic makes {!compile} raise
-      {!Lint.Rejected}. *)
+      {!Lint.Rejected}.  DQC-transformed outputs are checked against
+      {!Lint.dqc_passes} ([max_live] = slots); reuse-rewired outputs
+      against {!Lint.default_passes}. *)
   val with_lint : bool -> t -> t
+
+  (** Compile through the qubit-reuse flow instead of the Algorithm 1
+      transform: prepare -> reuse -> analyze -> prune_resets ->
+      reuse_certify, then the configured lowering passes and the lint
+      gate.  The certifier's verdict lands in [certified]; a refuted
+      rewiring raises {!Reuse_refuted}. *)
+  val with_reuse : bool -> t -> t
+
+  (** Replace the derived schedule with an explicit pass list, looked
+      up in the registry — the escape hatch for custom passes
+      ({!Pass.register} first) and experiments.  All other options
+      still feed the pass context's configuration.
+      @raise Invalid_options on an unregistered name. *)
+  val with_passes : string list -> t -> t
 
   val scheme : t -> Toffoli_scheme.t
   val mode : t -> [ `Algorithm1 | `Sound ]
@@ -80,10 +101,19 @@ module Options : sig
   val certify : t -> bool
   val backend_policy : t -> Sim.Backend.policy
   val lint : t -> bool
+  val reuse : t -> bool
+  val passes : t -> string list option
 
-  (** Lift the deprecated flat record ([backend_policy] = [Auto],
-      [certify] on, [lint] on). *)
-  val of_flat : options -> t
+  (** The pass context configuration the options denote. *)
+  val config : t -> Pass.config
+
+  (** Pass names {!compile} will execute, in order.  Derived from the
+      flags, or the explicit {!with_passes} list verbatim. *)
+  val schedule_names : t -> string list
+
+  (** The resolved schedule.
+      @raise Invalid_options on an unregistered name. *)
+  val schedule : t -> Pass.t list
 end
 
 type output = {
@@ -99,7 +129,9 @@ type output = {
   certified : bool;
       (** the symbolic certifier proved equivalence — exact evidence,
           any width, no simulation; when set, [tv] is [None] because
-          the numeric checkers were unnecessary *)
+          the numeric checkers were unnecessary.  In the reuse flow
+          this is {!Verify.Certify.check_channel}'s verdict on the
+          rewiring. *)
   tv : float option;  (** None when the check was skipped *)
   tv_sampled : bool;
       (** [tv] came from {!Equivalence.sampled_tv_distance} (shot
@@ -108,21 +140,26 @@ type output = {
   lint : Lint.report option;
       (** the lint gate's report ([None] when disabled); always
           {!Lint.clean} when present — errors raise instead *)
+  reuse : Reuse.report option;
+      (** the reuse pass's report ([None] outside the reuse flow) *)
+  events : Pass_manager.event list;
+      (** per-pass timing and metrics snapshots, in execution order *)
+  notes : (string * string) list;
+      (** diagnostics the passes recorded (certifier verdicts, pruning
+          counts), oldest first *)
 }
 
-(** [compile ?options traditional].  Beyond 12 qubits the exact
-    equivalence check is replaced by a sampled one through
-    {!Sim.Backend.run} when both circuits are Clifford (single-slot
-    only); otherwise it is skipped as before.
+(** [compile ?options traditional] runs the schedule the options
+    denote.  Beyond 12 qubits the exact equivalence check is replaced
+    by a sampled one through {!Sim.Backend.run} when both circuits are
+    Clifford (single-slot only); otherwise it is skipped as before.
     @raise Transform.Not_transformable / Interaction.Cyclic as the
     underlying stages do.
     @raise Lint.Rejected when the lint gate (on by default) finds an
-    error-severity diagnostic in the compiled output. *)
+    error-severity diagnostic in the compiled output.
+    @raise Reuse_refuted when the reuse flow's certification gate
+    refutes the rewiring. *)
 val compile : ?options:Options.t -> Circ.t -> output
-
-(** Deprecated shim for the flat record:
-    [compile_flat ~options c = compile ~options:(Options.of_flat options) c]. *)
-val compile_flat : ?options:options -> Circ.t -> output
 
 val pp : Format.formatter -> output -> unit
 val to_string : output -> string

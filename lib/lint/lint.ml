@@ -23,11 +23,18 @@ let dqc_passes ?max_live () = default_passes @ Dqc_rules.passes ?max_live ()
 let certifier_passes =
   [ Passes.cond_after_clobber; Passes.nonzero_global_phase_reset ]
 
-let run ?(passes = default_passes) c =
+let run ?(passes = default_passes) ?trace c =
   Obs.with_span "lint.run"
     ~attrs:[ ("passes", string_of_int (List.length passes)) ]
     (fun () ->
-      let trace = Trace.run c in
+      let trace =
+        match trace with
+        | Some t ->
+            if not (Circuit.Circ.equal (Trace.circuit t) c) then
+              invalid_arg "Lint.run: trace belongs to a different circuit";
+            t
+        | None -> Trace.run c
+      in
       let instructions = Trace.length trace in
       Obs.incr ~n:instructions "lint.instructions";
       let diagnostics =
@@ -57,8 +64,8 @@ let run ?(passes = default_passes) c =
 
 let clean r = r.errors = 0
 
-let check ?passes c =
-  let r = run ?passes c in
+let check ?passes ?trace c =
+  let r = run ?passes ?trace c in
   if not (clean r) then raise (Rejected r);
   r
 

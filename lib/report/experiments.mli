@@ -155,5 +155,29 @@ val slots_rows : unit -> slots_row list
 
 val slots_report : unit -> string
 
+type reuse_row = {
+  name : string;
+  prep : string;  (** Toffoli scheme applied before the reuse pass *)
+  qubits_before : int;
+  qubits_after : int;
+  saved : int;
+  resets : int;  (** resets inserted when re-hosting a retired wire *)
+  pruned : int;  (** resets later proved redundant and dropped *)
+  certified : bool;
+      (** the path-sum channel certifier proved the rewiring *)
+  verdict : string;  (** the certifier's verdict, verbatim *)
+  reuse_ms : float;  (** CPU time inside the reuse pass *)
+  certify_ms : float;  (** CPU time inside the certification gate *)
+}
+
+(** E12 (extension): the general causal-cone qubit-reuse pass
+    ({!Dqc.Reuse}) over the algorithm benchmarks — Grover, Kitaev QPE,
+    Simon and the Cuccaro adder (the negative control: its qubits
+    interlock, so nothing retires).  Every rewiring is proved
+    channel-equivalent symbolically; nothing is sampled. *)
+val reuse_rows : unit -> reuse_row list
+
+val reuse_report : unit -> string
+
 (** All reports concatenated. *)
 val full_report : ?shots:int -> ?seed:int -> unit -> string

@@ -587,6 +587,57 @@ let check_static ?(inputs = `Symbolic) a b =
   else equate ~branch_phase:false (view_static pa) (view_static pb)
 
 (* ------------------------------------------------------------------ *)
+(* General channel certification of two measured circuits            *)
+
+let measured_bits c =
+  List.filter_map
+    (function
+      | Instruction.Measure { bit; _ } -> Some bit
+      | Instruction.Unitary _ | Instruction.Reset _
+      | Instruction.Conditioned _ | Instruction.Barrier _ ->
+          None)
+    (Circ.instructions c)
+  |> List.sort_uniq compare
+
+let count_verdict = function
+  | Proved _ -> Obs.incr "verify.proved"
+  | Refuted _ -> Obs.incr "verify.refuted"
+  | Unknown _ -> Obs.incr "verify.unknown"
+
+let check_channel ?(max_refute_vars = 14) a b =
+  Obs.with_span "verify.certify" ~attrs:[ ("method", "channel") ] (fun () ->
+      let verdict =
+        try
+          let ba = measured_bits a and bb = measured_bits b in
+          let shared = List.filter (fun x -> List.mem x bb) ba in
+          if shared = [] then Unknown "no bit is measured on both sides"
+          else begin
+            let ps_a, st_a = Reduce.normalize (Symexec.run a) in
+            let ps_b, st_b = Reduce.normalize (Symexec.run b) in
+            let path_vars =
+              List.length (Pathsum.all_vars ps_a)
+              + List.length (Pathsum.all_vars ps_b)
+            in
+            Obs.incr ~n:path_vars "verify.path_vars";
+            let reductions = Reduce.total st_a + Reduce.total st_b in
+            let proved () =
+              Proved
+                { scope = Channel; path_vars; reductions; schedule_cex = None }
+            in
+            if compare_channel ps_a ps_b ~shared then proved ()
+            else
+              match refute ~max_vars:max_refute_vars ps_a ps_b ~shared with
+              | Equal -> proved ()
+              | Differs cex -> Refuted cex
+              | Inconclusive msg -> Unknown msg
+          end
+        with Symexec.Unsupported msg ->
+          Unknown (Printf.sprintf "outside the exact gate fragment: %s" msg)
+      in
+      count_verdict verdict;
+      verdict)
+
+(* ------------------------------------------------------------------ *)
 (* Certification of a transform result                                *)
 
 let certify ?(max_refute_vars = 14) ~traditional ~data_bit ~answer_phys
@@ -681,10 +732,7 @@ let certify ?(max_refute_vars = 14) ~traditional ~data_bit ~answer_phys
         with Symexec.Unsupported msg ->
           Unknown (Printf.sprintf "outside the exact gate fragment: %s" msg)
       in
-      (match verdict with
-      | Proved _ -> Obs.incr "verify.proved"
-      | Refuted _ -> Obs.incr "verify.refuted"
-      | Unknown _ -> Obs.incr "verify.unknown");
+      count_verdict verdict;
       verdict)
 
 (* ------------------------------------------------------------------ *)

@@ -66,6 +66,19 @@ val certify :
   Circ.t ->
   verdict
 
+(** [check_channel a b] certifies that two arbitrary measured circuits
+    induce the same classical outcome channel over the bits measured
+    on {e both} sides — the general form of the transform-result
+    certification above, usable for any circuit-to-circuit rewrite
+    (e.g. the qubit-reuse pass, whose output differs from its input in
+    qubit count and instruction order but must agree on every measured
+    bit).  Both sides run from |0…0⟩; qubits left unmeasured are
+    traced out as environment.  [Proved] always carries [Channel]
+    scope.  With [max_refute_vars = 0] the exhaustive fallback is
+    disabled and only the structural comparator can prove equality.
+    Telemetry as {!certify}. *)
+val check_channel : ?max_refute_vars:int -> Circ.t -> Circ.t -> verdict
+
 (** [check_static a b] proves two measurement-free netlists equal as
     unitaries (symbolic basis inputs, default) or as state
     preparations from |0…0⟩ ([~inputs:`Zero]), up to global phase.

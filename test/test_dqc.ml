@@ -332,11 +332,11 @@ let test_pipeline_sound_multislot_native () =
 
 let test_pipeline_direct_mct () =
   let dj = Algorithms.Dj.circuit (Algorithms.Mct_bench.and_n 3) in
-  (* the deprecated flat-record shim keeps pre-builder callers alive *)
   let options =
-    { Dqc.Pipeline.default with Dqc.Pipeline.scheme = Dqc.Toffoli_scheme.Direct_mct }
+    Dqc.Pipeline.Options.(
+      default |> with_scheme Dqc.Toffoli_scheme.Direct_mct)
   in
-  let out = Dqc.Pipeline.compile_flat ~options dj in
+  let out = Dqc.Pipeline.compile ~options dj in
   check_int "two qubits" 2 out.Dqc.Pipeline.qubits
 
 (* ------------------------------------------------------------------ *)

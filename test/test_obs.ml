@@ -351,9 +351,11 @@ let test_pipeline_spans () =
   List.iter
     (fun name -> check_bool name true (has name))
     [
-      "pipeline.compile"; "pipeline.prepare"; "pipeline.transform";
-      "pipeline.equivalence";
+      "pipeline.compile"; "pipeline.pass.prepare"; "pipeline.pass.transform";
+      "pipeline.pass.equivalence";
     ];
+  check_bool "per-pass run counters" true
+    (Obs.Collector.counter c "pipeline.pass.transform.runs" > 0);
   let compile =
     List.find
       (fun (s : Obs.Collector.span) -> s.name = "pipeline.compile")
@@ -389,7 +391,7 @@ let test_chrome_trace_export () =
   in
   List.iter
     (fun n -> check_bool (n ^ " present") true (List.mem n names))
-    [ "pipeline.compile"; "pipeline.transform"; "backend.run" ];
+    [ "pipeline.compile"; "pipeline.pass.transform"; "backend.run" ];
   (* every complete event carries non-negative relative timestamps *)
   List.iter
     (fun e ->
@@ -408,7 +410,7 @@ let test_chrome_trace_export () =
     (num "ts", num "ts" +. num "dur")
   in
   let t0, t1 = span_of (find "pipeline.compile") in
-  let u0, u1 = span_of (find "pipeline.transform") in
+  let u0, u1 = span_of (find "pipeline.pass.transform") in
   check_bool "transform contained in compile" true (u0 >= t0 && u1 <= t1);
   check_bool "thread metadata" true
     (List.exists
