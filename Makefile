@@ -1,4 +1,4 @@
-.PHONY: all build test bench ci fmt-check trace-smoke kernel-smoke lint verify-gate reuse-gate clean
+.PHONY: all build test bench ci fmt-check trace-smoke kernel-smoke lint verify-gate reuse-gate perf-gate perf-baseline clean
 
 all: build
 
@@ -21,21 +21,33 @@ fmt-check:
 	  echo "fmt-check: tabs or trailing whitespace in:"; echo "$$bad"; exit 1; \
 	else echo "fmt-check: OK"; fi
 
-# Telemetry smoke: run the stats subcommand with both exporters, then
+# Telemetry smoke: run the stats subcommand with every exporter, then
 # assert the trace parses as JSON and carries the pipeline + backend
-# spans the exporters promise.
+# spans, the metrics document is v2 with percentile histograms, and
+# the flight dump has the dqc.flight/1 shape with pass snapshots.
 trace-smoke:
 	OCAMLRUNPARAM=b dune exec bin/dqc_cli.exe -- stats AND --shots 256 \
-	  --trace /tmp/dqc_trace.json --metrics /tmp/dqc_metrics.json
+	  --trace /tmp/dqc_trace.json --metrics /tmp/dqc_metrics.json \
+	  --flight-record /tmp/dqc_flight.json
 	python3 -c "import json; \
 	t = json.load(open('/tmp/dqc_trace.json')); \
 	names = {e['name'] for e in t['traceEvents'] if e.get('ph') == 'X'}; \
 	assert 'pipeline.compile' in names and 'backend.run' in names, names; \
+	assert any(e.get('name') == 'thread_sort_index' for e in t['traceEvents']); \
 	m = json.load(open('/tmp/dqc_metrics.json')); \
-	assert m['schema'] == 'dqc.obs.metrics/1', m['schema']; \
+	assert m['schema'] == 'dqc.obs.metrics/2', m['schema']; \
 	assert m['counters']['backend.shots'] == 256, m['counters']; \
 	assert m['counters']['sim.program.ops'] > 0, m['counters']; \
-	print('trace-smoke: OK (%d events)' % len(t['traceEvents']))"
+	h = m['histograms']; \
+	assert 'backend.run' in h and 'parallel.shot' in h, sorted(h); \
+	assert h['parallel.shot']['count'] == 8, h['parallel.shot']; \
+	assert all(k in h['backend.run'] for k in ('p50_ns','p90_ns','p99_ns','p999_ns')); \
+	f = json.load(open('/tmp/dqc_flight.json')); \
+	assert f['schema'] == 'dqc.flight/1', f['schema']; \
+	kinds = [e['kind'] for e in f['events']]; \
+	assert 'pass.begin' in kinds and 'pass.end' in kinds and 'backend.run' in kinds, kinds; \
+	print('trace-smoke: OK (%d trace events, %d flight events)' \
+	  % (len(t['traceEvents']), len(f['events'])))"
 
 # Kernel smoke: the compiled execution plans (fused specialized
 # kernels, Sim.Program) must agree with the generic interpreter
@@ -96,6 +108,19 @@ verify-gate:
 reuse-gate:
 	OCAMLRUNPARAM=b dune exec bin/dqc_cli.exe -- reuse --gate
 
+# Perf regression gate: sample every shared bench workload into
+# percentile histograms (interleaved rounds, see bench/main.ml) and
+# compare p50/p99 against the checked-in dqc.bench/2 baseline.
+# Non-zero exit on regression beyond the thresholds (10% p50, 25% p99
+# with p90 corroboration).  Regenerate the baseline on a quiet machine
+# with `make perf-baseline` when a slowdown is intentional.
+perf-gate:
+	OCAMLRUNPARAM=b dune exec bench/main.exe -- perf \
+	  --against BENCH_baseline.json --out BENCH_perf.json
+
+perf-baseline:
+	OCAMLRUNPARAM=b dune exec bench/main.exe -- perf --out BENCH_baseline.json
+
 # One-command gate: full build + tests + a smoke run of the
 # execution-backend study + the telemetry smoke + source hygiene
 # (OCAMLRUNPARAM=b: backtraces on uncaught exceptions).
@@ -107,6 +132,7 @@ ci:
 	$(MAKE) lint
 	$(MAKE) verify-gate
 	$(MAKE) reuse-gate
+	$(MAKE) perf-gate
 	$(MAKE) fmt-check
 
 clean:

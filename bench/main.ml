@@ -1,8 +1,10 @@
 (* Benchmark harness: regenerates every table and figure of the
    paper's evaluation and times the implementation with Bechamel.
 
-   Usage: main.exe [table1|table2|fig7|equivalence|ablation|bechamel|all]
-   (default: all) *)
+   Usage: main.exe [table1|table2|fig7|equivalence|ablation|bechamel|perf|all]
+   (default: all).  `perf` samples the shared workloads into percentile
+   histograms and, with --against <baseline.json>, exits non-zero when
+   p50/p99 regress beyond the gate thresholds. *)
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '#')
@@ -168,20 +170,92 @@ let run_backend () =
     "serial baseline total %d shots, parallel total %d, auto total %d\n"
     (Sim.Runner.shots h_serial) (Sim.Runner.shots h_par)
     (Sim.Runner.shots h_auto);
-  (* One extra instrumented replay of the prefix-cached configuration:
-     quantifies the with-sink overhead against t_prefix above (the
-     uninstrumented runs already measured the no-sink cost) and seeds
-     the BENCH_obs.json metrics trajectory. *)
-  let collector, (h_obs, t_obs) =
+  (* One full-size instrumented replay of the prefix-cached
+     configuration: checks the collector does not perturb the sampled
+     histogram and seeds the BENCH_obs.json metrics trajectory. *)
+  let collector, (h_obs, _) =
     Obs.with_collector (fun () ->
         time (fun () ->
             Sim.Backend.run ~policy:dense ~seed ~domains:1 ~plan ~shots dj))
   in
+  (* Telemetry overhead against the <2% budget (docs/OBSERVABILITY.md).
+     Wall-clock A/B comparison is hopeless here: back-to-back runs of
+     the same binary drift by 10-25% under CPU steal on a shared host,
+     far more than the instrumentation costs.  So measure *process CPU
+     time* (Obs.Clock.now_cpu_ns — steal never inflates it), run
+     interleaved pairs with the order alternating round to round, with
+     a full major GC before every sample (a run allocates megabytes of
+     statevector copies, so inherited heap state otherwise dominates
+     the per-sample CPU), and sample in plain/instrumented/plain
+     *triples*: each instrumented run is compared to the mean of the
+     two plain runs flanking it, which cancels not just a shared
+     regime (as a pair would) but any *linear* drift across the
+     triple — the component that dominates pair-ratio variance when a
+     frequency ramp lands mid-pair.  The median over triples then
+     drops the ones split by a step change.  (A best-of-N comparison —
+     the perf gate's trick — is *worse* here: with tens of samples per
+     arm instead of the gate's thousands, the deep sparse lower tail
+     makes the min itself high-variance.)  The measurement runs the
+     reference workload itself: telemetry cost is a fixed per-run
+     component (buffer allocation, the end-of-run flush and its GC
+     debt) plus a small sampled per-shot component, so a scaled-down
+     shot count would overweigh the fixed part and measure a workload
+     the budget is not stated against. *)
+  let overhead_shots = shots in
+  let wanted_triples = 25 in
+  let max_triples = 75 in
+  (* a triple is only admitted when its two plain runs agree this
+     closely: flanks that disagree mean a co-tenant evicted our caches
+     or the host stepped frequency mid-triple, and the instrumented
+     run in the middle absorbed an unknowable share of it *)
+  let flank_tolerance = 0.05 in
+  let run_once () =
+    Gc.full_major ();
+    let t0 = Obs.Clock.now_cpu_ns () in
+    let h =
+      Sim.Backend.run ~policy:dense ~seed ~domains:1 ~plan
+        ~shots:overhead_shots dj
+    in
+    (h, Int64.to_float (Int64.sub (Obs.Clock.now_cpu_ns ()) t0) /. 1e9)
+  in
+  let t_plain = ref [] and ratios = ref [] in
+  let attempts = ref 0 in
+  while List.length !ratios < wanted_triples && !attempts < max_triples do
+    incr attempts;
+    let _, t_before = run_once () in
+    let _, (_, t_obs) = Obs.with_collector run_once in
+    let _, t_after = run_once () in
+    if
+      Float.abs (t_after -. t_before) /. Float.min t_before t_after
+      <= flank_tolerance
+    then begin
+      let plain = (t_before +. t_after) /. 2. in
+      t_plain := plain :: !t_plain;
+      ratios := (t_obs /. plain) :: !ratios
+    end
+  done;
+  (* total contention fallback: never divide by an empty sample *)
+  if !ratios = [] then begin
+    let _, t_before = run_once () in
+    let _, (_, t_obs) = Obs.with_collector run_once in
+    t_plain := [ t_before ];
+    ratios := [ t_obs /. t_before ]
+  end;
+  let median l =
+    let s = Array.of_list l in
+    Array.sort compare s;
+    s.(Array.length s / 2)
+  in
+  let n_clean = List.length !ratios in
+  let r_med = median !ratios in
   Printf.printf
-    "\ntelemetry overhead (prefix-cached run, collector installed): %.1f ms \
-     vs %.1f ms uninstrumented (%+.1f%%); histograms identical: %b\n"
-    (t_obs *. 1000.) (t_prefix *. 1000.)
-    (100. *. ((t_obs /. t_prefix) -. 1.))
+    "\ntelemetry overhead (prefix-cached run, collector installed): \
+     %+.2f%% (median of %d regime-stable plain/instrumented/plain \
+     CPU-time triples of %d sampled, at %d shots, ~%.1f ms per run); \
+     histograms identical: %b\n"
+    (100. *. (r_med -. 1.))
+    n_clean !attempts overhead_shots
+    (median !t_plain *. 1000.)
     (same h_obs h_prefix);
   Obs.Metrics_json.write ~path:obs_json_path collector;
   Printf.printf "engine metrics written to %s\n" obs_json_path
@@ -273,33 +347,31 @@ let lint_workloads =
        ("lint DJ(AND_9) dyn1 dqc", compiled, Lint.dqc_passes ());
      ])
 
-let make_benchmarks () =
-  let open Bechamel in
+(* The shared workload registry: every entry is a named nullary
+   closure, consumed both by the bechamel group (OLS ns/op estimates
+   in `bechamel`) and by the percentile sampler behind the `perf`
+   regression gate — one definition, two measurement strategies. *)
+let workloads () : (string * (unit -> unit)) list =
   let bv_transform n =
     let s = String.make n '1' in
-    Test.make
-      ~name:(Printf.sprintf "transform BV-%d" n)
-      (Staged.stage (fun () ->
-           ignore (Dqc.Transform.transform (Algorithms.Bv.circuit s))))
+    ( Printf.sprintf "transform BV-%d" n,
+      fun () -> ignore (Dqc.Transform.transform (Algorithms.Bv.circuit s)) )
   in
   let dj_transform scheme label =
     let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "CARRY") in
     let dj = Algorithms.Dj.circuit o in
-    Test.make
-      ~name:(Printf.sprintf "transform DJ(CARRY) %s" label)
-      (Staged.stage (fun () ->
-           ignore (Dqc.Toffoli_scheme.transform scheme dj)))
+    ( Printf.sprintf "transform DJ(CARRY) %s" label,
+      fun () -> ignore (Dqc.Toffoli_scheme.transform scheme dj) )
   in
   let exact_dj scheme label =
     let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND") in
     let dj = Algorithms.Dj.circuit o in
     let r = Dqc.Toffoli_scheme.transform scheme dj in
-    Test.make
-      ~name:(Printf.sprintf "exact dist DJ(AND) %s" label)
-      (Staged.stage (fun () ->
-           ignore (Sim.Exact.register_distribution r.Dqc.Transform.circuit)))
+    ( Printf.sprintf "exact dist DJ(AND) %s" label,
+      fun () -> ignore (Sim.Exact.register_distribution r.Dqc.Transform.circuit)
+    )
   in
-  let statevector n =
+  let ghz_like n extra_phases =
     let roles = Array.make n Circuit.Circ.Data in
     let b = Circuit.Circ.Builder.make ~roles ~num_bits:0 () in
     for q = 0 to n - 1 do
@@ -308,12 +380,19 @@ let make_benchmarks () =
     for q = 0 to n - 2 do
       Circuit.Circ.Builder.cx b q (q + 1)
     done;
-    let c = Circuit.Circ.Builder.build b in
-    Test.make
-      ~name:(Printf.sprintf "statevector %d qubits" n)
-      (Staged.stage (fun () ->
-           let rng = Random.State.make [| 1 |] in
-           ignore (Sim.Statevector.run ~rng c)))
+    if extra_phases then
+      for q = 0 to n - 1 do
+        Circuit.Circ.Builder.gate b Circuit.Gate.T q;
+        Circuit.Circ.Builder.gate b Circuit.Gate.S q
+      done;
+    Circuit.Circ.Builder.build b
+  in
+  let statevector n =
+    let c = ghz_like n false in
+    ( Printf.sprintf "statevector %d qubits" n,
+      fun () ->
+        let rng = Random.State.make [| 1 |] in
+        ignore (Sim.Statevector.run ~rng c) )
   in
   let shots =
     let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND") in
@@ -321,9 +400,9 @@ let make_benchmarks () =
       Dqc.Toffoli_scheme.transform Dqc.Toffoli_scheme.Dynamic_2
         (Algorithms.Dj.circuit o)
     in
-    Test.make ~name:"1024 shots DJ(AND) dyn2"
-      (Staged.stage (fun () ->
-           ignore (Sim.Runner.run_shots ~shots:1024 r.Dqc.Transform.circuit)))
+    ( "1024 shots DJ(AND) dyn2",
+      fun () ->
+        ignore (Sim.Runner.run_shots ~shots:1024 r.Dqc.Transform.circuit) )
   in
   let peephole =
     let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "CARRY") in
@@ -332,18 +411,16 @@ let make_benchmarks () =
         (Algorithms.Dj.circuit o)
     in
     let expanded = Decompose.Pass.expand_cv r.Dqc.Transform.circuit in
-    Test.make ~name:"peephole DJ(CARRY) dyn1"
-      (Staged.stage (fun () ->
-           ignore (Decompose.Peephole.cancel_inverses expanded)))
+    ( "peephole DJ(CARRY) dyn1",
+      fun () -> ignore (Decompose.Peephole.cancel_inverses expanded) )
   in
   let stabilizer n =
     let s = String.make n '1' in
     let r = Dqc.Transform.transform (Algorithms.Bv.circuit s) in
-    Test.make
-      ~name:(Printf.sprintf "stabilizer BV-%d dyn shot" n)
-      (Staged.stage (fun () ->
-           let rng = Random.State.make [| 3 |] in
-           ignore (Sim.Stabilizer.run ~rng r.Dqc.Transform.circuit)))
+    ( Printf.sprintf "stabilizer BV-%d dyn shot" n,
+      fun () ->
+        let rng = Random.State.make [| 3 |] in
+        ignore (Sim.Stabilizer.run ~rng r.Dqc.Transform.circuit) )
   in
   let density =
     let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "AND") in
@@ -351,16 +428,15 @@ let make_benchmarks () =
       Dqc.Toffoli_scheme.transform Dqc.Toffoli_scheme.Dynamic_2
         (Algorithms.Dj.circuit o)
     in
-    Test.make ~name:"density DJ(AND) dyn2 (noisy, exact)"
-      (Staged.stage (fun () ->
-           ignore
-             (Sim.Density.run ~model:Sim.Noise.default r.Dqc.Transform.circuit)))
+    ( "density DJ(AND) dyn2 (noisy, exact)",
+      fun () ->
+        ignore
+          (Sim.Density.run ~model:Sim.Noise.default r.Dqc.Transform.circuit) )
   in
   let routing =
     let c = Algorithms.Bv.circuit (String.make 12 '1') in
     let coupling = Transpile.Coupling.line 13 in
-    Test.make ~name:"route BV-12 onto line"
-      (Staged.stage (fun () -> ignore (Transpile.Route.run ~coupling c)))
+    ("route BV-12 onto line", fun () -> ignore (Transpile.Route.run ~coupling c))
   in
   let native =
     let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "CARRY") in
@@ -368,42 +444,27 @@ let make_benchmarks () =
       Dqc.Toffoli_scheme.transform Dqc.Toffoli_scheme.Dynamic_2
         (Algorithms.Dj.circuit o)
     in
-    Test.make ~name:"basis-lower DJ(CARRY) dyn2"
-      (Staged.stage (fun () ->
-           ignore (Transpile.Basis.to_native r.Dqc.Transform.circuit)))
+    ( "basis-lower DJ(CARRY) dyn2",
+      fun () -> ignore (Transpile.Basis.to_native r.Dqc.Transform.circuit) )
   in
   (* compiled-program kernel study: lowering cost in isolation, the
      fused vs unfused op streams, and the generic full-scan interpreter
      over the same SoA storage as the reference point *)
   let kernels =
     let n = 12 in
-    let roles = Array.make n Circuit.Circ.Data in
-    let b = Circuit.Circ.Builder.make ~roles ~num_bits:0 () in
-    for q = 0 to n - 1 do
-      Circuit.Circ.Builder.h b q
-    done;
-    for q = 0 to n - 2 do
-      Circuit.Circ.Builder.cx b q (q + 1)
-    done;
-    for q = 0 to n - 1 do
-      Circuit.Circ.Builder.gate b Circuit.Gate.T q;
-      Circuit.Circ.Builder.gate b Circuit.Gate.S q
-    done;
-    let c = Circuit.Circ.Builder.build b in
+    let c = ghz_like n true in
     let fused = Sim.Program.compile c in
     let unfused = Sim.Program.compile ~fuse:false c in
     let rng () = Random.State.make [| 7 |] in
     [
-      Test.make ~name:(Printf.sprintf "kernels compile %d qubits" n)
-        (Staged.stage (fun () -> ignore (Sim.Program.compile c)));
-      Test.make ~name:(Printf.sprintf "kernels fused %d qubits" n)
-        (Staged.stage (fun () -> ignore (Sim.Program.run ~rng:(rng ()) fused)));
-      Test.make ~name:(Printf.sprintf "kernels unfused %d qubits" n)
-        (Staged.stage (fun () ->
-             ignore (Sim.Program.run ~rng:(rng ()) unfused)));
-      Test.make ~name:(Printf.sprintf "kernels reference %d qubits" n)
-        (Staged.stage (fun () ->
-             ignore (Sim.Statevector.run_reference ~rng:(rng ()) c)));
+      ( Printf.sprintf "kernels compile %d qubits" n,
+        fun () -> ignore (Sim.Program.compile c) );
+      ( Printf.sprintf "kernels fused %d qubits" n,
+        fun () -> ignore (Sim.Program.run ~rng:(rng ()) fused) );
+      ( Printf.sprintf "kernels unfused %d qubits" n,
+        fun () -> ignore (Sim.Program.run ~rng:(rng ()) unfused) );
+      ( Printf.sprintf "kernels reference %d qubits" n,
+        fun () -> ignore (Sim.Statevector.run_reference ~rng:(rng ()) c) );
     ]
   in
   (* serial vs parallel vs prefix-cached shot execution on the Table II
@@ -414,27 +475,24 @@ let make_benchmarks () =
     let plan = Sim.Measurement_plan.measure_all in
     let dense = Sim.Backend.Statevector_dense in
     [
-      Test.make ~name:"backend serial 256 DJ(CARRY)"
-        (Staged.stage (fun () ->
-             ignore (Sim.Runner.run_plan ~shots:256 ~plan dj)));
-      Test.make ~name:"backend dense-nocache 256 DJ(CARRY)"
-        (Staged.stage (fun () ->
-             ignore
-               (Sim.Backend.run ~policy:dense ~domains:1 ~prefix_cache:false
-                  ~plan ~shots:256 dj)));
-      Test.make ~name:"backend prefix 256 DJ(CARRY)"
-        (Staged.stage (fun () ->
-             ignore
-               (Sim.Backend.run ~policy:dense ~domains:1 ~plan ~shots:256 dj)));
-      Test.make ~name:"backend parallel 256 DJ(CARRY)"
-        (Staged.stage (fun () ->
-             ignore (Sim.Backend.run ~policy:dense ~plan ~shots:256 dj)));
+      ( "backend serial 256 DJ(CARRY)",
+        fun () -> ignore (Sim.Runner.run_plan ~shots:256 ~plan dj) );
+      ( "backend dense-nocache 256 DJ(CARRY)",
+        fun () ->
+          ignore
+            (Sim.Backend.run ~policy:dense ~domains:1 ~prefix_cache:false ~plan
+               ~shots:256 dj) );
+      ( "backend prefix 256 DJ(CARRY)",
+        fun () ->
+          ignore
+            (Sim.Backend.run ~policy:dense ~domains:1 ~plan ~shots:256 dj) );
+      ( "backend parallel 256 DJ(CARRY)",
+        fun () -> ignore (Sim.Backend.run ~policy:dense ~plan ~shots:256 dj) );
     ]
   in
   let lint_tests =
     List.map
-      (fun (name, c, passes) ->
-        Test.make ~name (Staged.stage (fun () -> ignore (Lint.run ~passes c))))
+      (fun (name, c, passes) -> (name, fun () -> ignore (Lint.run ~passes c)))
       (Lazy.force lint_workloads)
   in
   (* the symbolic certifier: no simulation, so the wide instances
@@ -444,9 +502,8 @@ let make_benchmarks () =
     let certify (oracle : Algorithms.Oracle.t) scheme label =
       let dj = Algorithms.Dj.circuit oracle in
       let r = Dqc.Toffoli_scheme.transform scheme dj in
-      Test.make
-        ~name:(Printf.sprintf "verify DJ(%s) %s" oracle.name label)
-        (Staged.stage (fun () -> ignore (Dqc.Certifier.certify dj r)))
+      ( Printf.sprintf "verify DJ(%s) %s" oracle.name label,
+        fun () -> ignore (Dqc.Certifier.certify dj r) )
     in
     [
       certify
@@ -467,36 +524,40 @@ let make_benchmarks () =
         (Algorithms.Grover.measured ~n:3 ~marked:5)
     in
     List.map
-      (fun (name, c) ->
-        Test.make ~name
-          (Staged.stage (fun () -> ignore (Dqc.Reuse.rewire c))))
+      (fun (name, c) -> (name, fun () -> ignore (Dqc.Reuse.rewire c)))
       [
         ("reuse GROVER-3(fresh)", prepared_grover);
         ("reuse SIMON-1011", Algorithms.Simon.measured_circuit "1011");
         ("reuse QPE-4", Algorithms.Qpe.kitaev ~bits:4 ~phase:(3. /. 8.));
       ]
   in
+  [
+    bv_transform 4;
+    bv_transform 8;
+    bv_transform 16;
+    dj_transform Dqc.Toffoli_scheme.Dynamic_1 "dyn1";
+    dj_transform Dqc.Toffoli_scheme.Dynamic_2 "dyn2";
+    exact_dj Dqc.Toffoli_scheme.Dynamic_1 "dyn1";
+    exact_dj Dqc.Toffoli_scheme.Dynamic_2 "dyn2";
+    statevector 8;
+    statevector 12;
+    statevector 16;
+    shots;
+    peephole;
+    stabilizer 16;
+    stabilizer 48;
+    density;
+    routing;
+    native;
+  ]
+  @ kernels @ backend_engines @ lint_tests @ verify_tests @ reuse_tests
+
+let make_benchmarks () =
+  let open Bechamel in
   Test.make_grouped ~name:"dqc"
-    ([
-       bv_transform 4;
-       bv_transform 8;
-       bv_transform 16;
-       dj_transform Dqc.Toffoli_scheme.Dynamic_1 "dyn1";
-       dj_transform Dqc.Toffoli_scheme.Dynamic_2 "dyn2";
-       exact_dj Dqc.Toffoli_scheme.Dynamic_1 "dyn1";
-       exact_dj Dqc.Toffoli_scheme.Dynamic_2 "dyn2";
-       statevector 8;
-       statevector 12;
-       statevector 16;
-       shots;
-       peephole;
-       stabilizer 16;
-       stabilizer 48;
-       density;
-       routing;
-       native;
-     ]
-    @ kernels @ backend_engines @ lint_tests @ verify_tests @ reuse_tests)
+    (List.map
+       (fun (name, fn) -> Test.make ~name (Staged.stage fn))
+       (workloads ()))
 
 let bench_json_path = "BENCH_backend.json"
 
@@ -505,6 +566,24 @@ let group_of_name name =
   match String.index_opt name ' ' with
   | Some k -> String.sub name 0 k
   | None -> name
+
+(* Best-effort git revision for the dqc.bench/2 provenance field:
+   baselines only make sense against a known commit. *)
+let git_revision () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, rev when rev <> "" -> Some rev
+    | (Unix.WEXITED _ | Unix.WSIGNALED _ | Unix.WSTOPPED _), _ -> None
+  with Unix.Unix_error _ | Sys_error _ -> None
+
+let bench_schema = "dqc.bench/2"
+
+let revision_json () =
+  match git_revision () with
+  | Some rev -> Obs.Json.String rev
+  | None -> Obs.Json.Null
 
 let write_bechamel_json ?(extra = []) estimates =
   let results =
@@ -524,11 +603,293 @@ let write_bechamel_json ?(extra = []) estimates =
   Obs.Json.write ~path:bench_json_path
     (Obs.Json.Obj
        [
-         ("schema", Obs.Json.String "dqc.bench/1");
+         ("schema", Obs.Json.String bench_schema);
          ("unit", Obs.Json.String "ns/op");
+         ("revision", revision_json ());
          ("results", Obs.Json.List (results @ extra));
        ]);
   Printf.printf "\nmachine-readable results written to %s\n" bench_json_path
+
+(* ------------------------------------------------------------------ *)
+(* Percentile sampling and the perf regression gate.
+
+   Bechamel's OLS estimate answers "how fast is the typical op"; the
+   gate instead needs tail behaviour under a fixed time budget, so each
+   shared workload is re-timed call by call into an Obs.Histogram and
+   compared against a checked-in dqc.bench/2 baseline on p50 (median
+   shift) and p99 (tail blowup). *)
+
+type perf_series = {
+  ps_name : string;
+  ps_count : int;
+  ps_mean_ns : float;
+  ps_min_ns : int;
+  ps_max_ns : int;
+  ps_p50_ns : int;
+  ps_p90_ns : int;
+  ps_p99_ns : int;
+}
+
+(* One sampling round: run [fn] repeatedly for ~round_budget_ns of
+   wall time (at least once), recording each call's *CPU-time*
+   duration — on a shared host the wall clock charges hypervisor
+   steal to whichever call it lands on, which is exactly the
+   between-runs noise a regression gate must not trip on.  [slowdown]
+   scales every recorded duration — the `--inject-slowdown` test hook
+   that proves the gate trips without editing any kernel. *)
+let sample_round ~round_budget_ns ~slowdown ~max_samples h fn =
+  let started = Obs.Clock.now_ns () in
+  let elapsed () = Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) started) in
+  let samples = ref 0 in
+  while
+    !samples = 0
+    || (Obs.Histogram.count h < max_samples && elapsed () < round_budget_ns)
+  do
+    let t0 = Obs.Clock.now_cpu_ns () in
+    ignore (fn ());
+    let dur = Int64.to_int (Int64.sub (Obs.Clock.now_cpu_ns ()) t0) in
+    Obs.Histogram.record h (int_of_float (float_of_int dur *. slowdown));
+    incr samples
+  done
+
+(* The whole suite is sampled in [rounds] interleaved passes rather
+   than one contiguous block per workload: CPU frequency phases, GC
+   heap evolution and scheduler noise then average over the same
+   ~seconds-long window for every series, which is what makes two runs'
+   medians comparable.  (Measured here, contiguous sampling drifts
+   p50 by 30%+ between identical back-to-back runs; interleaving cuts
+   that severalfold.) *)
+let sampling_rounds = 8
+
+let sample_workloads ~budget_ns ~slowdown named_fns =
+  let max_samples = 100_000 in
+  let round_budget_ns = budget_ns / sampling_rounds in
+  let entries =
+    List.map
+      (fun (name, fn) ->
+        ignore (fn ());
+        (* warm-up: page in code + caches *)
+        (name, fn, Obs.Histogram.create ()))
+      named_fns
+  in
+  for _ = 1 to sampling_rounds do
+    List.iter
+      (fun (_, fn, h) ->
+        sample_round ~round_budget_ns ~slowdown ~max_samples h fn)
+      entries
+  done;
+  List.map
+    (fun (name, _, h) ->
+      {
+        ps_name = name;
+        ps_count = Obs.Histogram.count h;
+        ps_mean_ns = Obs.Histogram.mean h;
+        ps_min_ns = Obs.Histogram.min_value h;
+        ps_max_ns = Obs.Histogram.max_value h;
+        ps_p50_ns = Obs.Histogram.p50 h;
+        ps_p90_ns = Obs.Histogram.p90 h;
+        ps_p99_ns = Obs.Histogram.p99 h;
+      })
+    entries
+
+let perf_series_json s =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.String s.ps_name);
+      ("group", Obs.Json.String (group_of_name s.ps_name));
+      ("count", Obs.Json.Int s.ps_count);
+      ("mean_ns", Obs.Json.Float s.ps_mean_ns);
+      ("min_ns", Obs.Json.Int s.ps_min_ns);
+      ("max_ns", Obs.Json.Int s.ps_max_ns);
+      ("p50_ns", Obs.Json.Int s.ps_p50_ns);
+      ("p90_ns", Obs.Json.Int s.ps_p90_ns);
+      ("p99_ns", Obs.Json.Int s.ps_p99_ns);
+    ]
+
+let write_perf_json ~path series =
+  Obs.Json.write ~path
+    (Obs.Json.Obj
+       [
+         ("schema", Obs.Json.String bench_schema);
+         ("unit", Obs.Json.String "ns/op");
+         ("revision", revision_json ());
+         ("results", Obs.Json.List (List.map perf_series_json series));
+       ]);
+  Printf.printf "\npercentile results written to %s\n" path
+
+(* Baseline lookup: name -> (min_ns, p50_ns, p90_ns, p99_ns) from a
+   dqc.bench/2 document (series without percentiles — e.g.
+   bechamel-only rows — are skipped). *)
+let load_baseline path =
+  let doc = Obs.Json.read ~path in
+  (match Obs.Json.member "schema" doc with
+  | Some (Obs.Json.String s) when s = bench_schema -> ()
+  | Some (Obs.Json.String s) ->
+      failwith
+        (Printf.sprintf "baseline %s has schema %S, expected %S" path s
+           bench_schema)
+  | Some _ | None ->
+      failwith (Printf.sprintf "baseline %s has no schema field" path));
+  let results =
+    match Obs.Json.member "results" doc with
+    | Some (Obs.Json.List rs) -> rs
+    | Some _ | None -> []
+  in
+  List.filter_map
+    (fun r ->
+      let num key = Option.bind (Obs.Json.member key r) Obs.Json.to_float_opt in
+      match
+        ( Option.bind (Obs.Json.member "name" r) Obs.Json.to_string_opt,
+          num "min_ns",
+          num "p50_ns",
+          num "p90_ns",
+          num "p99_ns" )
+      with
+      | Some name, Some vmin, Some p50, Some p90, Some p99 ->
+          Some (name, (vmin, p50, p90, p99))
+      | _, _, _, _, _ -> None)
+    results
+
+(* Gate thresholds: median shifts beyond 10% or tails beyond 25% fail
+   the build.  Series whose baseline median sits under the noise floor
+   are reported but never gate — scheduler jitter dominates them. *)
+let p50_threshold = 0.10
+let p99_threshold = 0.25
+let default_noise_floor_ns = 10_000.
+let default_budget_ms = 150
+
+(* Two invocations minutes apart land in different host frequency /
+   load regimes, and a run's merged distribution is multi-modal (one
+   mode per ~seconds-long regime window the interleaved rounds pass
+   through): percentiles snap between modes, so per-series p50 drifts
+   of 15-35% between *identical* back-to-back runs were measured here
+   even on steal-free CPU time.  The per-series *minimum*, by
+   contrast, is the best case over every regime either run visited —
+   measured drift stays within a few percent.  The gate therefore
+   leans on the floor twice:
+
+   - common-mode drift = median min-shift across all gated series,
+     factored out of every delta (a regime change moves the whole
+     suite; a real regression is series-specific);
+   - each percentile trip must be corroborated by the series' floor
+     ([dmin] over the full p50 threshold): deterministic workloads
+     don't get slower at the median without their best case moving.
+
+   The common-mode correction is capped: a suite-wide shift beyond
+   this bound is treated as a genuine global regression (a slowdown
+   in a kernel everything shares looks exactly like that), which is
+   also what keeps the --inject-slowdown self-test tripping: a 1.5x
+   inject yields common-mode +50%, capped to +20%, leaving +25%
+   residual on every series and every floor. *)
+let max_common_drift = 0.20
+
+let median_of_list = function
+  | [] -> 0.
+  | ds ->
+      let a = Array.of_list ds in
+      Array.sort compare a;
+      let n = Array.length a in
+      if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let run_perf ~against ~slowdown ~budget_ms ~noise_floor_ns ~out () =
+  section "E15 / Percentile sampling and the perf regression gate";
+  if slowdown <> 1.0 then
+    Printf.printf "NOTE: --inject-slowdown %.2f is scaling every sample\n"
+      slowdown;
+  let budget_ns = budget_ms * 1_000_000 in
+  let series = sample_workloads ~budget_ns ~slowdown (workloads ()) in
+  List.iter
+    (fun s ->
+      Printf.printf
+        "%-34s %6d samples  p50 %10.1f us  p90 %10.1f us  p99 %10.1f us\n%!"
+        s.ps_name s.ps_count
+        (float_of_int s.ps_p50_ns /. 1e3)
+        (float_of_int s.ps_p90_ns /. 1e3)
+        (float_of_int s.ps_p99_ns /. 1e3))
+    series;
+  write_perf_json ~path:out series;
+  match against with
+  | None -> ()
+  | Some baseline_path ->
+      let baseline = load_baseline baseline_path in
+      let rows =
+        List.filter_map
+          (fun s ->
+            Option.map (fun b -> (s, b)) (List.assoc_opt s.ps_name baseline))
+          series
+      in
+      let common =
+        let drifts =
+          List.filter_map
+            (fun (s, (bmin, b50, _, _)) ->
+              if b50 < noise_floor_ns || bmin <= 0. then None
+              else Some ((float_of_int s.ps_min_ns /. bmin) -. 1.))
+            rows
+        in
+        let med = median_of_list drifts in
+        Float.max (-.max_common_drift) (Float.min max_common_drift med)
+      in
+      Printf.printf
+        "\nregression gate vs %s (p50 +%.0f%%, p99 +%.0f%%; common-mode \
+         drift %+.1f%% factored out):\n"
+        baseline_path (100. *. p50_threshold) (100. *. p99_threshold)
+        (100. *. common);
+      let regressions = ref 0 and compared = ref 0 and skipped = ref 0 in
+      List.iter
+        (fun (s, (base_min, base_p50, base_p90, base_p99)) ->
+          if base_p50 < noise_floor_ns then begin
+            incr skipped;
+            Printf.printf
+              "  %-34s skipped (baseline p50 %.1f us under noise floor)\n"
+              s.ps_name (base_p50 /. 1e3)
+          end
+          else begin
+            incr compared;
+            (* deltas relative to the baseline *after* removing the
+               suite-wide drift factor *)
+            let rel v base = (float_of_int v /. base /. (1. +. common)) -. 1. in
+            let d50 = rel s.ps_p50_ns base_p50 in
+            let d90 = rel s.ps_p90_ns base_p90 in
+            let d99 = rel s.ps_p99_ns base_p99 in
+            let dmin = if base_min > 0. then rel s.ps_min_ns base_min else 0. in
+            (* Corroboration (see max_common_drift above): a percentile
+               trip only gates when the series' floor moved with it —
+               the statistic stable enough on this host to tell a code
+               regression from the median snapping between regime
+               modes.  p90 must second a p50 trip too: a genuine
+               slowdown shifts the whole body of the distribution. *)
+            let floor_moved = dmin > p50_threshold in
+            let bad50 =
+              d50 > p50_threshold && d90 > p50_threshold /. 2. && floor_moved
+            in
+            let bad99 = d99 > p99_threshold && d90 > p50_threshold && floor_moved in
+            (* the floor alone rising past the tail threshold needs no
+               second witness: best-case cost went up a quarter *)
+            let bad_floor = dmin > p99_threshold in
+            if bad50 || bad99 || bad_floor then begin
+              incr regressions;
+              Printf.printf
+                "  %-34s REGRESSION  p50 %+6.1f%%%s  p90 %+6.1f%%  p99 \
+                 %+6.1f%%%s  min %+6.1f%%%s\n"
+                s.ps_name (100. *. d50)
+                (if bad50 then "!" else " ")
+                (100. *. d90) (100. *. d99)
+                (if bad99 then "!" else " ")
+                (100. *. dmin)
+                (if bad_floor then "!" else " ")
+            end
+            else
+              Printf.printf
+                "  %-34s ok          p50 %+6.1f%%   p90 %+6.1f%%  p99 \
+                 %+6.1f%%   min %+6.1f%%\n"
+                s.ps_name (100. *. d50) (100. *. d90) (100. *. d99)
+                (100. *. dmin)
+          end)
+        rows;
+      Printf.printf
+        "\ngate: %d series compared, %d under noise floor, %d regression(s)\n"
+        !compared !skipped !regressions;
+      if !regressions > 0 then exit 1
 
 let run_bechamel () =
   section "E5 / Bechamel timing";
@@ -599,6 +960,43 @@ let run_bechamel () =
 
 (* ------------------------------------------------------------------ *)
 
+(* `perf [--against base.json] [--inject-slowdown F] [--budget-ms N]
+   [--noise-floor-ns N] [--out path]` — flags parsed by hand since the
+   bench binary doesn't link cmdliner *)
+let parse_perf_args argv =
+  let against = ref None in
+  let slowdown = ref 1.0 in
+  let budget_ms = ref default_budget_ms in
+  let noise_floor_ns = ref default_noise_floor_ns in
+  let out = ref "BENCH_perf.json" in
+  let usage () =
+    Printf.eprintf
+      "usage: perf [--against baseline.json] [--inject-slowdown F] \
+       [--budget-ms N] [--noise-floor-ns N] [--out path]\n";
+    exit 2
+  in
+  let rec go k =
+    if k < Array.length argv then begin
+      let value () =
+        if k + 1 >= Array.length argv then usage () else argv.(k + 1)
+      in
+      let num parse =
+        match parse (value ()) with Some v -> v | None -> usage ()
+      in
+      (match argv.(k) with
+      | "--against" -> against := Some (value ())
+      | "--inject-slowdown" -> slowdown := num float_of_string_opt
+      | "--budget-ms" -> budget_ms := num int_of_string_opt
+      | "--noise-floor-ns" -> noise_floor_ns := num float_of_string_opt
+      | "--out" -> out := value ()
+      | _ -> usage ());
+      go (k + 2)
+    end
+  in
+  go 2;
+  run_perf ~against:!against ~slowdown:!slowdown ~budget_ms:!budget_ms
+    ~noise_floor_ns:!noise_floor_ns ~out:!out ()
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match what with
@@ -616,6 +1014,7 @@ let () =
   | "backend" -> run_backend ()
   | "kernels" -> run_kernels ()
   | "bechamel" -> run_bechamel ()
+  | "perf" -> parse_perf_args Sys.argv
   | "all" ->
       run_table1 ();
       run_table2 ();
@@ -633,6 +1032,6 @@ let () =
       run_bechamel ()
   | other ->
       Printf.eprintf
-        "unknown target %S (expected table1|table2|fig7|equivalence|mct|routing|duration|scale|slots|reuse|ablation|backend|kernels|bechamel|all)\n"
+        "unknown target %S (expected table1|table2|fig7|equivalence|mct|routing|duration|scale|slots|reuse|ablation|backend|kernels|bechamel|perf|all)\n"
         other;
       exit 1

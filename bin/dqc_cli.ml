@@ -258,10 +258,33 @@ let domains_arg =
            recommended cores; the histogram is seed-deterministic either \
            way)")
 
+(* Output paths are validated at parse time: a typo'd directory should
+   be one clean line before any work starts, not an uncaught Sys_error
+   after a minute of simulation. *)
+let out_path_conv =
+  let parse path =
+    if path = "" then Error (`Msg "output path is empty")
+    else if Sys.file_exists path && Sys.is_directory path then
+      Error (`Msg (Printf.sprintf "%s is a directory, not a writable file" path))
+    else
+      let dir = Filename.dirname path in
+      if not (Sys.file_exists dir) then
+        Error
+          (`Msg
+            (Printf.sprintf "cannot write %s: directory %s does not exist" path
+               dir))
+      else if not (Sys.is_directory dir) then
+        Error
+          (`Msg
+            (Printf.sprintf "cannot write %s: %s is not a directory" path dir))
+      else Ok path
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
 let trace_arg =
   Arg.(
     value
-    & opt (some string) None
+    & opt (some out_path_conv) None
     & info [ "trace" ] ~docv:"FILE"
         ~doc:
           "Write a Chrome trace-event JSON file of every pipeline/backend \
@@ -270,21 +293,53 @@ let trace_arg =
 let metrics_arg =
   Arg.(
     value
-    & opt (some string) None
+    & opt (some out_path_conv) None
     & info [ "metrics" ] ~docv:"FILE"
-        ~doc:"Write the flat metrics JSON (counters, gauges, span stats)")
+        ~doc:
+          "Write the dqc.obs.metrics/2 JSON (counters, gauges, span stats, \
+           percentile histograms)")
 
-let export_telemetry ?trace ?metrics collector =
+let flight_arg =
+  Arg.(
+    value
+    & opt (some out_path_conv) None
+    & info [ "flight-record" ] ~docv:"FILE"
+        ~doc:
+          "Arm the flight recorder and write its dqc.flight/1 event ring to \
+           FILE (the pipeline also dumps there automatically if it raises)")
+
+(* Arm the flight recorder for the duration of [f]; the same path is
+   the armed dump target, so a pipeline abort mid-[f] writes the ring
+   even though the on-success write below is never reached. *)
+let with_flight flight f =
+  match flight with
+  | None -> (None, f ())
+  | Some path ->
+      let recorder, x =
+        Fun.protect
+          ~finally:(fun () -> Obs.Flight.uninstall ())
+          (fun () ->
+            let r = Obs.Flight.install ~dump_path:path () in
+            (r, f ()))
+      in
+      (Some (path, recorder), x)
+
+let export_telemetry ?trace ?metrics ?flight collector =
   Option.iter
     (fun path ->
-      Obs.Chrome_trace.write ~path collector;
+      Obs.Chrome_trace.write ?flight:(Option.map snd flight) ~path collector;
       Printf.printf "chrome trace written to %s\n" path)
     trace;
   Option.iter
     (fun path ->
       Obs.Metrics_json.write ~path collector;
       Printf.printf "metrics written to %s\n" path)
-    metrics
+    metrics;
+  Option.iter
+    (fun (path, recorder) ->
+      Obs.Flight.write ~path recorder;
+      Printf.printf "flight record written to %s\n" path)
+    flight
 
 let simulate_cmd =
   let shots = Arg.(value & opt int 1024 & info [ "shots" ] ~doc:"Shot count") in
@@ -298,7 +353,7 @@ let simulate_cmd =
       & info [ "backend" ]
           ~doc:"Execution backend: auto, dense, stabilizer or exact")
   in
-  let run name scheme shots dynamic backend domains trace metrics =
+  let run name scheme shots dynamic backend domains trace metrics flight =
     match benchmark_circuit name with
     | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
     | Some c -> (
@@ -313,15 +368,19 @@ let simulate_cmd =
             (c, List.init (Circuit.Circ.num_qubits c) (fun q -> (q, q)))
         in
         try
-          let want_telemetry = trace <> None || metrics <> None in
+          let want_telemetry =
+            trace <> None || metrics <> None || flight <> None
+          in
           let run_once () =
             Sim.Backend.run_measured ~policy:backend ?domains ~shots ~measures
               circuit
           in
           let h =
             if want_telemetry then begin
-              let collector, h = Obs.with_collector run_once in
-              export_telemetry ?trace ?metrics collector;
+              let recorder, (collector, h) =
+                with_flight flight (fun () -> Obs.with_collector run_once)
+              in
+              export_telemetry ?trace ?metrics ?flight:recorder collector;
               h
             end
             else run_once ()
@@ -338,7 +397,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run shots on a benchmark (traditional or DQC)")
     Term.(
       const run $ benchmark_arg $ scheme_arg $ shots $ dynamic $ backend
-      $ domains_arg $ trace_arg $ metrics_arg)
+      $ domains_arg $ trace_arg $ metrics_arg $ flight_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                              *)
@@ -382,7 +441,7 @@ let stats_cmd =
              registered pass names (see the passes subcommand)")
   in
   let run name scheme mode shots seed backend domains no_check passes trace
-      metrics =
+      metrics flight =
     match benchmark_circuit name with
     | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
     | Some c -> (
@@ -399,18 +458,21 @@ let stats_cmd =
             | Some names ->
                 O.with_passes (String.split_on_char ',' names) options
           in
-          let collector, (out, h) =
-            Obs.with_collector (fun () ->
-                let out = Dqc.Pipeline.compile ~options c in
-                let nd = List.length out.data_bit in
-                let measures =
-                  List.mapi (fun k (_, phys) -> (phys, nd + k)) out.answer_phys
-                in
-                let h =
-                  Sim.Backend.run_measured ~policy:backend ~seed ?domains
-                    ~shots ~measures out.circuit
-                in
-                (out, h))
+          let recorder, (collector, (out, h)) =
+            with_flight flight (fun () ->
+                Obs.with_collector (fun () ->
+                    let out = Dqc.Pipeline.compile ~options c in
+                    let nd = List.length out.data_bit in
+                    let measures =
+                      List.mapi
+                        (fun k (_, phys) -> (phys, nd + k))
+                        out.answer_phys
+                    in
+                    let h =
+                      Sim.Backend.run_measured ~policy:backend ~seed ?domains
+                        ~shots ~measures out.circuit
+                    in
+                    (out, h)))
           in
           Printf.printf
             "workload: %s (%s), %d shots — compiled to %d qubits, %d gates, \
@@ -428,7 +490,7 @@ let stats_cmd =
             (Sim.Runner.shots h)
             (List.length (Sim.Runner.to_list h));
           print_string (Report.Obs_report.summary collector);
-          export_telemetry ?trace ?metrics collector
+          export_telemetry ?trace ?metrics ?flight:recorder collector
         with
         | Sim.Stabilizer.Unsupported msg -> prerr_endline msg; exit 1
         | Dqc.Transform.Not_transformable msg ->
@@ -447,7 +509,101 @@ let stats_cmd =
           trace and metrics JSON")
     Term.(
       const run $ bench $ scheme_arg $ mode_arg $ shots $ seed $ backend
-      $ domains_arg $ no_check $ passes $ trace_arg $ metrics_arg)
+      $ domains_arg $ no_check $ passes $ trace_arg $ metrics_arg $ flight_arg)
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                            *)
+
+let profile_cmd =
+  let bench =
+    Arg.(
+      value
+      & pos 0 string "AND_9"
+      & info [] ~docv:"BENCHMARK"
+          ~doc:"Benchmark to profile repeatedly (see transform)")
+  in
+  let shots =
+    Arg.(value & opt int 256 & info [ "shots" ] ~doc:"Shots per repetition")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 20
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Compile-and-run repetitions to accumulate distributions over")
+  in
+  let top =
+    Arg.(
+      value & opt int 8
+      & info [ "top" ] ~docv:"K" ~doc:"Hottest spans to list")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int Sim.Runner.default_seed
+      & info [ "seed" ] ~doc:"Base RNG seed (repetition k runs with seed+k)")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt backend_conv Sim.Backend.Auto
+      & info [ "backend" ]
+          ~doc:"Execution backend: auto, dense, stabilizer or exact")
+  in
+  let run name scheme mode shots repeat top seed backend domains trace metrics
+      flight =
+    if repeat < 1 then begin
+      prerr_endline "--repeat must be at least 1";
+      exit 1
+    end;
+    match benchmark_circuit name with
+    | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
+    | Some c -> (
+        try
+          let module O = Dqc.Pipeline.Options in
+          let options =
+            O.default |> O.with_scheme scheme |> O.with_mode mode
+            |> O.with_backend_policy backend
+            |> O.with_check_equivalence false
+          in
+          let recorder, (collector, ()) =
+            with_flight flight (fun () ->
+                Obs.with_collector (fun () ->
+                    for k = 0 to repeat - 1 do
+                      let out = Dqc.Pipeline.compile ~options c in
+                      let nd = List.length out.data_bit in
+                      let measures =
+                        List.mapi
+                          (fun i (_, phys) -> (phys, nd + i))
+                          out.answer_phys
+                      in
+                      ignore
+                        (Sim.Backend.run_measured ~policy:backend
+                           ~seed:(seed + k) ?domains ~shots ~measures
+                           out.circuit)
+                    done))
+          in
+          Printf.printf
+            "profile: %s (%s), %d repetitions x %d shots\n\n" name
+            (Dqc.Toffoli_scheme.to_string scheme)
+            repeat shots;
+          print_string (Report.Obs_report.profile_summary ~top collector);
+          export_telemetry ?trace ?metrics ?flight:recorder collector
+        with
+        | Sim.Stabilizer.Unsupported msg -> prerr_endline msg; exit 1
+        | Dqc.Transform.Not_transformable msg ->
+            prerr_endline ("not transformable: " ^ msg);
+            exit 1
+        | Invalid_argument msg -> prerr_endline msg; exit 1)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a benchmark N times with telemetry on and print the latency \
+          distributions (p50/p90/p99/p99.9 per pass, backend, shot and \
+          kernel-op class) plus the top-K hottest spans")
+    Term.(
+      const run $ bench $ scheme_arg $ mode_arg $ shots $ repeat $ top $ seed
+      $ backend $ domains_arg $ trace_arg $ metrics_arg $ flight_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                            *)
@@ -594,6 +750,21 @@ let lint_cmd =
 (* ------------------------------------------------------------------ *)
 (* verify                                                             *)
 
+(* The verify path drives prepare/transform directly (no pipeline), so
+   mirror the pass manager's pass.end snapshots in the flight ring —
+   a --corrupt dump then shows the certifier verdict preceded by the
+   circuit shapes it judged. *)
+let verify_flight_snapshot pass c =
+  if Obs.Flight.enabled () then
+    Obs.Flight.record ~kind:"pass.end"
+      [
+        ("pass", Obs.Json.String pass);
+        ("pass_kind", Obs.Json.String "transform");
+        ("qubits", Obs.Json.Int (Circuit.Circ.num_qubits c));
+        ("gates", Obs.Json.Int (Circuit.Metrics.gate_count c));
+        ("depth", Obs.Json.Int (Circuit.Metrics.dynamic_depth c));
+      ]
+
 let verify_cmd =
   let file =
     Arg.(
@@ -619,7 +790,7 @@ let verify_cmd =
             "Fault-inject the compiled circuit (flip the qubit under its \
              first measurement) before certifying — demonstrates Refuted")
   in
-  let run bench file scheme mode json corrupt =
+  let run bench file scheme mode json corrupt flight =
     let subject =
       match (bench, file) with
       | _, Some path ->
@@ -642,18 +813,34 @@ let verify_cmd =
         exit 1
     | Some (name, traditional) -> (
         try
-          let prepared = Dqc.Toffoli_scheme.prepare scheme traditional in
-          let mct = scheme = Dqc.Toffoli_scheme.Direct_mct in
-          let r = Dqc.Transform.transform ~mode ~mct prepared in
-          let r =
-            if corrupt then
-              {
-                r with
-                Dqc.Transform.circuit = Dqc.Certifier.corrupt r.circuit;
-              }
-            else r
+          let recorder, (r, verdict) =
+            with_flight flight (fun () ->
+                let prepared = Dqc.Toffoli_scheme.prepare scheme traditional in
+                verify_flight_snapshot "prepare" prepared;
+                let mct = scheme = Dqc.Toffoli_scheme.Direct_mct in
+                let r = Dqc.Transform.transform ~mode ~mct prepared in
+                verify_flight_snapshot "transform" r.Dqc.Transform.circuit;
+                let r =
+                  if corrupt then begin
+                    let r =
+                      {
+                        r with
+                        Dqc.Transform.circuit = Dqc.Certifier.corrupt r.circuit;
+                      }
+                    in
+                    verify_flight_snapshot "corrupt" r.Dqc.Transform.circuit;
+                    r
+                  end
+                  else r
+                in
+                (r, Dqc.Certifier.certify traditional r))
           in
-          let verdict = Dqc.Certifier.certify traditional r in
+          Option.iter
+            (fun (path, rec_) ->
+              Obs.Flight.write ~path rec_;
+              (* stderr: --json owns stdout *)
+              Printf.eprintf "flight record written to %s\n" path)
+            recorder;
           let module C = Verify.Certify in
           let cex_json (cex : C.counterexample) =
             Obs.Json.Obj
@@ -734,7 +921,9 @@ let verify_cmd =
        ~doc:
          "Symbolically certify traditional = DQC equivalence (no \
           simulation); exit 0 proved, 1 unknown, 2 refuted")
-    Term.(const run $ bench $ file $ scheme_arg $ mode_arg $ json $ corrupt)
+    Term.(
+      const run $ bench $ file $ scheme_arg $ mode_arg $ json $ corrupt
+      $ flight_arg)
 
 (* ------------------------------------------------------------------ *)
 (* qpe                                                                *)
@@ -960,6 +1149,7 @@ let () =
             transform_cmd;
             simulate_cmd;
             stats_cmd;
+            profile_cmd;
             analyze_cmd;
             lint_cmd;
             verify_cmd;

@@ -3,9 +3,19 @@
 open Circuit
 
 let certify ?max_refute_vars (c : Circ.t) (r : Transform.result) =
-  Verify.Certify.certify ?max_refute_vars ~traditional:c ~data_bit:r.data_bit
-    ~answer_phys:r.answer_phys ~iteration_order:r.iteration_order
-    ~violations:(List.length r.violations) r.circuit
+  let verdict =
+    Verify.Certify.certify ?max_refute_vars ~traditional:c
+      ~data_bit:r.data_bit ~answer_phys:r.answer_phys
+      ~iteration_order:r.iteration_order
+      ~violations:(List.length r.violations) r.circuit
+  in
+  if Obs.Flight.enabled () then
+    Obs.Flight.record ~kind:"certify.verdict"
+      [
+        ("verdict", Obs.Json.String (Verify.Certify.verdict_to_string verdict));
+        ("proved", Obs.Json.Bool (Verify.Certify.is_proved verdict));
+      ];
+  verdict
 
 (* the CLI's --corrupt fault injection: flip the qubit under the first
    measurement, which provably flips a recorded shared bit — used to

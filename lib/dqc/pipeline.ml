@@ -201,7 +201,16 @@ let lint_body (ctx : Pass.ctx) =
     | None -> Lint.dqc_passes ~max_live:ctx.Pass.config.Pass.slots ()
   in
   let trace = Pass.fresh_facts ctx in
-  let report = Lint.check ?trace ~passes ctx.Pass.circuit in
+  (* run-then-raise rather than [Lint.check] so the flight recorder sees
+     every diagnostic before a rejection unwinds the pipeline *)
+  let report = Lint.run ?trace ~passes ctx.Pass.circuit in
+  if Obs.Flight.enabled () then
+    List.iter
+      (fun d ->
+        Obs.Flight.record ~kind:"lint.diagnostic"
+          [ ("diagnostic", Lint.Diagnostic.to_json d) ])
+      report.Lint.diagnostics;
+  if not (Lint.clean report) then raise (Lint.Rejected report);
   { ctx with Pass.lint = Some report }
 
 let builtin_passes =
@@ -378,9 +387,28 @@ type output = {
   notes : (string * string) list;
 }
 
-let compile ?(options = Options.default) traditional =
-  let output =
-    Obs.with_span "pipeline.compile"
+(* A gate exception means a pass *proved* something is wrong with the
+   compile; that is exactly when the flight recorder's last events
+   (pass snapshots, lint diagnostics, certifier verdicts) matter, so
+   dump them before the exception escapes. *)
+let dump_flight_on e =
+  let dump detail =
+    match
+      Obs.Flight.dump_on_raise ~exn_name:(Printexc.exn_slot_name e) ~detail
+    with
+    | Some path -> Printf.eprintf "flight record written to %s\n%!" path
+    | None -> ()
+  in
+  match e with
+  | Lint.Rejected report -> dump (Lint.summary report)
+  | Reuse_refuted detail -> dump detail
+  | Sim.State.Zero_probability_branch { qubit; outcome } ->
+      dump
+        (Printf.sprintf "qubit %d, outcome %c" qubit (if outcome then '1' else '0'))
+  | _ -> ()
+
+let compile_body ~options traditional =
+  Obs.with_span "pipeline.compile"
       ~attrs:
         [
           ("scheme", Toffoli_scheme.to_string (Options.scheme options));
@@ -409,6 +437,14 @@ let compile ?(options = Options.default) traditional =
           events;
           notes = List.rev ctx.Pass.notes;
         })
+
+let compile ?(options = Options.default) traditional =
+  let output =
+    try compile_body ~options traditional
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      dump_flight_on e;
+      Printexc.raise_with_backtrace e bt
   in
   (* compile runs on the caller's domain: publish what we recorded *)
   Obs.flush ();

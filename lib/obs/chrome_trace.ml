@@ -2,7 +2,9 @@
    at chrome://tracing or https://ui.perfetto.dev.  Every span becomes a
    complete ("X") event; timestamps are microseconds relative to the
    collector's epoch; the domain id is the trace tid, so worker blocks
-   from Sim.Parallel land on their own rows. *)
+   from Sim.Parallel land on their own rows.  Each tid also carries
+   thread_name and thread_sort_index metadata, pinning "main" to the
+   top track with workers ordered by domain id beneath it. *)
 
 let pid = 1
 
@@ -34,15 +36,55 @@ let thread_name_event ~main_tid tid =
       ("args", Json.Obj [ ("name", Json.String name) ]);
     ]
 
-let to_json c =
+let thread_sort_event ~index tid =
+  Json.Obj
+    [
+      ("name", Json.String "thread_sort_index");
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("sort_index", Json.Int index) ]);
+    ]
+
+(* Flight events ride along as instant ("i") marks on the recording
+   domain's own track, so a dump's forensics line up against the span
+   timeline.  Flight and span timestamps share one monotonic clock, so
+   re-basing onto the collector's epoch is a subtraction. *)
+let flight_event ~epoch_ns (e : Flight.event) =
+  Json.Obj
+    [
+      ("name", Json.String e.Flight.kind);
+      ("cat", Json.String "flight");
+      ("ph", Json.String "i");
+      ("ts", Json.Float (Clock.ns_to_us (Int64.sub e.Flight.t_ns epoch_ns)));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int e.Flight.tid);
+      ("s", Json.String "t");
+      ("args", Json.Obj e.Flight.data);
+    ]
+
+let to_json ?flight c =
   let spans = Collector.spans c in
   let epoch_ns = Collector.epoch_ns c in
+  let main_tid = Collector.main_tid c in
+  let flight_events =
+    match flight with None -> [] | Some f -> Flight.events f
+  in
   let tids =
-    List.sort_uniq compare (List.map (fun (s : Collector.span) -> s.tid) spans)
+    List.sort_uniq compare
+      (List.map (fun (s : Collector.span) -> s.tid) spans
+      @ List.map (fun (e : Flight.event) -> e.Flight.tid) flight_events)
+  in
+  (* main first, then workers in domain-id order *)
+  let sorted_tids =
+    List.filter (fun tid -> tid = main_tid) tids
+    @ List.filter (fun tid -> tid <> main_tid) tids
   in
   let events =
-    List.map (thread_name_event ~main_tid:(Collector.main_tid c)) tids
+    List.map (thread_name_event ~main_tid) tids
+    @ List.mapi (fun index tid -> thread_sort_event ~index tid) sorted_tids
     @ List.map (span_event ~epoch_ns) spans
+    @ List.map (flight_event ~epoch_ns) flight_events
   in
   Json.Obj
     [
@@ -62,5 +104,5 @@ let to_json c =
           ] );
     ]
 
-let to_string c = Json.to_string (to_json c)
-let write ~path c = Json.write ~path (to_json c)
+let to_string ?flight c = Json.to_string (to_json ?flight c)
+let write ?flight ~path c = Json.write ~path (to_json ?flight c)

@@ -3,11 +3,15 @@
     Produces the Trace Event "JSON Object Format": a [traceEvents]
     array of complete ("X") events — one per span, timestamps in
     microseconds relative to the collector epoch, [tid] = domain id —
-    plus thread-name metadata, with final counter and gauge values under
-    [otherData].  Load the file at [chrome://tracing] or
-    {{:https://ui.perfetto.dev}Perfetto}; nesting is reconstructed from
-    timestamp containment per tid. *)
+    plus per-domain track metadata ([thread_name] and
+    [thread_sort_index], pinning "main" to the top row with workers
+    beneath in domain-id order) and final counter and gauge values
+    under [otherData].  Passing [?flight] also emits each flight
+    recorder event as an instant ("i") mark on the recording domain's
+    track, re-based onto the collector's epoch.  Load the file at
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}; nesting
+    is reconstructed from timestamp containment per tid. *)
 
-val to_json : Collector.t -> Json.t
-val to_string : Collector.t -> string
-val write : path:string -> Collector.t -> unit
+val to_json : ?flight:Flight.t -> Collector.t -> Json.t
+val to_string : ?flight:Flight.t -> Collector.t -> string
+val write : ?flight:Flight.t -> path:string -> Collector.t -> unit

@@ -4,5 +4,15 @@
    what makes span durations trustworthy. *)
 let now_ns () = Monotonic_clock.now ()
 
+(* CLOCK_PROCESS_CPUTIME_ID through our own stub (clock_stubs.c): time
+   this process actually executed, immune to CPU steal on shared hosts.
+   The overhead measure and the perf gate sample with this so an A/B
+   comparison is not at the mercy of a noisy neighbour. *)
+external process_cputime_ns : unit -> (int64[@unboxed])
+  = "dqc_clock_process_cputime_ns_bytecode" "dqc_clock_process_cputime_ns_native"
+[@@noalloc]
+
+let now_cpu_ns () = process_cputime_ns ()
+
 let ns_to_ms ns = Int64.to_float ns /. 1e6
 let ns_to_us ns = Int64.to_float ns /. 1e3

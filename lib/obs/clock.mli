@@ -3,5 +3,13 @@
 (** Nanoseconds on [CLOCK_MONOTONIC]; meaningful only as differences. *)
 val now_ns : unit -> int64
 
+(** Nanoseconds of CPU actually consumed by this process
+    ([CLOCK_PROCESS_CPUTIME_ID]) — unlike {!now_ns} it excludes time
+    stolen by the hypervisor or spent descheduled, which makes it the
+    right clock for A/B cost comparisons (the telemetry-overhead
+    measure, the perf-regression gate) on shared machines.  Counts all
+    threads of the process; meaningful only as differences. *)
+val now_cpu_ns : unit -> int64
+
 val ns_to_ms : int64 -> float
 val ns_to_us : int64 -> float

@@ -1,0 +1,27 @@
+/* Process-CPU-time clock, nanosecond resolution.
+
+   CLOCK_MONOTONIC (the span clock, via bechamel's stub) counts wall
+   time, including time the host steals from the VM — which on a shared
+   box swamps small effects like the telemetry overhead budget.
+   CLOCK_PROCESS_CPUTIME_ID counts only cycles this process actually
+   executed, so A/B cost comparisons survive noisy neighbours.  POSIX
+   only; no library dependency. */
+
+#include <time.h>
+#include <stdint.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+int64_t dqc_clock_process_cputime_ns_native(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0)
+    return 0;
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+value dqc_clock_process_cputime_ns_bytecode(value unit)
+{
+  return caml_copy_int64(dqc_clock_process_cputime_ns_native(unit));
+}

@@ -14,11 +14,33 @@ type span_stat = {
   max_ns : int64;
 }
 
+(* How per-domain values of the same gauge combine at flush.  The old
+   behaviour (last batch to flush wins) was a race once two domains set
+   the same gauge; [Max] is the default because every current gauge is
+   a "how far did this run get" measure where the largest observation
+   is the honest summary.  [Last] survives for gauges that are truly
+   set-once-on-main. *)
+type gauge_rule = Max | Min | Sum | Last
+
+let gauge_rules : (string, gauge_rule) Hashtbl.t = Hashtbl.create 8
+let set_gauge_rule name rule = Hashtbl.replace gauge_rules name rule
+
+let gauge_rule name =
+  Option.value ~default:Max (Hashtbl.find_opt gauge_rules name)
+
+let combine_gauge rule prev v =
+  match rule with
+  | Max -> Float.max prev v
+  | Min -> Float.min prev v
+  | Sum -> prev +. v
+  | Last -> v
+
 type t = {
   mutex : Mutex.t;
   mutable recorded : span list; (* newest first, within a flush batch *)
   counters : (string, int) Hashtbl.t;
   gauges : (string, float) Hashtbl.t;
+  hists : (string, Histogram.t) Hashtbl.t;
   epoch_ns : int64;
   main_tid : int;
 }
@@ -29,6 +51,7 @@ let create () =
     recorded = [];
     counters = Hashtbl.create 64;
     gauges = Hashtbl.create 16;
+    hists = Hashtbl.create 32;
     epoch_ns = Clock.now_ns ();
     main_tid = (Domain.self () :> int);
   }
@@ -40,7 +63,7 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let absorb t ~spans ~counters ~gauges =
+let absorb ?(hists = []) t ~spans ~counters ~gauges =
   locked t (fun () ->
       t.recorded <- List.rev_append spans t.recorded;
       List.iter
@@ -48,7 +71,19 @@ let absorb t ~spans ~counters ~gauges =
           let prev = Option.value ~default:0 (Hashtbl.find_opt t.counters name) in
           Hashtbl.replace t.counters name (prev + n))
         counters;
-      List.iter (fun (name, v) -> Hashtbl.replace t.gauges name v) gauges)
+      List.iter
+        (fun (name, v) ->
+          match Hashtbl.find_opt t.gauges name with
+          | None -> Hashtbl.replace t.gauges name v
+          | Some prev ->
+              Hashtbl.replace t.gauges name (combine_gauge (gauge_rule name) prev v))
+        gauges;
+      List.iter
+        (fun (name, h) ->
+          match Hashtbl.find_opt t.hists name with
+          | Some into -> Histogram.merge_into ~into h
+          | None -> Hashtbl.replace t.hists name (Histogram.copy h))
+        hists)
 
 let spans t =
   locked t (fun () ->
@@ -73,6 +108,13 @@ let gauge t name = locked t (fun () -> Hashtbl.find_opt t.gauges name)
 let gauges t =
   locked t (fun () ->
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.gauges []
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
+
+let histogram t name = locked t (fun () -> Hashtbl.find_opt t.hists name)
+
+let histograms t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.hists []
       |> List.sort (fun (a, _) (b, _) -> compare a b))
 
 let span_stats t =

@@ -1,10 +1,11 @@
 (** In-memory telemetry store — the one sink every exporter reads.
 
     A collector accumulates completed {!span}s, monotonically increasing
-    counters and last-write-wins gauges.  Instrumented code never talks
-    to it directly: records go to a per-domain buffer (see {!Runtime})
-    and are merged here in batches under a mutex, so worker domains
-    never contend per event. *)
+    counters, gauges (merged per {!gauge_rule}) and mergeable latency
+    {!Histogram}s.  Instrumented code never talks to it directly:
+    records go to a per-domain buffer (see {!Runtime}) and are merged
+    here in batches under a mutex, so worker domains never contend per
+    event. *)
 
 type span = {
   name : string;
@@ -22,6 +23,20 @@ type span_stat = {
   max_ns : int64;
 }
 
+(** How per-domain values of one gauge combine when batches merge.
+    Within a domain the last write wins (a time-ordered sequence on one
+    thread); across domains the registered rule decides — [Max] by
+    default, which makes the result independent of flush order.
+    [Last] reproduces the historical race and is only safe for gauges
+    written by a single domain. *)
+type gauge_rule = Max | Min | Sum | Last
+
+(** Register the merge rule for a gauge name (default when never
+    registered: [Max]).  Global — call at the instrumentation site. *)
+val set_gauge_rule : string -> gauge_rule -> unit
+
+val gauge_rule : string -> gauge_rule
+
 type t
 
 val create : unit -> t
@@ -34,8 +49,10 @@ val epoch_ns : t -> int64
 val main_tid : t -> int
 
 (** Merge one per-domain batch: spans are appended, counters added,
-    gauges replaced.  Thread-safe. *)
+    gauges combined by their {!gauge_rule}, histograms bucket-wise
+    added.  Thread-safe. *)
 val absorb :
+  ?hists:(string * Histogram.t) list ->
   t ->
   spans:span list ->
   counters:(string * int) list ->
@@ -51,6 +68,13 @@ val counter : t -> string -> int
 val counters : t -> (string * int) list
 val gauge : t -> string -> float option
 val gauges : t -> (string * float) list
+
+(** [histogram t name] is the merged histogram, [None] when never
+    recorded.  Every span name has one (recorded by [with_span]);
+    [Obs.record_ns] creates them directly. *)
+val histogram : t -> string -> Histogram.t option
+
+val histograms : t -> (string * Histogram.t) list
 
 (** Per-name aggregation of {!spans}, sorted by name. *)
 val span_stats : t -> (string * span_stat) list

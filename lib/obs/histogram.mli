@@ -1,0 +1,64 @@
+(** Log-linear (HDR-style) latency histograms with bounded-error
+    percentiles.
+
+    A histogram is a flat bucket array: [2^5 = 32] linear sub-buckets
+    per power of two, so any quantile estimate is a {e lower bound}
+    within relative error {!error_bound} (3.125%) of the true sample —
+    small values (below 64 ns) are exact.  Recording is two shifts and
+    an increment; merging is bucket-wise addition, which makes
+    per-domain histograms combine at flush into totals independent of
+    the domain count (the same determinism contract counters have).
+    Min, max and sum are tracked exactly alongside the buckets.
+
+    [Obs.with_span] records every span's duration into the histogram
+    of the same name; [Obs.record_ns] records into a named histogram
+    directly (the per-shot and per-kernel-op paths, where retaining a
+    span per event would be too costly).  Exported per name in the
+    [histograms] section of the [dqc.obs.metrics/2] document. *)
+
+type t
+
+val create : unit -> t
+
+(** [record t v] adds one observation of [v] nanoseconds (negative
+    values clamp to 0; values above 2^48 saturate the top bucket). *)
+val record : t -> int -> unit
+
+val count : t -> int
+val is_empty : t -> bool
+
+(** Exact tracked extremes ([min_value] is 0 when empty). *)
+val min_value : t -> int
+
+val max_value : t -> int
+val sum : t -> float
+val mean : t -> float
+
+(** [quantile t q] estimates the [q]-quantile (rank [ceil (q * count)])
+    as the lower bound of its bucket, clamped into the exact
+    [min_value]/[max_value] envelope.  The true sample lies within
+    [est * (1 + error_bound) + 1]. *)
+val quantile : t -> float -> int
+
+val p50 : t -> int
+val p90 : t -> int
+val p99 : t -> int
+val p999 : t -> int
+
+(** Maximum relative quantile error the bucket layout admits. *)
+val error_bound : float
+
+(** Reset to empty in place, keeping the bucket storage allocated. *)
+val clear : t -> unit
+
+(** [merge_into ~into src] adds [src]'s observations to [into]. *)
+val merge_into : into:t -> t -> unit
+
+(** Fresh histogram holding both inputs' observations. *)
+val merge : t -> t -> t
+
+val copy : t -> t
+
+(** Summary object: [count], [sum_ns], [min_ns], [max_ns], [mean_ns],
+    [p50_ns], [p90_ns], [p99_ns], [p999_ns]. *)
+val to_json : t -> Json.t

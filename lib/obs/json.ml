@@ -66,3 +66,188 @@ let write ~path j =
     (fun () ->
       output_string oc (to_string j);
       output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Parsing — enough of RFC 8259 to read back what this module (and the
+   bench harness) writes: the regression gate diffs a current run
+   against a checked-in baseline document. *)
+
+exception Parse_error of string
+
+let parse_fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | Some _ | None -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> parse_fail "expected %c at offset %d, got %c" c !pos c'
+    | None -> parse_fail "expected %c at offset %d, got end of input" c !pos
+  in
+  let literal word v =
+    if
+      !pos + String.length word <= n
+      && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else parse_fail "invalid literal at offset %d" !pos
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> parse_fail "unterminated string at offset %d" !pos
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | None -> parse_fail "unterminated escape at offset %d" !pos
+          | Some c ->
+              advance ();
+              (match c with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | '/' -> Buffer.add_char buf '/'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 'r' -> Buffer.add_char buf '\r'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'b' -> Buffer.add_char buf '\b'
+              | 'f' -> Buffer.add_char buf '\012'
+              | 'u' ->
+                  if !pos + 4 > n then
+                    parse_fail "truncated \\u escape at offset %d" !pos;
+                  let hex = String.sub s !pos 4 in
+                  pos := !pos + 4;
+                  let code =
+                    try int_of_string ("0x" ^ hex)
+                    with Failure _ ->
+                      parse_fail "invalid \\u escape at offset %d" !pos
+                  in
+                  (* emitter only escapes control chars, which are
+                     single bytes; anything else round-trips as '?' *)
+                  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                  else Buffer.add_char buf '?'
+              | c -> parse_fail "invalid escape \\%c at offset %d" c !pos);
+              go ())
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while match peek () with Some c when is_num_char c -> true | _ -> false do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    match int_of_string_opt lit with
+    | Some k -> Int k
+    | None -> (
+        match float_of_string_opt lit with
+        | Some f -> Float f
+        | None -> parse_fail "invalid number %S at offset %d" lit start)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> parse_fail "unexpected end of input at offset %d" !pos
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec member () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (key, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                member ()
+            | Some '}' -> advance ()
+            | _ -> parse_fail "expected , or } at offset %d" !pos
+          in
+          member ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec item () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                item ()
+            | Some ']' -> advance ()
+            | _ -> parse_fail "expected , or ] at offset %d" !pos
+          in
+          item ();
+          List (List.rev !items)
+        end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then parse_fail "trailing content at offset %d" !pos;
+  v
+
+let read ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+(* Lookup helpers for consumers of parsed documents *)
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None
+
+let to_float_opt = function
+  | Int k -> Some (float_of_int k)
+  | Float f -> Some f
+  | Null | Bool _ | String _ | List _ | Obj _ -> None
+
+let to_string_opt = function
+  | String s -> Some s
+  | Null | Bool _ | Int _ | Float _ | List _ | Obj _ -> None

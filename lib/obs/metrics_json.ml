@@ -1,4 +1,4 @@
-let schema = "dqc.obs.metrics/1"
+let schema = "dqc.obs.metrics/2"
 
 let span_stat_json (st : Collector.span_stat) =
   Json.Obj
@@ -11,6 +11,12 @@ let span_stat_json (st : Collector.span_stat) =
         Json.Float (Int64.to_float st.total_ns /. float_of_int st.count) );
     ]
 
+(* Version 2 keeps every v1 key with identical meaning (counters,
+   gauges, spans, wall_ns — a v1 consumer can read a v2 document by
+   ignoring the new section) and adds [histograms]: per-name latency
+   distributions with p50/p90/p99/p99.9 and the relative quantile
+   error bound.  Span names appear in both sections — [spans] carries
+   the exact aggregates, [histograms] the percentiles. *)
 let to_json c =
   Json.Obj
     [
@@ -26,6 +32,12 @@ let to_json c =
           (List.map
              (fun (name, st) -> (name, span_stat_json st))
              (Collector.span_stats c)) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (name, h) -> (name, Histogram.to_json h))
+             (Collector.histograms c)) );
+      ("quantile_error_bound", Json.Float Histogram.error_bound);
       ("wall_ns", Json.Float (Int64.to_float (Collector.root_wall_ns c)));
     ]
 

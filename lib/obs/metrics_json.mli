@@ -1,10 +1,16 @@
 (** Flat metrics exporter: one JSON object holding every counter and
-    gauge by name plus per-span-name aggregates
-    ([count]/[total_ns]/[min_ns]/[max_ns]/[mean_ns]) — the format the
-    bench harness writes as [BENCH_obs.json] so the perf trajectory is
-    diffable across commits. *)
+    gauge by name, per-span-name aggregates
+    ([count]/[total_ns]/[min_ns]/[max_ns]/[mean_ns]) and — new in
+    version 2 — per-name latency histograms with
+    [p50_ns]/[p90_ns]/[p99_ns]/[p999_ns] percentiles.  This is the
+    format the bench harness writes as [BENCH_obs.json] so the perf
+    trajectory is diffable across commits.
 
-(** ["dqc.obs.metrics/1"], stamped into every document. *)
+    Version 2 is a strict superset of version 1: every v1 key survives
+    with identical meaning, so v1 consumers ignore the [histograms]
+    and [quantile_error_bound] additions. *)
+
+(** ["dqc.obs.metrics/2"], stamped into every document. *)
 val schema : string
 
 val to_json : Collector.t -> Json.t

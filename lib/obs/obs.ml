@@ -6,7 +6,9 @@
 
 module Clock = Clock
 module Json = Json
+module Histogram = Histogram
 module Collector = Collector
+module Flight = Flight
 module Chrome_trace = Chrome_trace
 module Metrics_json = Metrics_json
 include Runtime

@@ -13,6 +13,7 @@ type buffer = {
   mutable bspans : Collector.span list;
   bcounters : (string, int ref) Hashtbl.t;
   bgauges : (string, float) Hashtbl.t;
+  bhists : (string, Histogram.t) Hashtbl.t;
   mutable stack_depth : int;
 }
 
@@ -21,6 +22,7 @@ let fresh_buffer () =
     bspans = [];
     bcounters = Hashtbl.create 32;
     bgauges = Hashtbl.create 8;
+    bhists = Hashtbl.create 16;
     stack_depth = 0;
   }
 
@@ -31,6 +33,11 @@ let clear_local () =
   buf.bspans <- [];
   Hashtbl.reset buf.bcounters;
   Hashtbl.reset buf.bgauges;
+  (* histograms are zeroed in place, not dropped: reallocating every
+     bucket array on each install shows up as per-run GC perturbation
+     in the telemetry-overhead A/B measurement (bench backend), and a
+     cleared histogram is indistinguishable from a fresh one *)
+  Hashtbl.iter (fun _ h -> Histogram.clear h) buf.bhists;
   buf.stack_depth <- 0
 
 let enabled () = Option.is_some (Atomic.get active)
@@ -50,14 +57,26 @@ let flush () =
         buf.bspans <> []
         || Hashtbl.length buf.bcounters > 0
         || Hashtbl.length buf.bgauges > 0
+        || Hashtbl.length buf.bhists > 0
       then begin
         Collector.absorb c ~spans:buf.bspans
           ~counters:
             (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) buf.bcounters [])
-          ~gauges:(Hashtbl.fold (fun k v acc -> (k, v) :: acc) buf.bgauges []);
+          ~gauges:(Hashtbl.fold (fun k v acc -> (k, v) :: acc) buf.bgauges [])
+          ~hists:
+            (Hashtbl.fold
+               (fun k h acc ->
+                 if Histogram.is_empty h then acc else (k, h) :: acc)
+               buf.bhists []);
         buf.bspans <- [];
         Hashtbl.reset buf.bcounters;
-        Hashtbl.reset buf.bgauges
+        Hashtbl.reset buf.bgauges;
+        (* cleared in place, not dropped: keeping the bucket arrays
+           allocated means a flush per Backend.run costs no
+           reallocation and leaves no garbage — the dominant share of
+           the fixed per-run telemetry cost (bench/main.ml backend
+           measures the budget) *)
+        Hashtbl.iter (fun _ h -> Histogram.clear h) buf.bhists
       end
 
 let uninstall () =
@@ -85,6 +104,21 @@ let incr ?(n = 1) name =
 let set_gauge name v =
   if enabled () then Hashtbl.replace (Domain.DLS.get key).bgauges name v
 
+let buffer_hist buf name =
+  match Hashtbl.find_opt buf.bhists name with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.replace buf.bhists name h;
+      h
+
+let buffer_record buf name v = Histogram.record (buffer_hist buf name) v
+
+let record_ns name v =
+  if enabled () then buffer_record (Domain.DLS.get key) name v
+
+let local_histogram name = buffer_hist (Domain.DLS.get key) name
+
 let with_span ?(attrs = []) name f =
   if not (enabled ()) then f ()
   else begin
@@ -104,7 +138,11 @@ let with_span ?(attrs = []) name f =
           depth;
           attrs;
         }
-        :: buf.bspans
+        :: buf.bspans;
+      (* every span feeds the latency distribution of its name, so the
+         metrics export carries percentiles for pipeline passes and
+         backend requests without a separate recording site *)
+      buffer_record buf name (Int64.to_int dur_ns)
     in
     Fun.protect ~finally f
   end

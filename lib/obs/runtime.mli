@@ -31,11 +31,33 @@ val flush : unit -> unit
 (** [incr ?n name] adds [n] (default 1) to counter [name]. *)
 val incr : ?n:int -> string -> unit
 
-(** [set_gauge name v] records the latest value of gauge [name]
-    (last write to reach the collector wins). *)
+(** [set_gauge name v] records the latest value of gauge [name].
+    Within a domain the last write wins; across domains the gauge's
+    {!Collector.gauge_rule} decides (default [Max]). *)
 val set_gauge : string -> float -> unit
+
+(** [record_ns name v] adds one observation (nanoseconds) to the
+    latency histogram [name] without retaining a span — the tool for
+    high-frequency events (per-shot replay, per-kernel-op timing) where
+    keeping every span would swamp memory.  Quantile error is bounded
+    by {!Histogram.error_bound}. *)
+val record_ns : string -> int -> unit
+
+(** [local_histogram name] is the calling domain's buffered histogram
+    [name], created empty if absent.  Hot loops hoist this lookup and
+    call {!Histogram.record} on the handle directly, skipping the
+    per-event enabled/domain-buffer/table probes that {!record_ns}
+    pays.  The handle is only meaningful on the domain that obtained
+    it, and only while the collector it was obtained under stays
+    installed ({!install} drops the buffer; {!flush} merges and empties
+    the handle in place, so it stays valid between batches).  Callers
+    must check {!enabled} first, or the records go to a buffer nobody
+    will ever drain. *)
+val local_histogram : string -> Histogram.t
 
 (** [with_span ?attrs name f] times [f] with the monotonic clock and
     records a span on completion (also on exception).  Spans nest: the
-    recorded depth is the number of enclosing spans on this domain. *)
+    recorded depth is the number of enclosing spans on this domain.
+    The duration also feeds the histogram of the same name, so span
+    sites get percentiles for free. *)
 val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a

@@ -5,6 +5,18 @@
 
 let ms ns = Printf.sprintf "%.3f" (Obs.Clock.ns_to_ms ns)
 let us ns = Printf.sprintf "%.1f" (Obs.Clock.ns_to_us ns)
+let usi ns = us (Int64.of_int ns)
+
+(* p50/p99 come from the same-name histogram with_span feeds; "-" for
+   a span name that somehow has none (it was absorbed empty). *)
+let span_percentiles c name =
+  match Obs.Collector.histogram c name with
+  | Some h when not (Obs.Histogram.is_empty h) ->
+      (usi (Obs.Histogram.p50 h), usi (Obs.Histogram.p99 h))
+  | Some _ | None -> ("-", "-")
+
+let span_headers =
+  [ "span"; "count"; "total ms"; "mean us"; "p50 us"; "p99 us"; "max us"; "share" ]
 
 let span_rows c =
   let wall = Obs.Collector.root_wall_ns c in
@@ -23,11 +35,14 @@ let span_rows c =
           Printf.sprintf "%.1f%%"
             (100. *. Int64.to_float st.total_ns /. Int64.to_float wall)
       in
+      let p50, p99 = span_percentiles c name in
       [
         name;
         string_of_int st.count;
         ms st.total_ns;
         us (Int64.div st.total_ns (Int64.of_int (max 1 st.count)));
+        p50;
+        p99;
         us st.max_ns;
         share;
       ])
@@ -36,10 +51,7 @@ let span_rows c =
 let span_table c =
   match span_rows c with
   | [] -> "no spans recorded\n"
-  | rows ->
-      Table.render
-        ~headers:[ "span"; "count"; "total ms"; "mean us"; "max us"; "share" ]
-        ~rows ()
+  | rows -> Table.render ~headers:span_headers ~rows ()
 
 let counter_rows c =
   List.map
@@ -54,13 +66,62 @@ let counter_table c =
   | [] -> "no counters recorded\n"
   | rows -> Table.render ~headers:[ "counter / gauge"; "value" ] ~rows ()
 
+let histogram_headers =
+  [ "histogram"; "count"; "mean us"; "p50 us"; "p90 us"; "p99 us";
+    "p99.9 us"; "max us" ]
+
+let histogram_rows c =
+  let named =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Obs.Collector.histograms c)
+  in
+  List.filter_map
+    (fun (name, h) ->
+      if Obs.Histogram.is_empty h then None
+      else
+        Some
+          [
+            name;
+            string_of_int (Obs.Histogram.count h);
+            Printf.sprintf "%.1f" (Obs.Histogram.mean h /. 1e3);
+            usi (Obs.Histogram.p50 h);
+            usi (Obs.Histogram.p90 h);
+            usi (Obs.Histogram.p99 h);
+            usi (Obs.Histogram.p999 h);
+            usi (Obs.Histogram.max_value h);
+          ])
+    named
+
+let histogram_table c =
+  match histogram_rows c with
+  | [] -> "no histograms recorded\n"
+  | rows -> Table.render ~headers:histogram_headers ~rows ()
+
+let rec take k = function
+  | [] -> []
+  | x :: rest -> if k <= 0 then [] else x :: take (k - 1) rest
+
 let summary c =
   Printf.sprintf "%s\n%s\n%s\n%s"
-    (Table.render_titled ~title:"Spans"
-       ~headers:[ "span"; "count"; "total ms"; "mean us"; "max us"; "share" ]
+    (Table.render_titled ~title:"Spans" ~headers:span_headers
        ~rows:(span_rows c) ())
     ""
     (Table.render_titled ~title:"Counters and gauges"
        ~headers:[ "counter / gauge"; "value" ]
        ~rows:(counter_rows c) ())
+    ""
+
+let profile_summary ?(top = 8) c =
+  let hot = take top (span_rows c) in
+  Printf.sprintf "%s\n%s\n%s\n%s"
+    (Table.render_titled
+       ~title:
+         (Printf.sprintf "Latency histograms (quantile error <= %.3g%%)"
+            (100. *. Obs.Histogram.error_bound))
+       ~headers:histogram_headers ~rows:(histogram_rows c) ())
+    ""
+    (Table.render_titled
+       ~title:(Printf.sprintf "Hottest spans (top %d by total time)" top)
+       ~headers:span_headers ~rows:hot ())
     ""

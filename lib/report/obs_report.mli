@@ -1,10 +1,18 @@
 (** Human-readable sink for [Obs] collectors.
 
     [span_table] aggregates spans by name (sorted by total time, with
-    the share of observed wall time), [counter_table] lists every
-    counter and gauge, and [summary] stacks both with titles — the
-    breakdown [dqc_cli stats] prints. *)
+    p50/p99 from the same-name latency histogram and the share of
+    observed wall time), [counter_table] lists every counter and gauge,
+    [histogram_table] renders every latency histogram with its
+    percentile ladder, and [summary] stacks spans + counters — the
+    breakdown [dqc_cli stats] prints.  [profile_summary] is the
+    [dqc_cli profile] view: the full histogram ladder plus the top-k
+    hottest spans. *)
 
 val span_table : Obs.Collector.t -> string
 val counter_table : Obs.Collector.t -> string
+val histogram_table : Obs.Collector.t -> string
 val summary : Obs.Collector.t -> string
+
+(** [profile_summary ?top c] ([top] defaults to 8). *)
+val profile_summary : ?top:int -> Obs.Collector.t -> string

@@ -71,13 +71,15 @@ module Prefix = struct
         let st = Program.fresh_state program in
         Program.exec ~random:no_random st prefix_program;
         Obs.set_gauge "backend.prefix.fraction" (fraction c);
+        if Obs.Flight.enabled () then
+          Obs.Flight.record ~kind:"backend.prefix.prepared"
+            [ ("fraction", Obs.Json.Float (fraction c)) ];
         { state = st; suffix; suffix_program })
 
   let state t = t.state
   let suffix t = t.suffix
 
   let run_shot t ~rng =
-    Obs.incr "backend.prefix.hit";
     let st = Statevector.copy t.state in
     let random () = Random.State.float rng 1.0 in
     Program.exec ~random st t.suffix_program;
@@ -148,6 +150,15 @@ let run ?policy ?(seed = Runner.default_seed) ?domains ?plan
   in
   let width = Circ.num_bits c in
   let engine = select ?policy ~shots c in
+  if Obs.Flight.enabled () then
+    Obs.Flight.record ~kind:"backend.run"
+      [
+        ("engine", Obs.Json.String (engine_name engine));
+        ("seed", Obs.Json.Int seed);
+        ("shots", Obs.Json.Int shots);
+        ("qubits", Obs.Json.Int (Circ.num_qubits c));
+        ("prefix_cache", Obs.Json.Bool prefix_cache);
+      ];
   let dispatch () =
     match engine with
     | `Stabilizer ->
@@ -160,15 +171,21 @@ let run ?policy ?(seed = Runner.default_seed) ?domains ?plan
     | `Dense ->
         if prefix_cache then begin
           let cached = Prefix.prepare c in
+          (* counted once per dispatch, not per shot: a counter bump is
+             a name lookup in the domain buffer, too expensive for the
+             per-shot path under the <2% telemetry budget *)
+          Obs.incr ~n:shots "backend.prefix.hit";
           Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
               Prefix.run_shot cached ~rng)
         end
         else begin
           (* still compiled — one whole-circuit program replayed per
              shot, bit-identical to the prefix-cached execution *)
+          if Obs.Flight.enabled () then
+            Obs.Flight.record ~kind:"backend.prefix.bypassed" [];
           let program = Program.compile c in
+          Obs.incr ~n:shots "backend.prefix.miss";
           Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
-              Obs.incr "backend.prefix.miss";
               Statevector.register (Program.run ~rng program))
         end
   in

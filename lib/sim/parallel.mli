@@ -15,13 +15,22 @@
     Telemetry (when an [Obs] collector is installed): a [parallel.run]
     span wrapping the whole dispatch, one [parallel.block] span per
     contiguous shot block with [parallel.block.<k>.shots] /
-    [parallel.block.<k>.wall_ns] tallies, and a [parallel.shots]
-    counter.  Worker domains flush their telemetry buffers before
-    finishing, so per-domain records merge at join and counter totals
-    are independent of the domain count. *)
+    [parallel.block.<k>.wall_ns] tallies, a [parallel.shots] counter,
+    and one shot in {!shot_sample_every} timed into the
+    [parallel.shot] latency histogram.  Worker domains flush their
+    telemetry buffers before finishing, so per-domain records merge at
+    join and counter totals are independent of the domain count. *)
 
 (** [Domain.recommended_domain_count ()] — the default worker count. *)
 val recommended_domains : unit -> int
+
+(** Per-shot timing sample stride: shots whose global index is a
+    multiple of this are timed into [parallel.shot].  Keyed on the
+    shot index — not a per-domain tick — so which shots are observed,
+    and the histogram count, are independent of the domain count.
+    Timing every shot would cost ~2-3% of a prefix-cached run, over
+    the <2% telemetry budget (docs/OBSERVABILITY.md). *)
+val shot_sample_every : int
 
 (** [run ?domains ?seed ~width ~shots f] tallies
     [f ~rng ~index:i] for [i = 0 .. shots-1] into a histogram of the

@@ -420,15 +420,74 @@ let rec apply st op =
       if State.register st land mask = value then apply st body
   | Mk _ | Rk _ -> invalid_arg "Program.apply: branching op"
 
-let exec ~random st t =
-  let ops = t.ops in
+let[@inline] exec_op ~random st op =
+  match op with
+  | Mk { qubit; bit } ->
+      ignore (State.measure ~random:(random ()) st ~qubit ~bit)
+  | Rk q -> State.reset ~random:(random ()) st q
+  | (Xk _ | Hk _ | Phasek _ | Diagk _ | U2k _ | Ck _) as op -> apply st op
+
+(* Constant per-class histogram names: the timed loop must not build
+   strings per op. *)
+let op_hist_name = function
+  | Xk _ -> "sim.program.op.x"
+  | Hk _ -> "sim.program.op.h"
+  | Phasek _ -> "sim.program.op.phase"
+  | Diagk _ -> "sim.program.op.diag"
+  | U2k _ -> "sim.program.op.u2"
+  | Ck _ -> "sim.program.op.cond"
+  | Mk _ -> "sim.program.op.measure"
+  | Rk _ -> "sim.program.op.reset"
+
+(* Per-op timing is sampled: one replay in [op_sample_every] runs the
+   timed loop, the rest run the production loop even with a collector
+   installed.  A fused op is tens of ns and a mid-replay clock read is
+   several hundred (the replay just evicted the vDSO page), so timing
+   every op of every shot costs ~10% of the prefix-cached reference
+   run — far over the <2% telemetry budget in docs/OBSERVABILITY.md.
+   Sampling keeps the per-class distributions (hundreds of
+   observations on any real workload, the count says how many) at a
+   small fraction of that cost.  The tick is per-domain, so parallel
+   workers sample independently without contention. *)
+let op_sample_every = 256
+
+let op_sample_tick = Domain.DLS.new_key (fun () -> ref 0)
+
+let exec_plain ~random st ops =
   for k = 0 to Array.length ops - 1 do
-    match Array.unsafe_get ops k with
-    | Mk { qubit; bit } ->
-        ignore (State.measure ~random:(random ()) st ~qubit ~bit)
-    | Rk q -> State.reset ~random:(random ()) st q
-    | (Xk _ | Hk _ | Phasek _ | Diagk _ | U2k _ | Ck _) as op -> apply st op
+    exec_op ~random st (Array.unsafe_get ops k)
   done
+
+(* Timestamps are chained — op [k]'s end read doubles as op [k+1]'s
+   start read, halving the clock reads per timed replay.  A bracket
+   therefore also covers the previous op's histogram record (tens of
+   ns against the µs-scale op costs measured here).  Recording goes
+   straight to the domain-local handle: exec_timed only runs with a
+   collector installed, so the per-record enabled check and DLS fetch
+   that [Obs.record_ns] would pay are redundant. *)
+let exec_timed ~random st ops =
+  let t = ref (Obs.Clock.now_ns ()) in
+  for k = 0 to Array.length ops - 1 do
+    let op = Array.unsafe_get ops k in
+    exec_op ~random st op;
+    let t1 = Obs.Clock.now_ns () in
+    Obs.Histogram.record
+      (Obs.local_histogram (op_hist_name op))
+      (Int64.to_int (Int64.sub t1 !t));
+    t := t1
+  done
+
+let exec ~random st t =
+  if not (Obs.enabled ()) then
+    (* the production path: one Atomic load for the whole replay *)
+    exec_plain ~random st t.ops
+  else begin
+    let tick = Domain.DLS.get op_sample_tick in
+    let k = !tick in
+    tick := k + 1;
+    if k land (op_sample_every - 1) = 0 then exec_timed ~random st t.ops
+    else exec_plain ~random st t.ops
+  end
 
 let fresh_state t = State.create t.n ~num_bits:t.num_bits
 

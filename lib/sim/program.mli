@@ -20,7 +20,13 @@ open Circuit
     bumps the [sim.program.ops] / [sim.program.fused] /
     [sim.program.fallback] counters (ops emitted, gate applications
     eliminated by fusion, ops on the generic-2x2 fallback kernel).
-    Execution itself is deliberately uninstrumented.
+    With a collector installed, {!exec} times ops into the per-class
+    [sim.program.op.<class>] latency histograms
+    ([x]/[h]/[phase]/[diag]/[u2]/[cond]/[measure]/[reset]), sampling
+    one replay in 256 per domain — timing every op of every shot would
+    blow the <2% telemetry budget (docs/OBSERVABILITY.md); the
+    histogram [count] says how many ops were actually observed.  With
+    none installed the replay loop pays one Atomic load total.
 
     See docs/EXECUTION.md, "Compiled execution plans". *)
 

@@ -310,7 +310,20 @@ let test_counters_domain_independent () =
     "counter totals identical 1 vs 4 domains" (engine_counters c1)
     (engine_counters c4);
   check_int "every shot tallied once" shots
-    (Obs.Collector.counter c1 "parallel.shots")
+    (Obs.Collector.counter c1 "parallel.shots");
+  (* per-domain histograms merge bucket-wise, and shot timing samples
+     on the global shot index, so totals are domain-count-independent
+     too *)
+  let sampled = shots / Sim.Parallel.shot_sample_every in
+  let hist_count c name =
+    match Obs.Collector.histogram c name with
+    | Some h -> Obs.Histogram.count h
+    | None -> 0
+  in
+  check_int "shot histogram count 1 domain" sampled
+    (hist_count c1 "parallel.shot");
+  check_int "shot histogram count 4 domains" sampled
+    (hist_count c4 "parallel.shot")
 
 let test_histogram_unchanged_by_telemetry () =
   let bare = run_dense (dyn2_and ()) in
@@ -434,6 +447,261 @@ let test_metrics_json_export () =
     (Option.bind (member "mean_ns" compile) get_num <> None)
 
 (* ------------------------------------------------------------------ *)
+(* Library JSON parser (Obs.Json.parse — used by the bench gate)      *)
+
+let test_json_library_parser () =
+  let v =
+    Obs.Json.Obj
+      [
+        ("s", Obs.Json.String "line\nbreak \"q\"");
+        ("l", Obs.Json.List [ Obs.Json.Int 3; Obs.Json.Float (-2.5) ]);
+        ("n", Obs.Json.Null);
+        ("b", Obs.Json.Bool false);
+        ("o", Obs.Json.Obj []);
+      ]
+  in
+  check_bool "round-trip through Obs.Json.parse" true
+    (Obs.Json.parse (Obs.Json.to_string v) = v);
+  check_bool "malformed input raises Parse_error" true
+    (match Obs.Json.parse "{\"a\": 1," with
+    | exception Obs.Json.Parse_error _ -> true
+    | _ -> false);
+  check_bool "trailing garbage raises Parse_error" true
+    (match Obs.Json.parse "1 2" with
+    | exception Obs.Json.Parse_error _ -> true
+    | _ -> false);
+  check_bool "member lookup" true
+    (Obs.Json.member "b" v = Some (Obs.Json.Bool false));
+  check_bool "member on non-object" true
+    (Obs.Json.member "x" Obs.Json.Null = None);
+  check_bool "to_float_opt coerces ints" true
+    (Obs.Json.to_float_opt (Obs.Json.Int 7) = Some 7.0)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                         *)
+
+let hist_of samples =
+  let h = Obs.Histogram.create () in
+  List.iter (Obs.Histogram.record h) samples;
+  h
+
+let sample_gen =
+  QCheck2.Gen.(list_size (int_range 1 400) (int_bound 5_000_000))
+
+let prop_hist_merge_split =
+  QCheck2.Test.make ~name:"merge of split samples = histogram of the whole"
+    ~count:100
+    QCheck2.Gen.(pair sample_gen (int_bound 1000))
+    (fun (samples, cut) ->
+      let module H = Obs.Histogram in
+      let k = cut mod (List.length samples + 1) in
+      let left = List.filteri (fun i _ -> i < k) samples in
+      let right = List.filteri (fun i _ -> i >= k) samples in
+      let whole = hist_of samples in
+      let merged = H.merge (hist_of left) (hist_of right) in
+      H.count merged = H.count whole
+      && H.min_value merged = H.min_value whole
+      && H.max_value merged = H.max_value whole
+      && H.sum merged = H.sum whole
+      && List.for_all
+           (fun q -> H.quantile merged q = H.quantile whole q)
+           [ 0.5; 0.9; 0.99; 0.999 ])
+
+let prop_hist_quantile_bound =
+  QCheck2.Test.make
+    ~name:"quantile estimate within the documented error bound" ~count:100
+    sample_gen
+    (fun samples ->
+      let h = hist_of samples in
+      let arr = Array.of_list (List.sort compare samples) in
+      let n = Array.length arr in
+      List.for_all
+        (fun q ->
+          let rank =
+            max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+          in
+          let true_q = arr.(rank) in
+          let est = Obs.Histogram.quantile h q in
+          est <= true_q
+          && float_of_int true_q
+             <= (float_of_int est *. (1. +. Obs.Histogram.error_bound)) +. 1.)
+        [ 0.5; 0.9; 0.99 ])
+
+let test_histogram_basics () =
+  let module H = Obs.Histogram in
+  let h = H.create () in
+  check_bool "fresh is empty" true (H.is_empty h);
+  check_int "empty quantile" 0 (H.quantile h 0.5);
+  List.iter (H.record h) [ 10; 20; 30; 40 ];
+  check_int "count" 4 (H.count h);
+  check_int "min exact" 10 (H.min_value h);
+  check_int "max exact" 40 (H.max_value h);
+  (* values below 64 ns land in exact buckets *)
+  check_int "small-value p50 exact" 20 (H.p50 h);
+  check_bool "mean" true (H.mean h = 25.0);
+  H.record h (-5);
+  check_int "negative clamps to 0" 0 (H.min_value h)
+
+let test_runtime_histograms () =
+  let c, () = collect_workload () in
+  (match Obs.Collector.histogram c "parallel.shot" with
+  | Some h ->
+      check_int "one record per sampled shot"
+        (64 / Sim.Parallel.shot_sample_every)
+        (Obs.Histogram.count h)
+  | None -> Alcotest.fail "parallel.shot histogram missing");
+  check_bool "per-op-class histograms recorded" true
+    (List.exists
+       (fun (name, h) ->
+         String.starts_with ~prefix:"sim.program.op." name
+         && Obs.Histogram.count h > 0)
+       (Obs.Collector.histograms c));
+  (* with_span feeds the histogram of the same name *)
+  match Obs.Collector.histogram c "pipeline.compile" with
+  | Some h -> check_int "span-fed histogram count" 1 (Obs.Histogram.count h)
+  | None -> Alcotest.fail "pipeline.compile histogram missing"
+
+(* ------------------------------------------------------------------ *)
+(* Gauge merge rules                                                  *)
+
+let test_gauge_rules () =
+  let module C = Obs.Collector in
+  C.set_gauge_rule "t.min" C.Min;
+  C.set_gauge_rule "t.sum" C.Sum;
+  C.set_gauge_rule "t.last" C.Last;
+  check_bool "default rule is Max" true (C.gauge_rule "t.max" = C.Max);
+  let c = C.create () in
+  let absorb gauges = C.absorb c ~spans:[] ~counters:[] ~gauges in
+  absorb [ ("t.max", 1.0); ("t.min", 1.0); ("t.sum", 1.0); ("t.last", 1.0) ];
+  absorb [ ("t.max", 3.0); ("t.min", 3.0); ("t.sum", 3.0); ("t.last", 3.0) ];
+  absorb [ ("t.max", 2.0); ("t.min", 2.0); ("t.sum", 2.0); ("t.last", 2.0) ];
+  check_bool "max keeps the peak" true (C.gauge c "t.max" = Some 3.0);
+  check_bool "min keeps the floor" true (C.gauge c "t.min" = Some 1.0);
+  check_bool "sum accumulates" true (C.gauge c "t.sum" = Some 6.0);
+  check_bool "last takes flush order" true (C.gauge c "t.last" = Some 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                    *)
+
+let test_flight_ring_wraparound () =
+  let t, () =
+    Obs.Flight.with_recorder ~capacity:8 (fun () ->
+        for i = 0 to 19 do
+          Obs.Flight.record ~kind:"tick" [ ("i", Obs.Json.Int i) ]
+        done)
+  in
+  check_int "recorded counts overwrites" 20 (Obs.Flight.recorded t);
+  check_int "dropped = recorded - capacity" 12 (Obs.Flight.dropped t);
+  let evs = Obs.Flight.events t in
+  check_int "capacity survivors" 8 (List.length evs);
+  Alcotest.(check (list int))
+    "survivors are the most recent, in sequence order"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map (fun (e : Obs.Flight.event) -> e.seq) evs);
+  check_bool "disarmed after with_recorder" false (Obs.Flight.enabled ())
+
+let test_flight_json_shape () =
+  let t, () =
+    Obs.Flight.with_recorder ~capacity:4 (fun () ->
+        Obs.Flight.record ~kind:"a" [ ("x", Obs.Json.Int 1) ];
+        (* a data field named like a header field must not shadow it *)
+        Obs.Flight.record ~kind:"b" [ ("kind", Obs.Json.String "shadow") ])
+  in
+  let json = Obs.Json.parse (Obs.Flight.to_string t) in
+  check_bool "schema" true
+    (Obs.Json.member "schema" json
+    = Some (Obs.Json.String Obs.Flight.schema));
+  check_bool "no drops" true
+    (Obs.Json.member "dropped" json = Some (Obs.Json.Int 0));
+  match Obs.Json.member "events" json with
+  | Some (Obs.Json.List [ a; b ]) ->
+      check_bool "first kind" true
+        (Obs.Json.member "kind" a = Some (Obs.Json.String "a"));
+      check_bool "data field kept" true
+        (Obs.Json.member "x" a = Some (Obs.Json.Int 1));
+      check_bool "header kind wins over data field" true
+        (Obs.Json.member "kind" b = Some (Obs.Json.String "b"));
+      check_bool "timestamps relative to arming" true
+        (Obs.Json.to_float_opt (Option.get (Obs.Json.member "t_us" a))
+        |> Option.get >= 0.0)
+  | Some _ | None -> Alcotest.fail "expected exactly 2 events"
+
+let unitary g t = Circuit.Instruction.Unitary (Circuit.Instruction.app g t)
+
+(* h; measure; x; measure — the canonical use-after-measure circuit the
+   lint gate rejects *)
+let use_after_measure () =
+  Circuit.Circ.create ~roles:[| Circuit.Circ.Data |] ~num_bits:2
+    [
+      unitary Circuit.Gate.H 0;
+      Circuit.Instruction.Measure { qubit = 0; bit = 0 };
+      unitary Circuit.Gate.X 0;
+      Circuit.Instruction.Measure { qubit = 0; bit = 1 };
+    ]
+
+let test_flight_dump_on_raise () =
+  let path = Filename.temp_file "dqc_flight_test" ".json" in
+  let options = Dqc.Pipeline.Options.(default |> with_passes [ "lint" ]) in
+  let raised =
+    try
+      let _t, _out =
+        Obs.Flight.with_recorder ~dump_path:path (fun () ->
+            Dqc.Pipeline.compile ~options (use_after_measure ()))
+      in
+      false
+    with Lint.Rejected _ -> true
+  in
+  check_bool "pipeline raised Lint.Rejected" true raised;
+  let json = Obs.Json.read ~path in
+  Sys.remove path;
+  check_bool "dump schema" true
+    (Obs.Json.member "schema" json
+    = Some (Obs.Json.String Obs.Flight.schema));
+  let kinds =
+    match Obs.Json.member "events" json with
+    | Some (Obs.Json.List evs) ->
+        List.filter_map
+          (fun e -> Option.bind (Obs.Json.member "kind" e) Obs.Json.to_string_opt)
+          evs
+    | Some _ | None -> []
+  in
+  List.iter
+    (fun k -> check_bool ("dump has " ^ k) true (List.mem k kinds))
+    [ "pass.begin"; "lint.diagnostic"; "pipeline.raised" ];
+  (* the raise is the last event the ring saw *)
+  check_string "raise recorded last" "pipeline.raised"
+    (List.nth kinds (List.length kinds - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics v2                                                         *)
+
+let test_metrics_json_v2 () =
+  let c, () = collect_workload () in
+  let json = parse_json (Obs.Metrics_json.to_string c) in
+  check_bool "schema is v2" true
+    (member "schema" json |> Option.map get_string
+    = Some (Some "dqc.obs.metrics/2"));
+  (* v1 compatibility: every v1 section survives with its shape *)
+  List.iter
+    (fun k -> check_bool (k ^ " section present") true (member k json <> None))
+    [ "counters"; "gauges"; "spans"; "wall_ns" ];
+  check_bool "error bound exported" true
+    (Option.bind (member "quantile_error_bound" json) get_num
+    = Some Obs.Histogram.error_bound);
+  let hists = Option.get (member "histograms" json) in
+  let shot = Option.get (member "parallel.shot" hists) in
+  check_bool "per-shot count" true
+    (member "count" shot |> Option.map get_num
+    = Some (Some (float_of_int (64 / Sim.Parallel.shot_sample_every))));
+  let n k = Option.get (Option.bind (member k shot) get_num) in
+  check_bool "percentile ladder is monotone" true
+    (n "min_ns" <= n "p50_ns"
+    && n "p50_ns" <= n "p90_ns"
+    && n "p90_ns" <= n "p99_ns"
+    && n "p99_ns" <= n "p999_ns"
+    && n "p999_ns" <= n "max_ns")
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -482,5 +750,27 @@ let () =
         [
           Alcotest.test_case "chrome trace" `Quick test_chrome_trace_export;
           Alcotest.test_case "metrics json" `Quick test_metrics_json_export;
+          Alcotest.test_case "metrics json v2" `Quick test_metrics_json_v2;
+        ] );
+      ( "json-parser",
+        [
+          Alcotest.test_case "library parser" `Quick test_json_library_parser;
+        ] );
+      ( "histogram",
+        [
+          QCheck_alcotest.to_alcotest prop_hist_merge_split;
+          QCheck_alcotest.to_alcotest prop_hist_quantile_bound;
+          Alcotest.test_case "basics" `Quick test_histogram_basics;
+          Alcotest.test_case "runtime histograms" `Quick
+            test_runtime_histograms;
+        ] );
+      ( "gauges",
+        [ Alcotest.test_case "merge rules" `Quick test_gauge_rules ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring wraparound" `Quick
+            test_flight_ring_wraparound;
+          Alcotest.test_case "json shape" `Quick test_flight_json_shape;
+          Alcotest.test_case "dump on raise" `Quick test_flight_dump_on_raise;
         ] );
     ]
