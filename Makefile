@@ -1,4 +1,4 @@
-.PHONY: all build test bench ci fmt-check trace-smoke kernel-smoke lint verify-gate reuse-gate perf-gate perf-baseline clean
+.PHONY: all build test bench ci fmt-check trace-smoke kernel-smoke lint verify-gate reuse-gate analyze-gate perf-gate perf-baseline clean
 
 all: build
 
@@ -108,6 +108,15 @@ verify-gate:
 reuse-gate:
 	OCAMLRUNPARAM=b dune exec bin/dqc_cli.exe -- reuse --gate
 
+# Static analyzer gate: differential soundness of the per-segment
+# sparsity/resource summaries (random dynamic circuits replayed dense,
+# nonzero counts vs the certified log2 bounds), the per-segment Auto
+# backend-selection acceptance (XORA_15 -> stabilizer, counter
+# witnessed in BENCH_analyze.json), and the <5% analysis overhead
+# budget against pipeline compile on DJ(AND_9).
+analyze-gate:
+	OCAMLRUNPARAM=b dune exec bench/main.exe -- analyze-gate
+
 # Perf regression gate: sample every shared bench workload into
 # percentile histograms (interleaved rounds, see bench/main.ml) and
 # compare p50/p99 against the checked-in dqc.bench/2 baseline.
@@ -132,6 +141,7 @@ ci:
 	$(MAKE) lint
 	$(MAKE) verify-gate
 	$(MAKE) reuse-gate
+	$(MAKE) analyze-gate
 	$(MAKE) perf-gate
 	$(MAKE) fmt-check
 

@@ -52,6 +52,10 @@ let run_reuse () =
   section "E14 / Causal-cone qubit reuse (extension)";
   print_string (Report.Experiments.reuse_report ())
 
+let run_sparsity () =
+  section "E15 / Static sparsity bounds vs measured (extension)";
+  print_string (Report.Experiments.sparsity_report ())
+
 (* Ablation: design choices DESIGN.md calls out — ancilla sharing
    policy (Lemma 1) and the peephole cleanup. *)
 let run_ablation () =
@@ -323,6 +327,198 @@ let run_kernels () =
       (List.length cases) (List.length seeds)
 
 (* ------------------------------------------------------------------ *)
+(* Analyze gate: differential soundness of the static resource
+   analyzer.  Three obligations:
+   1. on hundreds of random dynamic circuits, the per-segment static
+      amplitude bound dominates the nonzero count measured by dense
+      per-instruction replay on every seed, and every per-segment
+      Clifford verdict yields a witness the stabilizer engine accepts;
+   2. the Auto policy picks the stabilizer engine on the
+      adaptive-parity workload the old whole-circuit scan sent dense,
+      witnessed by the backend.select.stabilizer counter;
+   3. analysis overhead stays under 5% of pipeline compile time on
+      DJ(AND_9). *)
+
+let analyze_gate_json_path = "BENCH_analyze.json"
+
+let random_dynamic_circuit rng =
+  let open Circuit in
+  let nq = 2 + Random.State.int rng 9 in
+  let nb = 1 + Random.State.int rng 2 in
+  let m = 5 + Random.State.int rng 31 in
+  let gates = Gate.[ H; X; Y; Z; S; Sdg; T; Tdg; V; Rz 0.37 ] in
+  let any_gate () = List.nth gates (Random.State.int rng (List.length gates)) in
+  let instr _ =
+    match Random.State.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+        Instruction.Unitary (Instruction.app (any_gate ()) (Random.State.int rng nq))
+    | 4 | 5 ->
+        let c = Random.State.int rng nq and t = Random.State.int rng nq in
+        let g = if Random.State.bool rng then Gate.X else Gate.Z in
+        if c = t then Instruction.Unitary (Instruction.app g t)
+        else Instruction.Unitary (Instruction.app ~controls:[ c ] g t)
+    | 6 ->
+        let c1 = Random.State.int rng nq
+        and c2 = Random.State.int rng nq
+        and t = Random.State.int rng nq in
+        if c1 = t || c2 = t || c1 = c2 then
+          Instruction.Unitary (Instruction.app Gate.X t)
+        else Instruction.Unitary (Instruction.app ~controls:[ c1; c2 ] Gate.X t)
+    | 7 ->
+        Instruction.Measure
+          { qubit = Random.State.int rng nq; bit = Random.State.int rng nb }
+    | 8 -> Instruction.Reset (Random.State.int rng nq)
+    | _ ->
+        Instruction.Conditioned
+          ( Instruction.cond_bit (Random.State.int rng nb)
+              (Random.State.bool rng),
+            Instruction.app (any_gate ()) (Random.State.int rng nq) )
+  in
+  let roles = Array.make nq Circ.Data in
+  Circ.create ~roles ~num_bits:nb (List.init m instr)
+
+(* Replay [c] densely and check, after every instruction, that the
+   nonzero-amplitude count stays within 2^bound of the segment the
+   *next* instruction opens (a segment's peak covers the pre-states of
+   its instructions, so the state after instruction [i] is bounded by
+   the segment holding [i+1]). *)
+let check_sparsity_sound ~seeds c (summary : Lint.Resource.summary) =
+  let instrs = Array.of_list (Circuit.Circ.instructions c) in
+  let m = Array.length instrs in
+  if m = 0 then true
+  else begin
+    let segs = Array.of_list summary.Lint.Resource.segments in
+    let seg_of = Array.make m 0 in
+    Array.iteri
+      (fun k (s : Lint.Resource.segment) ->
+        for i = s.Lint.Resource.start to s.Lint.Resource.stop - 1 do
+          seg_of.(i) <- k
+        done)
+      segs;
+    let bound_after i =
+      let k = if i + 1 < m then seg_of.(i + 1) else Array.length segs - 1 in
+      segs.(k).Lint.Resource.log2_bound_peak
+    in
+    let nq = Circuit.Circ.num_qubits c and nb = Circuit.Circ.num_bits c in
+    let ok = ref true in
+    List.iter
+      (fun seed ->
+        let rng = Random.State.make [| seed |] in
+        let random () = Random.State.float rng 1.0 in
+        let st = Sim.State.create nq ~num_bits:nb in
+        Array.iteri
+          (fun i instr ->
+            let p =
+              Sim.Program.compile_instructions ~fuse:false ~num_qubits:nq
+                ~num_bits:nb [ instr ]
+            in
+            Sim.Program.exec ~random st p;
+            let v = Sim.State.amplitudes st in
+            let nz = ref 0 in
+            for k = 0 to Linalg.Cvec.dim v - 1 do
+              if Complex.norm2 (Linalg.Cvec.get v k) > 1e-18 then incr nz
+            done;
+            if !nz > 1 lsl bound_after i then ok := false)
+          instrs)
+      seeds;
+    !ok
+  end
+
+let run_analyze_gate () =
+  section "Analyze gate: static analyzer soundness + selection acceptance";
+  let circuits = 200 in
+  let seeds = [ 1; 7; 42 ] in
+  let rng = Random.State.make [| 0xA17A |] in
+  let bound_failures = ref 0 and witness_failures = ref 0 in
+  for k = 1 to circuits do
+    let c = random_dynamic_circuit rng in
+    let summary = Lint.Resource.analyze c in
+    if not (check_sparsity_sound ~seeds c summary) then begin
+      incr bound_failures;
+      Printf.printf "  BOUND VIOLATION on random circuit %d (%d qubits)\n" k
+        (Circuit.Circ.num_qubits c)
+    end;
+    if
+      summary.Lint.Resource.clifford
+      && not (Sim.Stabilizer.supports summary.Lint.Resource.witness)
+    then begin
+      incr witness_failures;
+      Printf.printf "  WITNESS REJECTED on random circuit %d\n" k
+    end
+  done;
+  Printf.printf
+    "differential: %d random dynamic circuits x %d seeds — %d bound \
+     violation(s), %d rejected witness(es)\n"
+    circuits (List.length seeds) !bound_failures !witness_failures;
+  (* acceptance: per-segment selection beats the whole-circuit scan *)
+  let xora = Algorithms.Mct_bench.adaptive_parity 15 in
+  let old_scan_dense =
+    (* the pre-analyzer Auto: whole-circuit stabilizer scan, then the
+       exact engine's hard <= 16-qubit cutoff, then dense *)
+    (not (Sim.Stabilizer.supports xora))
+    && Circuit.Circ.num_qubits xora > 16
+  in
+  let collector, selected =
+    Obs.with_collector (fun () -> Sim.Backend.select ~shots:1024 xora)
+  in
+  let stab_count =
+    Obs.Collector.counter collector "backend.select.stabilizer"
+  in
+  Obs.Metrics_json.write ~path:analyze_gate_json_path collector;
+  let selection_ok =
+    old_scan_dense && selected = `Stabilizer && stab_count >= 1
+  in
+  Printf.printf
+    "selection: XORA_15 old whole-circuit scan -> dense %b; Auto -> %s \
+     (backend.select.stabilizer = %d, metrics in %s)\n"
+    old_scan_dense
+    (match selected with
+    | `Stabilizer -> "stabilizer"
+    | `Exact -> "exact"
+    | `Dense -> "dense")
+    stab_count analyze_gate_json_path;
+  (* overhead: analysis must stay a sliver of pipeline compile *)
+  let dj = Algorithms.Dj.circuit and_9 in
+  let options =
+    let module O = Dqc.Pipeline.Options in
+    O.default
+    |> O.with_scheme Dqc.Toffoli_scheme.Dynamic_1
+    |> O.with_check_equivalence false
+  in
+  let cpu_best f =
+    let best = ref infinity in
+    for _ = 1 to 20 do
+      let t0 = Obs.Clock.now_cpu_ns () in
+      ignore (f ());
+      let dt = Int64.to_float (Int64.sub (Obs.Clock.now_cpu_ns ()) t0) in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  (* The pipeline's analyze.resources pass shares the abstract
+     interpretation trace with the lint/analyze passes through the pass
+     context (Pass.fresh_facts), so the cost a compile actually pays for
+     the resource summary is the marginal walk over a trace it already
+     has.  Gate on that marginal cost; the cold (trace included) time is
+     printed alongside for visibility but tracks the interpreter, whose
+     budget is the perf regression gate's. *)
+  let t_cold = cpu_best (fun () -> Lint.Resource.analyze dj) in
+  let trace = Lint.Trace.run dj in
+  let t_analyze = cpu_best (fun () -> Lint.Resource.analyze ~trace dj) in
+  let t_compile = cpu_best (fun () -> Dqc.Pipeline.compile ~options dj) in
+  let overhead = t_analyze /. t_compile in
+  Printf.printf
+    "overhead: analyze DJ(AND_9) %.1f us marginal over a shared trace \
+     (%.1f us cold) vs pipeline compile %.1f us — %.2f%% (budget 5%%)\n"
+    (t_analyze /. 1e3) (t_cold /. 1e3) (t_compile /. 1e3) (100. *. overhead);
+  let ok =
+    !bound_failures = 0 && !witness_failures = 0 && selection_ok
+    && overhead < 0.05
+  in
+  Printf.printf "analyze gate: %s\n" (if ok then "PASS" else "FAIL");
+  if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                    *)
 
 (* Lint-throughput workloads: the full pass catalogue over the
@@ -346,6 +542,18 @@ let lint_workloads =
        ("lint DJ(AND_9) traditional", dj, Lint.default_passes);
        ("lint DJ(AND_9) dyn1 dqc", compiled, Lint.dqc_passes ());
      ])
+
+(* Static-analyzer throughput over the same family plus the
+   per-segment-selection workload; instructions/second is printed next
+   to the lint group's after the timing table. *)
+let analyze_workloads =
+  lazy
+    (List.map
+       (fun (name, c, _) ->
+         ( "analyze " ^ String.sub name 5 (String.length name - 5),
+           c ))
+       (Lazy.force lint_workloads)
+    @ [ ("analyze XORA_15", Algorithms.Mct_bench.adaptive_parity 15) ])
 
 (* The shared workload registry: every entry is a named nullary
    closure, consumed both by the bechamel group (OLS ns/op estimates
@@ -495,6 +703,11 @@ let workloads () : (string * (unit -> unit)) list =
       (fun (name, c, passes) -> (name, fun () -> ignore (Lint.run ~passes c)))
       (Lazy.force lint_workloads)
   in
+  let analyze_tests =
+    List.map
+      (fun (name, c) -> (name, fun () -> ignore (Lint.Resource.analyze c)))
+      (Lazy.force analyze_workloads)
+  in
   (* the symbolic certifier: no simulation, so the wide instances
      (AND_12 is 13 qubits, XOR_16 is 17) cost about the same as the
      small one — the point of the group *)
@@ -550,7 +763,8 @@ let workloads () : (string * (unit -> unit)) list =
     routing;
     native;
   ]
-  @ kernels @ backend_engines @ lint_tests @ verify_tests @ reuse_tests
+  @ kernels @ backend_engines @ lint_tests @ analyze_tests @ verify_tests
+  @ reuse_tests
 
 let make_benchmarks () =
   let open Bechamel in
@@ -947,7 +1161,7 @@ let run_bechamel () =
   (* lint throughput re-expressed as instructions/second: ns/op over a
      known instruction count makes the rate explicit *)
   List.iter
-    (fun (name, c, _) ->
+    (fun (name, c) ->
       (* bechamel prefixes the group: "lint ..." -> "dqc/lint ..." *)
       match List.assoc_opt ("dqc/" ^ name) !estimates with
       | Some (Some ns) when ns > 0. ->
@@ -956,7 +1170,8 @@ let run_bechamel () =
             (float_of_int instrs /. ns *. 1000.)
             instrs
       | Some (Some _) | Some None | None -> ())
-    (Lazy.force lint_workloads)
+    (List.map (fun (n, c, _) -> (n, c)) (Lazy.force lint_workloads)
+    @ Lazy.force analyze_workloads)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1010,6 +1225,8 @@ let () =
   | "scale" -> run_scale ()
   | "slots" -> run_slots ()
   | "reuse" -> run_reuse ()
+  | "sparsity" -> run_sparsity ()
+  | "analyze-gate" -> run_analyze_gate ()
   | "ablation" -> run_ablation ()
   | "backend" -> run_backend ()
   | "kernels" -> run_kernels ()
@@ -1026,12 +1243,13 @@ let () =
       run_scale ();
       run_slots ();
       run_reuse ();
+      run_sparsity ();
       run_ablation ();
       run_backend ();
       run_kernels ();
       run_bechamel ()
   | other ->
       Printf.eprintf
-        "unknown target %S (expected table1|table2|fig7|equivalence|mct|routing|duration|scale|slots|reuse|ablation|backend|kernels|bechamel|perf|all)\n"
+        "unknown target %S (expected table1|table2|fig7|equivalence|mct|routing|duration|scale|slots|reuse|sparsity|analyze-gate|ablation|backend|kernels|bechamel|perf|all)\n"
         other;
       exit 1

@@ -89,10 +89,15 @@ let algorithm_circuit name =
           match sized "ADDER_" with
           | Some n -> try_make (fun () -> Algorithms.Arithmetic.measured n)
           | None -> (
-              match suffix "SIMON_" with
-              | Some secret ->
-                  try_make (fun () -> Algorithms.Simon.measured_circuit secret)
-              | None -> None)))
+              match sized "XORA_" with
+              | Some n ->
+                  try_make (fun () -> Algorithms.Mct_bench.adaptive_parity n)
+              | None -> (
+                  match suffix "SIMON_" with
+                  | Some secret ->
+                      try_make (fun () ->
+                          Algorithms.Simon.measured_circuit secret)
+                  | None -> None))))
 
 let benchmark_circuit name =
   if String.length name > 3 && String.sub name 0 3 = "BV_" then
@@ -134,6 +139,16 @@ let mct_cmd =
        ~doc:
          "Run the future-work experiment: dynamic multiple-control Toffoli \
           realizations")
+    Term.(const run $ const ())
+
+let sparsity_cmd =
+  let run () = print_string (Report.Experiments.sparsity_report ()) in
+  Cmd.v
+    (Cmd.info "sparsity"
+       ~doc:
+         "Run the static-sparsity experiment: the relational analyzer's \
+          amplitude bounds against measured dense sparsity, per benchmark \
+          and scheme")
     Term.(const run $ const ())
 
 let equivalence_cmd =
@@ -621,31 +636,50 @@ let analyze_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name (see transform)")
   in
-  let run bench file scheme =
-    let circuit =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the dqc.analyze/1 JSON resource summary instead of text")
+  in
+  let run bench file scheme json =
+    let subject =
       match (bench, file) with
       | _, Some path ->
           let ic = open_in path in
           let len = in_channel_length ic in
           let src = really_input_string ic len in
           close_in ic;
-          Some (Circuit.Qasm.parse src)
+          Some (Filename.basename path, Circuit.Qasm.parse src)
       | Some name, None ->
-          Option.map (Dqc.Toffoli_scheme.prepare scheme) (benchmark_circuit name)
+          Option.map
+            (fun c -> (name, Dqc.Toffoli_scheme.prepare scheme c))
+            (benchmark_circuit name)
       | None, None -> None
     in
-    match circuit with
+    match subject with
     | None ->
         prerr_endline "give a benchmark name or --file <qasm>";
         exit 1
-    | Some c ->
-        let mct = scheme = Dqc.Toffoli_scheme.Direct_mct in
-        print_endline (Dqc.Analysis.to_string (Dqc.Analysis.analyze ~mct c))
+    | Some (name, c) ->
+        let summary = Lint.Resource.analyze c in
+        if json then
+          print_endline
+            (Obs.Json.to_string (Lint.Resource.to_json ~name summary))
+        else begin
+          let mct = scheme = Dqc.Toffoli_scheme.Direct_mct in
+          print_endline (Dqc.Analysis.to_string (Dqc.Analysis.analyze ~mct c));
+          print_newline ();
+          print_endline (Lint.Resource.to_string summary)
+        end
   in
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Classify a circuit's 2-qubit dynamizability (exact / approximate / impossible)")
-    Term.(const run $ bench $ file $ scheme_arg)
+       ~doc:
+         "Classify a circuit's 2-qubit dynamizability and print the \
+          per-segment static sparsity/resource summary (--json for \
+          dqc.analyze/1)")
+    Term.(const run $ bench $ file $ scheme_arg $ json)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                               *)
@@ -1146,6 +1180,7 @@ let () =
             fig7_cmd;
             equivalence_cmd;
             mct_cmd;
+            sparsity_cmd;
             transform_cmd;
             simulate_cmd;
             stats_cmd;

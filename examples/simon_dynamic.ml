@@ -37,7 +37,7 @@ let () =
     (fun y ->
       Printf.printf "  y = %s   y.s = %d\n"
         (Sim.Bits.to_string ~width:n y)
-        (if Algorithms.Gf2.dot y secret then 1 else 0))
+        (if Gf2.dot y secret then 1 else 0))
     ys;
 
   (* end-to-end recovery *)

@@ -60,5 +60,37 @@ let xor_n n =
     (List.init n (fun i ->
          Instruction.Unitary (Instruction.app ~controls:[ i ] Gate.X n)))
 
+(* Adaptive parity: the per-segment-Clifford selection workload.  The
+   only non-Clifford gate is a T correction conditioned on the syndrome
+   readout, and the syndrome ancilla is provably |0>, so the condition
+   statically fails: the circuit is observationally Clifford even
+   though a whole-circuit gate scan rejects it.  At n = 15 it spans 17
+   qubits — past the exact engine's auto cutoff — so a selector without
+   the analyzer's witness can only land on the dense engine. *)
+let adaptive_parity n =
+  if n < 1 || n > 20 then
+    invalid_arg "Mct_bench.adaptive_parity: arity outside 1..20";
+  let parity = n and syndrome = n + 1 in
+  let roles =
+    Array.init (n + 2) (fun q ->
+        if q < n then Circ.Data
+        else if q = parity then Circ.Answer
+        else Circ.Ancilla)
+  in
+  let b = Circ.Builder.make ~roles ~num_bits:2 () in
+  for q = 0 to n - 1 do
+    Circ.Builder.h b q
+  done;
+  for q = 0 to n - 1 do
+    Circ.Builder.cx b q parity
+  done;
+  Circ.Builder.measure b ~qubit:syndrome ~bit:0;
+  (* the syndrome reads 0 on every branch: both corrections are
+     statically dead, and the T never fires *)
+  Circ.Builder.conditioned b ~bit:0 Gate.T parity;
+  Circ.Builder.conditioned b ~bit:0 Gate.X parity;
+  Circ.Builder.measure b ~qubit:parity ~bit:1;
+  Circ.Builder.build b
+
 let suite =
   [ and_n 2; and_n 3; and_n 4; and_n 5; majority_n 3; majority_n 5 ]

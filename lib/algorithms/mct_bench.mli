@@ -29,6 +29,18 @@ val majority_n : int -> Oracle.t
     @raise Invalid_argument unless 1 <= n <= 20. *)
 val xor_n : int -> Oracle.t
 
+(** [adaptive_parity n] : a complete dynamic circuit (not an oracle) —
+    [n] data qubits in uniform superposition, a CX parity chain onto an
+    answer qubit, then a syndrome-ancilla readout guarding a
+    (statically dead) conditioned T/X correction before the parity
+    measurement.  Its only non-Clifford gate provably never fires, so
+    the circuit is {e observationally} Clifford while failing the
+    whole-circuit {!Sim.Stabilizer.supports} scan — the witness
+    workload for per-segment backend selection.  [n + 2] qubits, 2
+    classical bits (bit 0: syndrome, bit 1: parity).
+    @raise Invalid_argument unless 1 <= n <= 20. *)
+val adaptive_parity : int -> Circuit.Circ.t
+
 (** The benchmark set used in the future-work experiment:
     AND_n for n = 2..5 plus MAJ_3 and MAJ_5. *)
 val suite : Oracle.t list

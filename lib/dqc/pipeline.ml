@@ -99,7 +99,14 @@ let equivalence_body (ctx : Pass.ctx) =
   end
 
 let reuse_body (ctx : Pass.ctx) =
-  let circuit, report = Reuse.rewire ctx.Pass.circuit in
+  (* the analyzer's per-qubit reference counts (when fresh) spare the
+     scheduler its own usage recount *)
+  let usage =
+    Option.map
+      (fun (s : Lint.Resource.summary) -> s.Lint.Resource.usage_counts)
+      (Pass.fresh_resources ctx)
+  in
+  let circuit, report = Reuse.rewire ?usage ctx.Pass.circuit in
   let ctx = { ctx with Pass.circuit; Pass.reuse = Some report } in
   if Reuse.saved report = 0 then
     Pass.note "reuse" "no retired wire could be re-hosted" ctx
@@ -109,6 +116,22 @@ let analyze_body (ctx : Pass.ctx) =
   match Pass.fresh_facts ctx with
   | Some _ -> ctx
   | None -> { ctx with Pass.facts = Some (Lint.Trace.run ctx.Pass.circuit) }
+
+let analyze_resources_body (ctx : Pass.ctx) =
+  match Pass.fresh_resources ctx with
+  | Some _ -> ctx
+  | None ->
+      let trace =
+        match Pass.fresh_facts ctx with
+        | Some t -> t
+        | None -> Lint.Trace.run ctx.Pass.circuit
+      in
+      let summary = Lint.Resource.analyze ~trace ctx.Pass.circuit in
+      {
+        ctx with
+        Pass.facts = Some trace;
+        Pass.resources = Some (ctx.Pass.circuit, summary);
+      }
 
 let prune_resets_body (ctx : Pass.ctx) =
   match Pass.fresh_facts ctx with
@@ -233,6 +256,11 @@ let builtin_passes =
     Pass.make ~name:"analyze" ~kind:Pass.Analysis
       ~doc:"abstract interpretation; shares its facts through the context"
       analyze_body;
+    Pass.make ~name:"analyze.resources" ~kind:Pass.Analysis
+      ~doc:
+        "per-segment sparsity/resource summary (relational domain); shares \
+         summary and trace through the context"
+      analyze_resources_body;
     Pass.make ~name:"prune_resets" ~kind:Pass.Transform
       ~doc:"drop resets the analysis facts prove redundant"
       prune_resets_body;
@@ -348,7 +376,14 @@ module Options = struct
     | None ->
         let opt flag names = if flag then names else [] in
         if t.reuse then
-          [ "prepare"; "reuse"; "analyze"; "prune_resets"; "reuse_certify" ]
+          [
+            "prepare";
+            "analyze.resources";
+            "reuse";
+            "analyze";
+            "prune_resets";
+            "reuse_certify";
+          ]
           @ opt t.expand_cv [ "expand_cv" ]
           @ opt t.peephole [ "peephole" ]
           @ opt t.native [ "lower_native" ]

@@ -1,6 +1,8 @@
 module Absdom = Absdom
+module Reldom = Reldom
 module State = State
 module Trace = Trace
+module Resource = Resource
 module Diagnostic = Diagnostic
 module Pass = Pass
 module Passes = Passes

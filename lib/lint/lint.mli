@@ -16,8 +16,10 @@
     per pass that produced diagnostics. *)
 
 module Absdom = Absdom
+module Reldom = Reldom
 module State = State
 module Trace = Trace
+module Resource = Resource
 module Diagnostic = Diagnostic
 module Pass = Pass
 module Passes = Passes

@@ -1,0 +1,365 @@
+open Circuit
+
+type segment = {
+  start : int;
+  stop : int;
+  clifford : bool;
+  t_count : int;
+  non_clifford : int;
+  log2_bound_end : int;
+  log2_bound_peak : int;
+  nondet : int;
+}
+
+type live_range = { first : int; last : int }
+
+type summary = {
+  num_qubits : int;
+  num_bits : int;
+  instructions : int;
+  segments : segment list;
+  clifford : bool;
+  witness : Circ.t;
+  t_count : int;
+  non_clifford : int;
+  log2_bound_peak : int;
+  nondet_branches : int;
+  dynamic_depth : int;
+  feedforward_depth : int;
+  usage_counts : int array;
+  live_ranges : live_range option array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Witness simplification                                              *)
+
+let qubit_value pre q =
+  match State.qubit pre q with
+  | Absdom.Qubit.Zero -> Some false
+  | Absdom.Qubit.One -> Some true
+  | Absdom.Qubit.Basis | Absdom.Qubit.Collapsed | Absdom.Qubit.Superposed
+  | Absdom.Qubit.Top ->
+      Reldom.implied_qubit (State.rel pre) q
+
+(* Gates that fix |0> exactly — droppable on a provably-|0> target.
+   An uncontrolled Rz only contributes a global phase there, which is
+   unobservable; the controlled version kicks a relative phase and must
+   stay. *)
+let dead_on_zero ~controlled (g : Gate.t) =
+  match g with
+  | Gate.Z | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg | Gate.Phase _ -> true
+  | Gate.Rz _ -> not controlled
+  | Gate.H | Gate.X | Gate.Y | Gate.V | Gate.Vdg | Gate.Rx _ | Gate.Ry _ ->
+      false
+
+(* Exact, observation-preserving gate simplification: a provably-|0>
+   control kills the application, a provably-|1> control is dropped
+   from the control list, and a |0>-fixing gate on a provably-|0>
+   target is dead. *)
+let simplify_app pre (a : Instruction.app) =
+  if List.exists (fun c -> qubit_value pre c = Some false) a.controls then None
+  else
+    let controls =
+      List.filter (fun c -> qubit_value pre c <> Some true) a.controls
+    in
+    if
+      qubit_value pre a.target = Some false
+      && dead_on_zero ~controlled:(controls <> []) a.gate
+    then None
+    else Some { a with controls }
+
+let witness_instr pre (i : Instruction.t) =
+  match i with
+  | Instruction.Unitary a ->
+      Option.map (fun a -> Instruction.Unitary a) (simplify_app pre a)
+  | Instruction.Conditioned (cond, a) -> (
+      match State.cond_status pre cond with
+      | State.Fails -> None
+      | State.Holds ->
+          Option.map (fun a -> Instruction.Unitary a) (simplify_app pre a)
+      | State.Unknown ->
+          Option.map
+            (fun a -> Instruction.Conditioned (cond, a))
+            (simplify_app pre a))
+  | Instruction.Measure _ | Instruction.Reset _ | Instruction.Barrier _ ->
+      Some i
+
+(* Mirrors the CHP gate set ({!Sim.Stabilizer.supports}); the backend
+   re-checks the witness against the engine itself, so a drift here can
+   cost precision but never soundness. *)
+let classify_witness (i : Instruction.t) =
+  match i with
+  | Instruction.Unitary a | Instruction.Conditioned (_, a) -> (
+      match[@warning "-4"] (a.gate, a.controls) with
+      | (Gate.H | Gate.X | Gate.Y | Gate.Z | Gate.S | Gate.Sdg), [] ->
+          `Clifford
+      | (Gate.X | Gate.Z), [ _ ] -> `Clifford
+      | (Gate.T | Gate.Tdg), [] -> `T
+      | _ -> `Non_clifford)
+  | Instruction.Measure _ | Instruction.Reset _ | Instruction.Barrier _ ->
+      `Clifford
+
+let is_collapse (i : Instruction.t) =
+  match i with
+  | Instruction.Measure _ | Instruction.Reset _ -> true
+  | Instruction.Unitary _ | Instruction.Conditioned _ | Instruction.Barrier _
+    ->
+      false
+
+(* ------------------------------------------------------------------ *)
+
+let analyze_body trace =
+  let c = Trace.circuit trace in
+  let m = Trace.length trace in
+  let nq = Circ.num_qubits c in
+  let bound =
+    (* each index is queried both as a segment boundary and as a peak
+       candidate; memoize so the per-index bound is computed once *)
+    let memo = Array.make (m + 1) (-1) in
+    fun i ->
+      if memo.(i) >= 0 then memo.(i)
+      else begin
+        let v = Reldom.log2_support_bound (State.rel (Trace.pre trace i)) in
+        memo.(i) <- v;
+        v
+      end
+  in
+  (* witness instructions, per original index *)
+  let witness_at =
+    Array.init m (fun i -> witness_instr (Trace.pre trace i) (Trace.instr trace i))
+  in
+  (* nondeterministic branch points: measure/reset whose outcome the
+     analysis cannot pin from the pre-state *)
+  let nondet_at i =
+    match Trace.instr trace i with
+    | Instruction.Measure { qubit; _ } | Instruction.Reset qubit ->
+        if qubit_value (Trace.pre trace i) qubit = None then 1 else 0
+    | Instruction.Unitary _ | Instruction.Conditioned _
+    | Instruction.Barrier _ ->
+        0
+  in
+  (* segment boundaries: the split_prefix rule — a measure/reset opens
+     a new segment unless it extends a measure/reset run *)
+  let starts = ref [] in
+  for i = m - 1 downto 1 do
+    if is_collapse (Trace.instr trace i)
+       && not (is_collapse (Trace.instr trace (i - 1)))
+    then starts := i :: !starts
+  done;
+  let starts = if m = 0 then [] else 0 :: !starts in
+  let rec segments = function
+    | [] -> []
+    | start :: rest ->
+        let stop = match rest with s :: _ -> s | [] -> m in
+        let clifford = ref true
+        and t_count = ref 0
+        and non_clifford = ref 0
+        and nondet = ref 0
+        and peak = ref (bound start) in
+        for i = start to stop - 1 do
+          (match witness_at.(i) with
+          | None -> ()
+          | Some w -> (
+              match classify_witness w with
+              | `Clifford -> ()
+              | `T ->
+                  incr t_count;
+                  clifford := false
+              | `Non_clifford ->
+                  incr non_clifford;
+                  clifford := false));
+          nondet := !nondet + nondet_at i;
+          peak := max !peak (bound (i + 1))
+        done;
+        {
+          start;
+          stop;
+          clifford = !clifford;
+          t_count = !t_count;
+          non_clifford = !non_clifford;
+          log2_bound_end = bound stop;
+          log2_bound_peak = !peak;
+          nondet = !nondet;
+        }
+        :: segments rest
+  in
+  let segments = segments starts in
+  (* dynamic depth and feed-forward critical path: longest path in the
+     dependency DAG; crossing a measurement->conditioned classical edge
+     counts one feed-forward hop *)
+  let nb = Circ.num_bits c in
+  let qdepth = Array.make nq 0
+  and qff = Array.make nq 0
+  and bdepth = Array.make nb 0
+  and bff = Array.make nb 0 in
+  let usage = Array.make nq 0 in
+  let ranges = Array.make nq None in
+  for i = 0 to m - 1 do
+    let instr = Trace.instr trace i in
+    let qs = List.sort_uniq compare (Instruction.qubits instr) in
+    List.iter
+      (fun q ->
+        usage.(q) <- usage.(q) + 1;
+        ranges.(q) <-
+          (match ranges.(q) with
+          | None -> Some { first = i; last = i }
+          | Some r -> Some { r with last = i }))
+      qs;
+    let qd = List.fold_left (fun acc q -> max acc qdepth.(q)) 0 qs in
+    let qf = List.fold_left (fun acc q -> max acc qff.(q)) 0 qs in
+    match instr with
+    | Instruction.Barrier _ ->
+        (* synchronization only: aligns depths without adding a layer *)
+        List.iter
+          (fun q ->
+            qdepth.(q) <- qd;
+            qff.(q) <- qf)
+          qs
+    | Instruction.Unitary _ ->
+        List.iter
+          (fun q ->
+            qdepth.(q) <- qd + 1;
+            qff.(q) <- qf)
+          qs
+    | Instruction.Conditioned (cond, _) ->
+        let bs = List.sort_uniq compare (List.map fst cond.bits) in
+        let d =
+          List.fold_left (fun acc b -> max acc bdepth.(b)) (qd + 1) bs
+        in
+        (* reading a measured bit into a gate is the feed-forward hop *)
+        let f = List.fold_left (fun acc b -> max acc (bff.(b) + 1)) qf bs in
+        List.iter
+          (fun q ->
+            qdepth.(q) <- d;
+            qff.(q) <- f)
+          qs
+    | Instruction.Measure { qubit; bit } ->
+        qdepth.(qubit) <- qd + 1;
+        bdepth.(bit) <- qd + 1;
+        bff.(bit) <- qf
+    | Instruction.Reset q ->
+        qdepth.(q) <- qd + 1;
+        qff.(q) <- qf
+  done;
+  let dynamic_depth =
+    max
+      (Array.fold_left max 0 qdepth)
+      (if nb = 0 then 0 else Array.fold_left max 0 bdepth)
+  in
+  let feedforward_depth =
+    max (Array.fold_left max 0 qff)
+      (if nb = 0 then 0 else Array.fold_left max 0 bff)
+  in
+  let witness =
+    Circ.create ~roles:(Circ.roles c) ~num_bits:nb
+      (List.filter_map Fun.id (Array.to_list witness_at))
+  in
+  let sum f = List.fold_left (fun acc (s : segment) -> acc + f s) 0 segments in
+  Obs.incr ~n:(List.length segments) "analyze.segment";
+  {
+    num_qubits = nq;
+    num_bits = nb;
+    instructions = m;
+    segments;
+    clifford = List.for_all (fun (s : segment) -> s.clifford) segments;
+    witness;
+    t_count = sum (fun s -> s.t_count);
+    non_clifford = sum (fun s -> s.non_clifford);
+    log2_bound_peak =
+      List.fold_left
+        (fun acc (s : segment) -> max acc s.log2_bound_peak)
+        0 segments;
+    nondet_branches = sum (fun s -> s.nondet);
+    dynamic_depth;
+    feedforward_depth;
+    usage_counts = usage;
+    live_ranges = ranges;
+  }
+
+let analyze ?trace c =
+  Obs.with_span "analyze.resources"
+    ~attrs:[ ("qubits", string_of_int (Circ.num_qubits c)) ]
+    (fun () ->
+      let trace =
+        match trace with
+        | Some t ->
+            if not (Circ.equal (Trace.circuit t) c) then
+              invalid_arg "Resource.analyze: trace belongs to a different \
+                           circuit";
+            t
+        | None -> Trace.run c
+      in
+      analyze_body trace)
+
+(* ------------------------------------------------------------------ *)
+
+let segment_to_json s =
+  Obs.Json.Obj
+    [
+      ("start", Obs.Json.Int s.start);
+      ("stop", Obs.Json.Int s.stop);
+      ("clifford", Obs.Json.Bool s.clifford);
+      ("t_count", Obs.Json.Int s.t_count);
+      ("non_clifford", Obs.Json.Int s.non_clifford);
+      ("log2_bound_end", Obs.Json.Int s.log2_bound_end);
+      ("log2_bound_peak", Obs.Json.Int s.log2_bound_peak);
+      ("nondet", Obs.Json.Int s.nondet);
+    ]
+
+let to_json ?name s =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "dqc.analyze/1");
+      ( "circuit",
+        match name with Some n -> Obs.Json.String n | None -> Obs.Json.Null );
+      ("num_qubits", Obs.Json.Int s.num_qubits);
+      ("num_bits", Obs.Json.Int s.num_bits);
+      ("instructions", Obs.Json.Int s.instructions);
+      ("clifford", Obs.Json.Bool s.clifford);
+      ("t_count", Obs.Json.Int s.t_count);
+      ("non_clifford", Obs.Json.Int s.non_clifford);
+      ("log2_bound_peak", Obs.Json.Int s.log2_bound_peak);
+      ("nondet_branches", Obs.Json.Int s.nondet_branches);
+      ("dynamic_depth", Obs.Json.Int s.dynamic_depth);
+      ("feedforward_depth", Obs.Json.Int s.feedforward_depth);
+      ("segments", Obs.Json.List (List.map segment_to_json s.segments));
+      ( "live_ranges",
+        Obs.Json.List
+          (List.filter_map Fun.id
+             (List.init (Array.length s.live_ranges) (fun q ->
+                  match s.live_ranges.(q) with
+                  | None -> None
+                  | Some r ->
+                      Some
+                        (Obs.Json.Obj
+                           [
+                             ("qubit", Obs.Json.Int q);
+                             ("first", Obs.Json.Int r.first);
+                             ("last", Obs.Json.Int r.last);
+                           ])))) );
+    ]
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>%d instruction%s over %d qubit%s in %d segment%s:@,\
+     clifford %b, T %d, non-Clifford %d, log2 amplitude bound <= %d,@,\
+     nondet branches %d, dynamic depth %d, feed-forward depth %d"
+    s.instructions
+    (if s.instructions = 1 then "" else "s")
+    s.num_qubits
+    (if s.num_qubits = 1 then "" else "s")
+    (List.length s.segments)
+    (if List.length s.segments = 1 then "" else "s")
+    s.clifford s.t_count s.non_clifford s.log2_bound_peak s.nondet_branches
+    s.dynamic_depth s.feedforward_depth;
+  List.iter
+    (fun seg ->
+      Format.fprintf fmt
+        "@,  [%d,%d): %s, T %d, bound end %d peak %d, nondet %d" seg.start
+        seg.stop
+        (if seg.clifford then "clifford" else "non-clifford")
+        seg.t_count seg.log2_bound_end seg.log2_bound_peak seg.nondet)
+    s.segments;
+  Format.fprintf fmt "@]"
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,22 +1,34 @@
 open Circuit
 
-type t = { qubits : Absdom.Qubit.t array; bits : Absdom.Bit.t array }
+type t = {
+  qubits : Absdom.Qubit.t array;
+  bits : Absdom.Bit.t array;
+  rel : Reldom.t;
+}
 
 let init ~num_qubits ~num_bits =
   {
     qubits = Array.make num_qubits Absdom.Qubit.Zero;
     bits = Array.make num_bits Absdom.Bit.Unwritten;
+    rel = Reldom.init ~num_qubits ~num_bits;
   }
 
-let copy s = { qubits = Array.copy s.qubits; bits = Array.copy s.bits }
+let copy s = { s with qubits = Array.copy s.qubits; bits = Array.copy s.bits }
 let qubit s q = s.qubits.(q)
 let bit s b = s.bits.(b)
+let rel s = s.rel
 
-let join a b =
+(* Branch join of the per-wire components only — the callers below
+   join two states sharing one [rel] and then step it relationally, so
+   computing the (expensive) [Reldom.join] here would be wasted. *)
+let join_wires a b =
   {
     qubits = Array.map2 Absdom.Qubit.join a.qubits b.qubits;
     bits = Array.map2 Absdom.Bit.join a.bits b.bits;
+    rel = a.rel;
   }
+
+let join a b = { (join_wires a b) with rel = Reldom.join a.rel b.rel }
 
 type cond_status = Holds | Fails | Unknown
 
@@ -29,7 +41,13 @@ let cond_status s (c : Instruction.cond) =
     let test (b, v) =
       match s.bits.(b) with
       | Absdom.Bit.Known x -> if x = v then `T else `F
-      | Absdom.Bit.Unwritten | Absdom.Bit.Written -> `U
+      | Absdom.Bit.Written -> (
+          (* the relational rows may pin a written bit the per-bit
+             lattice lost track of *)
+          match Reldom.implied_bit s.rel b with
+          | Some x -> if x = v then `T else `F
+          | None -> `U)
+      | Absdom.Bit.Unwritten -> `U
     in
     let statuses = List.map test c.bits in
     if List.mem `F statuses then Fails
@@ -72,25 +90,44 @@ let apply_app s (a : Instruction.app) =
   s
 
 let step s (i : Instruction.t) =
+  (* the relational transfer reads the PRE-state per-qubit facts *)
+  let hint q = s.qubits.(q) in
   match i with
-  | Unitary a -> apply_app s a
+  | Unitary a -> { (apply_app s a) with rel = Reldom.step ~hint s.rel i }
   | Conditioned (c, a) -> (
       match cond_status s c with
       | Fails -> s
-      | Holds -> apply_app s a
-      | Unknown -> join (apply_app s a) s)
+      | Holds ->
+          {
+            (apply_app s a) with
+            rel = Reldom.step ~hint s.rel (Instruction.Unitary a);
+          }
+      | Unknown ->
+          {
+            (join_wires (apply_app s a) s) with
+            rel = Reldom.step ~hint s.rel i;
+          })
   | Measure { qubit; bit } ->
+      let rel = Reldom.step ~hint s.rel i in
       let s = copy s in
       (match s.qubits.(qubit) with
       | Absdom.Qubit.Zero -> s.bits.(bit) <- Absdom.Bit.Known false
       | Absdom.Qubit.One -> s.bits.(bit) <- Absdom.Bit.Known true
       | Absdom.Qubit.Basis | Absdom.Qubit.Collapsed | Absdom.Qubit.Superposed
-      | Absdom.Qubit.Top ->
-          s.bits.(bit) <- Absdom.Bit.Written;
-          s.qubits.(qubit) <- Absdom.Qubit.Collapsed);
-      s
+      | Absdom.Qubit.Top -> (
+          (* the rows may pin the outcome even when the per-qubit
+             lattice lost it (e.g. across feed-forward corrections) *)
+          match Reldom.implied_qubit rel qubit with
+          | Some v ->
+              s.bits.(bit) <- Absdom.Bit.Known v;
+              s.qubits.(qubit) <-
+                (if v then Absdom.Qubit.One else Absdom.Qubit.Zero)
+          | None ->
+              s.bits.(bit) <- Absdom.Bit.Written;
+              s.qubits.(qubit) <- Absdom.Qubit.Collapsed));
+      { s with rel }
   | Reset q ->
       let s = copy s in
       s.qubits.(q) <- Absdom.Qubit.Zero;
-      s
+      { s with rel = Reldom.step ~hint s.rel i }
   | Barrier _ -> s

@@ -5,7 +5,11 @@ open Circuit
     classical bit.  Values are immutable from the outside: {!step}
     returns a fresh state. *)
 
-type t = { qubits : Absdom.Qubit.t array; bits : Absdom.Bit.t array }
+type t = {
+  qubits : Absdom.Qubit.t array;
+  bits : Absdom.Bit.t array;
+  rel : Reldom.t;  (** relational facts, threaded alongside *)
+}
 
 (** Every qubit [Zero], every bit [Unwritten]. *)
 val init : num_qubits:int -> num_bits:int -> t
@@ -13,8 +17,9 @@ val init : num_qubits:int -> num_bits:int -> t
 val copy : t -> t
 val qubit : t -> int -> Absdom.Qubit.t
 val bit : t -> int -> Absdom.Bit.t
+val rel : t -> Reldom.t
 
-(** Element-wise least upper bound. *)
+(** Element-wise upper bound ({!Reldom.join} on the relational part). *)
 val join : t -> t -> t
 
 (** Static evaluation of a classical condition: [Fails] covers both a

@@ -179,5 +179,31 @@ val reuse_rows : unit -> reuse_row list
 
 val reuse_report : unit -> string
 
+type sparsity_row = {
+  name : string;
+  scheme : string;  (** traditional / dyn1 / dyn2 *)
+  qubits : int;
+  segments : int;  (** analyzer segments (split_prefix boundaries) *)
+  clifford : bool;  (** analyzer verdict (witness-based, per segment) *)
+  log2_bound : int;
+      (** static peak bound on log2(nonzero amplitudes),
+          {!Lint.Resource.summary.log2_bound_peak} *)
+  log2_measured : int;
+      (** ceil log2 of the peak nonzero-amplitude count observed while
+          replaying the circuit densely over several seeds *)
+  sound : bool;  (** [log2_measured <= log2_bound] *)
+  engine : string;  (** what [Sim.Backend.select Auto] picks *)
+}
+
+(** E13 (extension): the relational analyzer's static sparsity bounds
+    against measured dense sparsity, per benchmark x scheme
+    (traditional / dynamic-1 / dynamic-2) plus the adaptive-parity
+    per-segment-Clifford workload.  Every row must be sound — the
+    differential gate ([bench analyze-gate]) enforces the same
+    dominance over hundreds of random circuits. *)
+val sparsity_rows : unit -> sparsity_row list
+
+val sparsity_report : unit -> string
+
 (** All reports concatenated. *)
 val full_report : ?shots:int -> ?seed:int -> unit -> string

@@ -18,6 +18,50 @@ let policy_of_string s =
 
 let pp_policy fmt p = Format.pp_print_string fmt (policy_to_string p)
 
+(* Per-circuit memo of the compiled program and the static resource
+   summary, keyed on the physical circuit value: repeated [run]s of the
+   same circuit pay for compilation and analysis once.  Keys are weak
+   (ephemerons), so the cache never outlives its circuits. *)
+module Cache = Ephemeron.K1.Make (struct
+  type t = Circ.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type cached = {
+  mutable program : Program.t option;
+  mutable summary : Lint.Resource.summary option;
+}
+
+let cache : cached Cache.t = Cache.create 32
+
+let cache_entry c =
+  match Cache.find_opt cache c with
+  | Some e -> e
+  | None ->
+      let e = { program = None; summary = None } in
+      Cache.add cache c e;
+      e
+
+let compiled c =
+  let e = cache_entry c in
+  match e.program with
+  | Some p -> p
+  | None ->
+      let p = Program.compile c in
+      e.program <- Some p;
+      p
+
+let resource_summary c =
+  let e = cache_entry c in
+  match e.summary with
+  | Some s -> s
+  | None ->
+      let s = Lint.Resource.analyze c in
+      e.summary <- Some s;
+      s
+
 module Prefix = struct
   type t = {
     state : Statevector.t;
@@ -59,14 +103,14 @@ module Prefix = struct
   let no_random () = assert false
 
   (* The cache keys on compiled program segments: the whole circuit is
-     lowered once and split at the first measure/reset op (the same
-     boundary as the instruction-level [split] — fusion never crosses
-     it), the prefix segment is executed once here, and [run_shot]
-     replays only the compiled suffix. *)
+     lowered once (through the per-circuit memo) and split at the first
+     measure/reset op (the same boundary as the instruction-level
+     [split] — fusion never crosses it), the prefix segment is executed
+     once here, and [run_shot] replays only the compiled suffix. *)
   let prepare c =
     Obs.with_span "backend.prefix.prepare" (fun () ->
         let _, suffix = split c in
-        let program = Program.compile c in
+        let program = compiled c in
         let prefix_program, suffix_program = Program.split_prefix program in
         let st = Program.fresh_state program in
         Program.exec ~random:no_random st prefix_program;
@@ -95,16 +139,22 @@ let branch_points c =
       | Instruction.Barrier _ -> acc)
     0 (Circ.instructions c)
 
-(* The exact backend pays ~2^branch_points statevector replays up
-   front and then O(1) per shot; worth it only when that bound is
-   comfortably below the shot count, and hopeless beyond the dense
-   amplitude cap anyway.  The bound is loose (pruning usually kills
-   most branches) so the auto policy stays conservative. *)
+(* The exact backend pays ~2^k statevector replays up front and then
+   O(1) per shot, where k is the analyzer's count of measure/reset
+   points with statically unknown outcomes (deterministic collapses
+   don't fork the branch tree) rather than the syntactic count; worth
+   it only when that bound is comfortably below the shot count.  The
+   old hard qubit cutoff stays for wide circuits unless the analyzer
+   proves the live amplitude set itself is small. *)
 let exact_auto_max_qubits = 16
 
-let exact_tractable ~shots c =
-  let k = branch_points c in
-  Circ.num_qubits c <= exact_auto_max_qubits
+let exact_tractable ~shots ~extra_branches c =
+  Circ.num_qubits c <= Statevector.max_qubits
+  &&
+  let s = resource_summary c in
+  let k = s.Lint.Resource.nondet_branches + extra_branches in
+  (Circ.num_qubits c <= exact_auto_max_qubits
+  || s.Lint.Resource.log2_bound_peak <= exact_auto_max_qubits)
   && k < Sys.int_size - 2
   && 1 lsl k <= max 64 (shots / 4)
 
@@ -114,27 +164,51 @@ let check_dense_fits ~who c =
       (Printf.sprintf "Backend.run: %s backend capped at %d qubits (got %d)"
          who Statevector.max_qubits (Circ.num_qubits c))
 
-let select ?(policy = Auto) ~shots c =
-  match policy with
-  | Statevector_dense ->
-      check_dense_fits ~who:"dense" c;
-      `Dense
-  | Stabilizer ->
-      if not (Stabilizer.supports c) then
-        raise
-          (Stabilizer.Unsupported
-             "Backend.run: stabilizer policy on a non-Clifford circuit");
-      `Stabilizer
-  | Exact_branch ->
-      check_dense_fits ~who:"exact-branch" c;
-      `Exact
-  | Auto ->
-      if Stabilizer.supports c then `Stabilizer
-      else if exact_tractable ~shots c then `Exact
-      else begin
+(* Clifford routing under [Auto]: the whole-circuit scan is the cheap
+   path; failing that, the analyzer's witness — the same circuit minus
+   statically-dead gates — is consulted, so a per-segment-Clifford
+   dynamic circuit whose only non-Clifford gates are provably dead
+   still lands on the tableau engine. *)
+let stabilizer_circuit c =
+  if Stabilizer.supports c then Some c
+  else
+    let s = resource_summary c in
+    if s.Lint.Resource.clifford && Stabilizer.supports s.Lint.Resource.witness
+    then Some s.Lint.Resource.witness
+    else None
+
+(* [extra_branches] accounts for terminal measurements a measurement
+   plan appends after selection (each at most one branch point). *)
+let select_gen ?(policy = Auto) ~shots ~extra_branches c =
+  let engine =
+    match policy with
+    | Statevector_dense ->
         check_dense_fits ~who:"dense" c;
         `Dense
-      end
+    | Stabilizer ->
+        if not (Stabilizer.supports c) then
+          raise
+            (Stabilizer.Unsupported
+               "Backend.run: stabilizer policy on a non-Clifford circuit");
+        `Stabilizer
+    | Exact_branch ->
+        check_dense_fits ~who:"exact-branch" c;
+        `Exact
+    | Auto ->
+        if stabilizer_circuit c <> None then `Stabilizer
+        else if exact_tractable ~shots ~extra_branches c then `Exact
+        else begin
+          check_dense_fits ~who:"dense" c;
+          `Dense
+        end
+  in
+  (match engine with
+  | `Stabilizer -> Obs.incr "backend.select.stabilizer"
+  | `Exact -> Obs.incr "backend.select.exact"
+  | `Dense -> Obs.incr "backend.select.dense");
+  engine
+
+let select ?policy ~shots c = select_gen ?policy ~shots ~extra_branches:0 c
 
 let engine_name = function
   | `Stabilizer -> "stabilizer"
@@ -143,34 +217,54 @@ let engine_name = function
 
 let run ?policy ?(seed = Runner.default_seed) ?domains ?plan
     ?(prefix_cache = true) ~shots c =
-  let c =
+  (* selection happens on the un-instrumented circuit (the plan's
+     terminal measurements change neither the gate set nor the qubit
+     count; their branch points are accounted separately), so the
+     per-circuit analysis memo keys on the caller's stable value *)
+  let extra_branches =
     match plan with
-    | None -> c
-    | Some plan -> Measurement_plan.instrument plan c
+    | None -> 0
+    | Some plan ->
+        List.length
+          (Measurement_plan.to_pairs ~num_qubits:(Circ.num_qubits c) plan)
   in
-  let width = Circ.num_bits c in
-  let engine = select ?policy ~shots c in
+  let engine = select_gen ?policy ~shots ~extra_branches c in
+  let instrument circuit =
+    match plan with
+    | None -> circuit
+    | Some plan -> Measurement_plan.instrument plan circuit
+  in
+  let base = instrument c in
+  let width = Circ.num_bits base in
   if Obs.Flight.enabled () then
     Obs.Flight.record ~kind:"backend.run"
       [
         ("engine", Obs.Json.String (engine_name engine));
         ("seed", Obs.Json.Int seed);
         ("shots", Obs.Json.Int shots);
-        ("qubits", Obs.Json.Int (Circ.num_qubits c));
+        ("qubits", Obs.Json.Int (Circ.num_qubits base));
         ("prefix_cache", Obs.Json.Bool prefix_cache);
       ];
   let dispatch () =
     match engine with
     | `Stabilizer ->
+        (* an Auto selection may be backed by the analyzer's witness —
+           run that circuit: it is observationally equivalent and inside
+           the tableau gate set *)
+        let cs =
+          match stabilizer_circuit c with
+          | Some w -> instrument w
+          | None -> base
+        in
         Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
-            Stabilizer.register (Stabilizer.run ~rng c))
+            Stabilizer.register (Stabilizer.run ~rng cs))
     | `Exact ->
-        let sampler = Dist.sampler (Exact.register_distribution c) in
+        let sampler = Dist.sampler (Exact.register_distribution base) in
         Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
             Dist.sample sampler rng)
     | `Dense ->
         if prefix_cache then begin
-          let cached = Prefix.prepare c in
+          let cached = Prefix.prepare base in
           (* counted once per dispatch, not per shot: a counter bump is
              a name lookup in the domain buffer, too expensive for the
              per-shot path under the <2% telemetry budget *)
@@ -183,7 +277,7 @@ let run ?policy ?(seed = Runner.default_seed) ?domains ?plan
              shot, bit-identical to the prefix-cached execution *)
           if Obs.Flight.enabled () then
             Obs.Flight.record ~kind:"backend.prefix.bypassed" [];
-          let program = Program.compile c in
+          let program = compiled base in
           Obs.incr ~n:shots "backend.prefix.miss";
           Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
               Statevector.register (Program.run ~rng program))
@@ -206,7 +300,7 @@ let run ?policy ?(seed = Runner.default_seed) ?domains ?plan
           [
             ("engine", name);
             ("shots", string_of_int shots);
-            ("qubits", string_of_int (Circ.num_qubits c));
+            ("qubits", string_of_int (Circ.num_qubits base));
           ]
         dispatch
     in

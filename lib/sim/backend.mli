@@ -72,14 +72,26 @@ module Prefix : sig
   val run_shot : t -> rng:Random.State.t -> int
 end
 
-(** Measurement/reset instructions in the circuit — the branch-point
-    count the [Auto] policy uses to judge {!Exact} tractability. *)
+(** Measurement/reset instructions in the circuit — the {e syntactic}
+    branch-point count ([Auto] now uses the analyzer's semantic count,
+    {!Lint.Resource.summary}[.nondet_branches], instead). *)
 val branch_points : Circ.t -> int
 
-(** The backend [run] would dispatch to.  [Auto] selects: stabilizer
-    when the circuit is Clifford; exact branching when the leaf bound
-    [2^branch_points] is small relative to [shots] (and the circuit
-    fits the dense cap); dense otherwise.
+(** The circuit's static resource summary ({!Lint.Resource.analyze}),
+    memoized per physical circuit value alongside the compiled program
+    — repeated [select]/[run] calls on the same circuit analyze it
+    once. *)
+val resource_summary : Circ.t -> Lint.Resource.summary
+
+(** The backend [run] would dispatch to.  [Auto] consults the
+    per-segment resource summary: stabilizer when every segment is
+    Clifford — by the whole-circuit scan or by the analyzer's
+    observationally-equivalent witness circuit (so provably-dead
+    non-Clifford gates don't force the dense engine); exact branching
+    when the leaf bound [2^nondet_branches] is small relative to
+    [shots] and either the circuit is narrow or the static amplitude
+    bound is; dense otherwise.  Selection bumps the
+    [backend.select.<engine>] counter.
     @raise Stabilizer.Unsupported when the [Stabilizer] policy is
     forced on a non-Clifford circuit.
     @raise Invalid_argument when [Statevector_dense]/[Exact_branch] is

@@ -258,30 +258,30 @@ let prop_synthesize_truthful =
 (* Gf2 / Simon                                                        *)
 
 let test_gf2_basics () =
-  check_bool "dot" true (Algorithms.Gf2.dot 0b110 0b010);
-  check_bool "dot even" false (Algorithms.Gf2.dot 0b110 0b110);
-  check_int "rank full" 3 (Algorithms.Gf2.rank ~width:3 [ 0b001; 0b010; 0b100 ]);
+  check_bool "dot" true (Gf2.dot 0b110 0b010);
+  check_bool "dot even" false (Gf2.dot 0b110 0b110);
+  check_int "rank full" 3 (Gf2.rank ~width:3 [ 0b001; 0b010; 0b100 ]);
   check_int "rank dependent" 2
-    (Algorithms.Gf2.rank ~width:3 [ 0b011; 0b101; 0b110 ]);
+    (Gf2.rank ~width:3 [ 0b011; 0b101; 0b110 ]);
   check_int "independent count" 2
-    (List.length (Algorithms.Gf2.independent ~width:3 [ 0b011; 0b101; 0b110 ]))
+    (List.length (Gf2.independent ~width:3 [ 0b011; 0b101; 0b110 ]))
 
 let test_gf2_nullspace () =
   (* constraints orthogonal to s = 101: nullspace from two independent
      ones must be {101} *)
-  let ns = Algorithms.Gf2.nullspace ~width:3 [ 0b010; 0b111 ] in
+  let ns = Gf2.nullspace ~width:3 [ 0b010; 0b111 ] in
   Alcotest.(check (list int)) "unique solution" [ 0b101 ] ns;
   (* empty constraint set: whole space *)
   check_int "full nullspace" 3
-    (List.length (Algorithms.Gf2.nullspace ~width:3 []));
+    (List.length (Gf2.nullspace ~width:3 []));
   (* every nullspace vector is orthogonal to every constraint *)
   let constraints = [ 0b0110; 0b1010; 0b0001 ] in
   List.iter
     (fun v ->
       List.iter
-        (fun c -> check_bool "orthogonal" false (Algorithms.Gf2.dot v c))
+        (fun c -> check_bool "orthogonal" false (Gf2.dot v c))
         constraints)
-    (Algorithms.Gf2.nullspace ~width:4 constraints)
+    (Gf2.nullspace ~width:4 constraints)
 
 let test_simon_oracle_is_periodic () =
   (* f(x) = f(x XOR s) and 2-to-1, for a couple of secrets *)
@@ -319,7 +319,7 @@ let test_simon_constraints_orthogonal () =
   let secret = Sim.Bits.of_string s in
   let ys = Algorithms.Simon.sample_constraints ~runs:40 ~dynamic:true s in
   List.iter
-    (fun y -> check_bool "y.s = 0" false (Algorithms.Gf2.dot y secret))
+    (fun y -> check_bool "y.s = 0" false (Gf2.dot y secret))
     ys
 
 let test_simon_recovers () =

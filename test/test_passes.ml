@@ -30,8 +30,8 @@ let test_registry_contents () =
         (List.exists (fun p -> name p = n) passes))
     [
       "prepare"; "transform"; "certify"; "equivalence"; "reuse"; "analyze";
-      "prune_resets"; "reuse_certify"; "expand_cv"; "peephole"; "lower_native";
-      "lint";
+      "analyze.resources"; "prune_resets"; "reuse_certify"; "expand_cv";
+      "peephole"; "lower_native"; "lint";
     ];
   let kind_of n =
     (List.find (fun p -> name p = n) passes).Dqc.Pass.kind
@@ -54,8 +54,8 @@ let test_schedule_names () =
   in
   check_strings "reuse schedule"
     [
-      "prepare"; "reuse"; "analyze"; "prune_resets"; "reuse_certify";
-      "expand_cv"; "analyze"; "lint";
+      "prepare"; "analyze.resources"; "reuse"; "analyze"; "prune_resets";
+      "reuse_certify"; "expand_cv"; "analyze"; "lint";
     ]
     reuse_names
 
