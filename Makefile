@@ -1,4 +1,4 @@
-.PHONY: all build test bench ci fmt-check trace-smoke kernel-smoke lint verify-gate reuse-gate analyze-gate perf-gate perf-baseline clean
+.PHONY: all build test bench ci fmt-check trace-smoke kernel-smoke lint verify-gate reuse-gate analyze-gate opt-gate perf-gate perf-baseline clean
 
 all: build
 
@@ -117,6 +117,15 @@ reuse-gate:
 analyze-gate:
 	OCAMLRUNPARAM=b dune exec bench/main.exe -- analyze-gate
 
+# Certified-optimizer gate: the whole report corpus (Table I dynamic,
+# Table II traditional/dyn1/dyn2, reuse suite) must optimize with
+# every accepted rewrite Proved by the path-sum certifier, the dyn2
+# family must shrink strictly, and fold/reset-removal must each fire
+# somewhere.  A Refuted rewrite — the optimizer disagreeing with its
+# own certificate — fails the gate immediately.
+opt-gate:
+	OCAMLRUNPARAM=b dune exec bench/main.exe -- opt-gate
+
 # Perf regression gate: sample every shared bench workload into
 # percentile histograms (interleaved rounds, see bench/main.ml) and
 # compare p50/p99 against the checked-in dqc.bench/2 baseline.
@@ -142,6 +151,7 @@ ci:
 	$(MAKE) verify-gate
 	$(MAKE) reuse-gate
 	$(MAKE) analyze-gate
+	$(MAKE) opt-gate
 	$(MAKE) perf-gate
 	$(MAKE) fmt-check
 

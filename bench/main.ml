@@ -518,6 +518,66 @@ let run_analyze_gate () =
   Printf.printf "analyze gate: %s\n" (if ok then "PASS" else "FAIL");
   if not ok then exit 1
 
+(* Certified-optimizer gate: the full report corpus (Table I dynamic,
+   Table II traditional/dyn1/dyn2, reuse suite) must optimize with
+   every accepted rewrite Proved by the path-sum certifier — a single
+   Refuted rewrite aborts the gate — and the dyn2 family must come out
+   strictly smaller (its trailing conditioned uncomputations are
+   provably unobservable).  Fold and reset-removal must each fire
+   somewhere in the corpus, so the gate also notices a silently inert
+   rewrite family. *)
+let run_opt_gate () =
+  section "Optimize gate: certified rewrites over the benchmark corpus";
+  let rows =
+    try Report.Experiments.optimize_rows ()
+    with Dqc.Optimize.Refuted msg ->
+      Printf.printf "optimize gate: REFUTED REWRITE — %s\n" msg;
+      exit 1
+  in
+  let unproved =
+    List.filter (fun (r : Report.Experiments.optimize_row) -> not r.proved) rows
+  in
+  List.iter
+    (fun (r : Report.Experiments.optimize_row) ->
+      Printf.printf "  UNPROVED: %s [%s]\n" r.name r.scheme)
+    unproved;
+  let dyn2 =
+    List.filter
+      (fun (r : Report.Experiments.optimize_row) -> r.scheme = "dyn2")
+      rows
+  in
+  let dyn2_stuck =
+    List.filter
+      (fun (r : Report.Experiments.optimize_row) ->
+        r.gates_after >= r.gates_before)
+      dyn2
+  in
+  List.iter
+    (fun (r : Report.Experiments.optimize_row) ->
+      Printf.printf "  NO DYN2 REDUCTION: %s (%d -> %d gates)\n" r.name
+        r.gates_before r.gates_after)
+    dyn2_stuck;
+  let total f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let folded = total (fun (r : Report.Experiments.optimize_row) -> r.folded) in
+  let resets =
+    total (fun (r : Report.Experiments.optimize_row) -> r.resets_removed)
+  in
+  let saved =
+    total
+      (fun (r : Report.Experiments.optimize_row) ->
+        r.gates_before - r.gates_after)
+  in
+  Printf.printf
+    "corpus: %d rows (%d dyn2), %d gates saved, %d measures folded, %d \
+     resets removed, %d unproved\n"
+    (List.length rows) (List.length dyn2) saved folded resets
+    (List.length unproved);
+  let ok =
+    unproved = [] && dyn2 <> [] && dyn2_stuck = [] && folded > 0 && resets > 0
+  in
+  Printf.printf "optimize gate: %s\n" (if ok then "PASS" else "FAIL");
+  if not ok then exit 1
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                    *)
 
@@ -744,6 +804,27 @@ let workloads () : (string * (unit -> unit)) list =
         ("reuse QPE-4", Algorithms.Qpe.kitaev ~bits:4 ~phase:(3. /. 8.));
       ]
   in
+  (* the certified optimizer end to end — abstract interpretation,
+     the three sweeps and their channel certificates — on a dyn2
+     compilation (uncompute cancellation) and a dynamic BV (measure
+     folding + reset removal) *)
+  let optimize_tests =
+    let o = Option.get (Algorithms.Dj_toffoli.oracle_by_name "CARRY") in
+    let dyn2 =
+      Decompose.Pass.expand_cv
+        (Dqc.Toffoli_scheme.transform Dqc.Toffoli_scheme.Dynamic_2
+           (Algorithms.Dj.circuit o))
+          .Dqc.Transform.circuit
+    in
+    let bv =
+      (Dqc.Transform.transform (Algorithms.Bv.circuit "1000"))
+        .Dqc.Transform.circuit
+    in
+    [
+      ("optimize DJ(CARRY) dyn2", fun () -> ignore (Dqc.Optimize.run dyn2));
+      ("optimize BV-4 dyn", fun () -> ignore (Dqc.Optimize.run bv));
+    ]
+  in
   [
     bv_transform 4;
     bv_transform 8;
@@ -764,7 +845,7 @@ let workloads () : (string * (unit -> unit)) list =
     native;
   ]
   @ kernels @ backend_engines @ lint_tests @ analyze_tests @ verify_tests
-  @ reuse_tests
+  @ reuse_tests @ optimize_tests
 
 let make_benchmarks () =
   let open Bechamel in
@@ -1227,6 +1308,7 @@ let () =
   | "reuse" -> run_reuse ()
   | "sparsity" -> run_sparsity ()
   | "analyze-gate" -> run_analyze_gate ()
+  | "opt-gate" -> run_opt_gate ()
   | "ablation" -> run_ablation ()
   | "backend" -> run_backend ()
   | "kernels" -> run_kernels ()
@@ -1250,6 +1332,6 @@ let () =
       run_bechamel ()
   | other ->
       Printf.eprintf
-        "unknown target %S (expected table1|table2|fig7|equivalence|mct|routing|duration|scale|slots|reuse|sparsity|analyze-gate|ablation|backend|kernels|bechamel|perf|all)\n"
+        "unknown target %S (expected table1|table2|fig7|equivalence|mct|routing|duration|scale|slots|reuse|sparsity|analyze-gate|opt-gate|ablation|backend|kernels|bechamel|perf|all)\n"
         other;
       exit 1

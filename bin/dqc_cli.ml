@@ -711,6 +711,11 @@ let lint_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the dqc.lint/1 JSON report")
   in
+  let sarif =
+    Arg.(
+      value & flag
+      & info [ "sarif" ] ~doc:"Emit the report as a SARIF 2.1.0 document")
+  in
   let dqc =
     Arg.(
       value & flag
@@ -719,7 +724,7 @@ let lint_cmd =
             "Also run the DQC invariant passes on a --file or --traditional \
              subject (always on for compiled benchmarks)")
   in
-  let run bench file scheme mode slots traditional json dqc =
+  let run bench file scheme mode slots traditional json sarif dqc =
     let general_passes () =
       if dqc then Lint.dqc_passes ~max_live:slots () else Lint.default_passes
     in
@@ -763,7 +768,9 @@ let lint_cmd =
         exit 1
     | Some (name, circuit, passes) ->
         let report = Lint.run ~passes circuit in
-        if json then
+        if sarif then
+          print_endline (Obs.Json.to_string (Lint.to_sarif ~name report))
+        else if json then
           print_endline (Obs.Json.to_string (Lint.to_json ~name report))
         else begin
           Printf.printf "%s: %s\n" name (Lint.summary report);
@@ -779,7 +786,7 @@ let lint_cmd =
           DQC invariants); non-zero exit on error diagnostics")
     Term.(
       const run $ bench $ file $ scheme_arg $ mode_arg $ slots $ traditional
-      $ json $ dqc)
+      $ json $ sarif $ dqc)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                             *)
@@ -1129,6 +1136,112 @@ let reuse_cmd =
     Term.(const run $ bench $ scheme_arg $ gate)
 
 (* ------------------------------------------------------------------ *)
+(* optimize                                                           *)
+
+let optimize_cmd =
+  let bench =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK"
+          ~doc:
+            "Optimize one benchmark (BV_<bits>, a DJ oracle, or a measured \
+             algorithm circuit like GROVER_3).  Without it the whole corpus \
+             is run.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the dqc.optimize/1 JSON report")
+  in
+  let row_json (r : Report.Experiments.optimize_row) =
+    Obs.Json.Obj
+      [
+        ("benchmark", Obs.Json.String r.Report.Experiments.name);
+        ("scheme", Obs.Json.String r.Report.Experiments.scheme);
+        ("gates_before", Obs.Json.Int r.Report.Experiments.gates_before);
+        ("gates_after", Obs.Json.Int r.Report.Experiments.gates_after);
+        ("depth_before", Obs.Json.Int r.Report.Experiments.depth_before);
+        ("depth_after", Obs.Json.Int r.Report.Experiments.depth_after);
+        ("measures_folded", Obs.Json.Int r.Report.Experiments.folded);
+        ("resets_removed", Obs.Json.Int r.Report.Experiments.resets_removed);
+        ("uncomputes_removed", Obs.Json.Int r.Report.Experiments.uncomputes);
+        ("sweeps", Obs.Json.Int r.Report.Experiments.sweeps);
+        ("proved", Obs.Json.Bool r.Report.Experiments.proved);
+      ]
+  in
+  let run bench scheme json =
+    let rows =
+      match bench with
+      | Some name -> (
+          match benchmark_circuit name with
+          | None ->
+              prerr_endline ("unknown benchmark: " ^ name);
+              exit 1
+          | Some c ->
+              let scheme_label, circuit =
+                match algorithm_circuit name with
+                | Some _ -> ("measured", c)
+                | None ->
+                    let r = Dqc.Toffoli_scheme.transform scheme c in
+                    ( Dqc.Toffoli_scheme.to_string scheme,
+                      Decompose.Pass.expand_cv r.Dqc.Transform.circuit )
+              in
+              [
+                Report.Experiments.optimize_entry ~name ~scheme:scheme_label
+                  circuit;
+              ])
+      | None -> Report.Experiments.optimize_rows ()
+    in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("schema", Obs.Json.String "dqc.optimize/1");
+                ("rows", Obs.Json.List (List.map row_json rows));
+              ]))
+    else begin
+      (match bench with
+      | Some _ ->
+          List.iter
+            (fun (r : Report.Experiments.optimize_row) ->
+              Printf.printf
+                "%s (%s): gates %d -> %d, depth %d -> %d\n\
+                 measures folded: %d, resets removed: %d, uncomputes \
+                 cancelled: %d (%d sweep%s, %s)\n"
+                r.Report.Experiments.name r.Report.Experiments.scheme
+                r.Report.Experiments.gates_before
+                r.Report.Experiments.gates_after
+                r.Report.Experiments.depth_before
+                r.Report.Experiments.depth_after r.Report.Experiments.folded
+                r.Report.Experiments.resets_removed
+                r.Report.Experiments.uncomputes r.Report.Experiments.sweeps
+                (if r.Report.Experiments.sweeps = 1 then "" else "s")
+                (if r.Report.Experiments.proved then "all rewrites proved"
+                 else "some sweep reverted"))
+            rows
+      | None -> print_string (Report.Experiments.optimize_report ()));
+      flush stdout
+    end;
+    exit
+      (if
+         List.for_all
+           (fun (r : Report.Experiments.optimize_row) ->
+             r.Report.Experiments.proved)
+           rows
+       then 0
+       else 1)
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Run the certified optimizer (constant-measurement folding, \
+          observability dead-code elimination, affine-fact rewrites); every \
+          accepted rewrite is proved by the path-sum channel certifier")
+    Term.(const run $ bench $ scheme_arg $ json)
+
+(* ------------------------------------------------------------------ *)
 (* simon                                                              *)
 
 let simon_cmd =
@@ -1189,6 +1302,7 @@ let () =
             lint_cmd;
             verify_cmd;
             passes_cmd;
+            optimize_cmd;
             reuse_cmd;
             qpe_cmd;
             simon_cmd;

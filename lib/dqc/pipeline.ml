@@ -3,6 +3,8 @@ open Circuit
 exception Invalid_options of string
 exception Reuse_refuted of string
 
+exception Optimize_refuted = Optimize.Refuted
+
 let exact_check_max_qubits = 12
 
 (* ------------------------------------------------------------------ *)
@@ -198,6 +200,30 @@ let reuse_certify_body (ctx : Pass.ctx) =
           raise (Reuse_refuted cex.Verify.Certify.detail)
       | Verify.Certify.Unknown _ -> { ctx with Pass.certified = false })
 
+(* the optimizer passes: certified analysis-driven rewrites.  Each
+   body reuses the interpreter facts already in the context when they
+   are fresh; a changed circuit invalidates them implicitly
+   ([Pass.fresh_facts] compares circuits). *)
+let optimize_pass family
+    (runf :
+      ?certify:bool -> ?trace:Lint.Trace.t -> Circ.t -> Optimize.rewrite)
+    (ctx : Pass.ctx) =
+  let r = runf ?trace:(Pass.fresh_facts ctx) ctx.Pass.circuit in
+  if r.Optimize.reverted then
+    Pass.note
+      ("optimize." ^ family)
+      "reverted: certifier could not prove the rewrite" ctx
+  else if not (Optimize.changed r.Optimize.stats) then ctx
+  else
+    Pass.note
+      ("optimize." ^ family)
+      (Optimize.stats_to_string r.Optimize.stats)
+      { ctx with Pass.circuit = r.Optimize.circuit }
+
+let optimize_fold_body ctx = optimize_pass "fold" Optimize.fold ctx
+let optimize_dce_body ctx = optimize_pass "dce" Optimize.dce ctx
+let optimize_affine_body ctx = optimize_pass "affine" Optimize.affine ctx
+
 let expand_cv_body (ctx : Pass.ctx) =
   { ctx with Pass.circuit = Decompose.Pass.expand_cv ctx.Pass.circuit }
 
@@ -269,6 +295,21 @@ let builtin_passes =
       reuse_certify_body;
     Pass.make ~name:"expand_cv" ~kind:Pass.Transform
       ~doc:"lower CV/CV-dagger to Clifford+T (Fig 6)" expand_cv_body;
+    Pass.make ~name:"optimize.fold" ~kind:Pass.Transform
+      ~doc:
+        "fold statically-known measurement outcomes and feed-forward \
+         conditions (certified)"
+      optimize_fold_body;
+    Pass.make ~name:"optimize.dce" ~kind:Pass.Transform
+      ~doc:
+        "drop dead gates, provably-redundant resets and dead wires \
+         (certified)"
+      optimize_dce_body;
+    Pass.make ~name:"optimize.affine" ~kind:Pass.Transform
+      ~doc:
+        "cancel gates and controls the GF(2) affine rows prove constant \
+         (certified)"
+      optimize_affine_body;
     Pass.make ~name:"peephole" ~kind:Pass.Transform
       ~doc:"cancel inverse pairs and merge rotations" peephole_body;
     Pass.make ~name:"lower_native" ~kind:Pass.Transform
@@ -298,6 +339,7 @@ module Options = struct
     backend_policy : Sim.Backend.policy;
     lint : bool;
     reuse : bool;
+    optimize : bool;
     passes : string list option;
   }
 
@@ -314,6 +356,7 @@ module Options = struct
       backend_policy = Sim.Backend.Auto;
       lint = true;
       reuse = false;
+      optimize = false;
       passes = None;
     }
 
@@ -336,6 +379,7 @@ module Options = struct
   let with_backend_policy backend_policy t = { t with backend_policy }
   let with_lint lint t = { t with lint }
   let with_reuse reuse t = { t with reuse }
+  let with_optimize optimize t = { t with optimize }
 
   let lookup name =
     match Pass.find name with
@@ -360,6 +404,7 @@ module Options = struct
   let backend_policy t = t.backend_policy
   let lint t = t.lint
   let reuse t = t.reuse
+  let optimize t = t.optimize
   let passes t = t.passes
 
   let config t =
@@ -375,6 +420,12 @@ module Options = struct
     | Some names -> names
     | None ->
         let opt flag names = if flag then names else [] in
+        (* the optimizer slots in ahead of peephole: its rewrites are
+           certified against the pre-optimize circuit, and peephole's
+           syntactic cancellations then run on the smaller netlist *)
+        let optimize =
+          opt t.optimize [ "optimize.fold"; "optimize.dce"; "optimize.affine" ]
+        in
         if t.reuse then
           [
             "prepare";
@@ -385,6 +436,7 @@ module Options = struct
             "reuse_certify";
           ]
           @ opt t.expand_cv [ "expand_cv" ]
+          @ optimize
           @ opt t.peephole [ "peephole" ]
           @ opt t.native [ "lower_native" ]
           @ opt t.lint [ "analyze"; "lint" ]
@@ -393,6 +445,7 @@ module Options = struct
           @ opt (t.check_equivalence && t.certify) [ "certify" ]
           @ opt t.check_equivalence [ "equivalence" ]
           @ opt t.expand_cv [ "expand_cv" ]
+          @ optimize
           @ opt t.peephole [ "peephole" ]
           @ opt t.native [ "lower_native" ]
           @ opt t.lint [ "lint" ]
@@ -437,6 +490,7 @@ let dump_flight_on e =
   match e with
   | Lint.Rejected report -> dump (Lint.summary report)
   | Reuse_refuted detail -> dump detail
+  | Optimize_refuted detail -> dump detail
   | Sim.State.Zero_probability_branch { qubit; outcome } ->
       dump
         (Printf.sprintf "qubit %d, outcome %c" qubit (if outcome then '1' else '0'))

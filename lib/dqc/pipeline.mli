@@ -34,6 +34,14 @@ exception Invalid_options of string
     judge. *)
 exception Reuse_refuted of string
 
+(** Raised by the [optimize.*] passes when the path-sum certifier
+    {e refutes} one of their rewrites — the analysis facts and the
+    certifier disagree, so compilation must not continue on either
+    circuit.  (An [Unknown] verdict never raises: the rewrite is
+    silently reverted instead — zero sampled fallbacks.)  Equal to
+    {!Optimize.Refuted}. *)
+exception Optimize_refuted of string
+
 (** The built-in passes, in registration order — what
     [dqc_cli passes] lists.  Calling this (or anything else in this
     module) guarantees the built-ins are registered. *)
@@ -84,6 +92,12 @@ module Options : sig
       rewiring raises {!Reuse_refuted}. *)
   val with_reuse : bool -> t -> t
 
+  (** Run the certified optimizer ([optimize.fold] / [optimize.dce] /
+      [optimize.affine], see {!Optimize}) ahead of peephole — off by
+      default.  Every rewrite is proved channel-equivalent by the
+      path-sum certifier; a refutation raises {!Optimize_refuted}. *)
+  val with_optimize : bool -> t -> t
+
   (** Replace the derived schedule with an explicit pass list, looked
       up in the registry — the escape hatch for custom passes
       ({!Pass.register} first) and experiments.  All other options
@@ -102,6 +116,7 @@ module Options : sig
   val backend_policy : t -> Sim.Backend.policy
   val lint : t -> bool
   val reuse : t -> bool
+  val optimize : t -> bool
   val passes : t -> string list option
 
   (** The pass context configuration the options denote. *)

@@ -185,8 +185,7 @@ let prune_resets trace =
   Lint.Trace.iteri
     (fun _ ~pre instr ->
       match instr with
-      | Instruction.Reset q
-        when Lint.State.qubit pre q = Lint.Absdom.Qubit.Zero ->
+      | Instruction.Reset q when Lint.Deadness.provably_zero pre q ->
           incr pruned
       | Instruction.Reset _ | Instruction.Unitary _
       | Instruction.Conditioned _ | Instruction.Measure _

@@ -2,11 +2,13 @@ module Absdom = Absdom
 module Reldom = Reldom
 module State = State
 module Trace = Trace
+module Deadness = Deadness
 module Resource = Resource
 module Diagnostic = Diagnostic
 module Pass = Pass
 module Passes = Passes
 module Dqc_rules = Dqc_rules
+module Sarif = Sarif
 
 type report = {
   diagnostics : Diagnostic.t list;
@@ -107,6 +109,20 @@ let to_json ?name r =
       ( "diagnostics",
         Obs.Json.List (List.map Diagnostic.to_json r.diagnostics) );
     ]
+
+(* every catalogued pass, deduplicated by name — the SARIF rule
+   description table *)
+let rule_catalogue () =
+  List.fold_left
+    (fun acc (p : Pass.t) ->
+      if List.mem_assoc p.Pass.name acc then acc
+      else (p.Pass.name, p.Pass.description) :: acc)
+    []
+    (dqc_passes () @ certifier_passes)
+  |> List.rev
+
+let to_sarif ?name r =
+  Sarif.document ?uri:name ~rules:(rule_catalogue ()) r.diagnostics
 
 let () =
   Printexc.register_printer (function

@@ -19,11 +19,13 @@ module Absdom = Absdom
 module Reldom = Reldom
 module State = State
 module Trace = Trace
+module Deadness = Deadness
 module Resource = Resource
 module Diagnostic = Diagnostic
 module Pass = Pass
 module Passes = Passes
 module Dqc_rules = Dqc_rules
+module Sarif = Sarif
 
 type report = {
   diagnostics : Diagnostic.t list;  (** sorted by {!Diagnostic.compare} *)
@@ -76,3 +78,8 @@ val report_to_string : report -> string
 
 (** The [dqc.lint/1] document; [name] fills the [circuit] field. *)
 val to_json : ?name:string -> report -> Obs.Json.t
+
+(** The report as a SARIF 2.1.0 document ({!Sarif.document}); [name]
+    fills the artifact URI.  The rule table carries the descriptions
+    of the full pass catalogue. *)
+val to_sarif : ?name:string -> report -> Obs.Json.t

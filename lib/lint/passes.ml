@@ -6,29 +6,8 @@ open Circuit
 let q_name q = Printf.sprintf "q%d" q
 let b_name b = Printf.sprintf "c%d" b
 
-(* Last index at which each qubit is referenced by an effectful
-   instruction (barriers read nothing and keep nothing alive). *)
-let last_reference trace =
-  let last = Array.make (Circ.num_qubits (Trace.circuit trace)) (-1) in
-  Trace.iteri
-    (fun i ~pre:_ (instr : Instruction.t) ->
-      match instr with
-      | Barrier _ -> ()
-      | Unitary _ | Conditioned _ | Measure _ | Reset _ ->
-          List.iter (fun q -> last.(q) <- i) (Instruction.qubits instr))
-    trace;
-  last
-
-(* First index at which each qubit is measured (max_int when never). *)
-let first_measure trace =
-  let first = Array.make (Circ.num_qubits (Trace.circuit trace)) max_int in
-  Trace.iteri
-    (fun i ~pre:_ (instr : Instruction.t) ->
-      match instr with
-      | Measure { qubit; _ } -> if first.(qubit) = max_int then first.(qubit) <- i
-      | Unitary _ | Conditioned _ | Reset _ | Barrier _ -> ())
-    trace;
-  first
+(* Whole-trace liveness tables come from the shared {!Deadness} API. *)
+let last_reference trace = Deadness.last_reference (Deadness.of_trace trace)
 
 (* ------------------------------------------------------------------ *)
 
@@ -189,7 +168,7 @@ let redundant_reset =
       Trace.iteri
         (fun i ~pre (instr : Instruction.t) ->
           match instr with
-          | Reset q when State.qubit pre q = Absdom.Qubit.Zero ->
+          | Reset q when Deadness.provably_zero pre q ->
               out :=
                 Diagnostic.make ~pass:"redundant-reset"
                   ~severity:Diagnostic.Hint ~instr_index:i ~qubits:[ q ]
@@ -208,25 +187,20 @@ let dead_gate =
       "gate after the final measurement of every operand cannot affect any \
        outcome"
     (fun trace ->
-      let last = last_reference trace in
-      let first_m = first_measure trace in
+      let dead = Deadness.of_trace trace in
       let out = ref [] in
       Trace.iteri
         (fun i ~pre:_ (instr : Instruction.t) ->
           match instr with
-          (* Conditioned gates are exempt: a classically controlled
-             correction after the final measurement is the DQC
-             uncomputation idiom — it returns the physical qubit to
-             |0> so it can be reused beyond this circuit's scope. *)
+          (* Conditioned gates are exempt (see [Deadness.dead_unitary]):
+             a classically controlled correction after the final
+             measurement is the DQC uncomputation idiom — it returns
+             the physical qubit to |0> so it can be reused beyond this
+             circuit's scope. *)
           | Conditioned _ -> ()
           | Unitary _ ->
               let qs = Instruction.qubits instr in
-              if
-                qs <> []
-                && List.for_all
-                     (fun q -> first_m.(q) < i && last.(q) = i)
-                     qs
-              then
+              if Deadness.dead_unitary dead i then
                 out :=
                   Diagnostic.make ~pass:"dead-gate"
                     ~severity:Diagnostic.Warning ~instr_index:i ~qubits:qs

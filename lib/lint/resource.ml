@@ -31,58 +31,11 @@ type summary = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Witness simplification                                              *)
+(* Witness simplification — the fact queries live in {!Deadness}, the
+   API shared with the lint passes and the certified optimizer. *)
 
-let qubit_value pre q =
-  match State.qubit pre q with
-  | Absdom.Qubit.Zero -> Some false
-  | Absdom.Qubit.One -> Some true
-  | Absdom.Qubit.Basis | Absdom.Qubit.Collapsed | Absdom.Qubit.Superposed
-  | Absdom.Qubit.Top ->
-      Reldom.implied_qubit (State.rel pre) q
-
-(* Gates that fix |0> exactly — droppable on a provably-|0> target.
-   An uncontrolled Rz only contributes a global phase there, which is
-   unobservable; the controlled version kicks a relative phase and must
-   stay. *)
-let dead_on_zero ~controlled (g : Gate.t) =
-  match g with
-  | Gate.Z | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg | Gate.Phase _ -> true
-  | Gate.Rz _ -> not controlled
-  | Gate.H | Gate.X | Gate.Y | Gate.V | Gate.Vdg | Gate.Rx _ | Gate.Ry _ ->
-      false
-
-(* Exact, observation-preserving gate simplification: a provably-|0>
-   control kills the application, a provably-|1> control is dropped
-   from the control list, and a |0>-fixing gate on a provably-|0>
-   target is dead. *)
-let simplify_app pre (a : Instruction.app) =
-  if List.exists (fun c -> qubit_value pre c = Some false) a.controls then None
-  else
-    let controls =
-      List.filter (fun c -> qubit_value pre c <> Some true) a.controls
-    in
-    if
-      qubit_value pre a.target = Some false
-      && dead_on_zero ~controlled:(controls <> []) a.gate
-    then None
-    else Some { a with controls }
-
-let witness_instr pre (i : Instruction.t) =
-  match i with
-  | Instruction.Unitary a ->
-      Option.map (fun a -> Instruction.Unitary a) (simplify_app pre a)
-  | Instruction.Conditioned (cond, a) -> (
-      match State.cond_status pre cond with
-      | State.Fails -> None
-      | State.Holds ->
-          Option.map (fun a -> Instruction.Unitary a) (simplify_app pre a)
-      | State.Unknown ->
-          Option.map
-            (fun a -> Instruction.Conditioned (cond, a))
-            (simplify_app pre a))
-  | Instruction.Measure _ | Instruction.Reset _ | Instruction.Barrier _ ->
-      Some i
+let qubit_value = Deadness.qubit_value
+let witness_instr = Deadness.witness_instr
 
 (* Mirrors the CHP gate set ({!Sim.Stabilizer.supports}); the backend
    re-checks the witness against the engine itself, so a drift here can

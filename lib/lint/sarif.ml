@@ -1,0 +1,108 @@
+module J = Obs.Json
+
+let level_of_severity (s : Diagnostic.severity) =
+  match s with
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+  | Diagnostic.Hint -> "note"
+
+(* rules that fired, in order of first appearance, each with the
+   level of its first diagnostic as the default configuration *)
+let fired_rules diagnostics =
+  List.fold_left
+    (fun acc (d : Diagnostic.t) ->
+      if List.mem_assoc d.Diagnostic.pass acc then acc
+      else acc @ [ (d.Diagnostic.pass, d.Diagnostic.severity) ])
+    [] diagnostics
+
+let rule_json rules (name, severity) =
+  let description =
+    match List.assoc_opt name rules with Some d -> d | None -> ""
+  in
+  J.Obj
+    [
+      ("id", J.String name);
+      ("shortDescription", J.Obj [ ("text", J.String description) ]);
+      ( "defaultConfiguration",
+        J.Obj [ ("level", J.String (level_of_severity severity)) ] );
+    ]
+
+let result_json ~uri ~rule_index (d : Diagnostic.t) =
+  let properties =
+    [
+      ("qubits", J.List (List.map (fun q -> J.Int q) d.Diagnostic.qubits));
+      ("bits", J.List (List.map (fun b -> J.Int b) d.Diagnostic.bits));
+    ]
+    @
+    match d.Diagnostic.suggestion with
+    | Some s -> [ ("suggestion", J.String s) ]
+    | None -> []
+  in
+  J.Obj
+    [
+      ("ruleId", J.String d.Diagnostic.pass);
+      ("ruleIndex", J.Int rule_index);
+      ("level", J.String (level_of_severity d.Diagnostic.severity));
+      ("message", J.Obj [ ("text", J.String d.Diagnostic.message) ]);
+      ( "locations",
+        J.List
+          [
+            J.Obj
+              [
+                ( "physicalLocation",
+                  J.Obj
+                    [
+                      ( "artifactLocation",
+                        J.Obj [ ("uri", J.String uri) ] );
+                      ( "region",
+                        J.Obj
+                          [
+                            ( "startLine",
+                              J.Int (d.Diagnostic.instr_index + 1) );
+                          ] );
+                    ] );
+              ];
+          ] );
+      ("properties", J.Obj properties);
+    ]
+
+let document ?(uri = "circuit") ~rules diagnostics =
+  let fired = fired_rules diagnostics in
+  let index_of pass =
+    let rec go i = function
+      | [] -> 0
+      | (name, _) :: rest -> if name = pass then i else go (i + 1) rest
+    in
+    go 0 fired
+  in
+  let driver =
+    J.Obj
+      [
+        ("name", J.String "dqc-lint");
+        ("informationUri", J.String "https://example.org/dqc/docs/LINTING.md");
+        ("version", J.String "1.0.0");
+        ("rules", J.List (List.map (rule_json rules) fired));
+      ]
+  in
+  let run =
+    J.Obj
+      [
+        ("tool", J.Obj [ ("driver", driver) ]);
+        ( "artifacts",
+          J.List [ J.Obj [ ("location", J.Obj [ ("uri", J.String uri) ]) ] ]
+        );
+        ( "results",
+          J.List
+            (List.map
+               (fun (d : Diagnostic.t) ->
+                 result_json ~uri ~rule_index:(index_of d.Diagnostic.pass) d)
+               diagnostics) );
+      ]
+  in
+  J.Obj
+    [
+      ( "$schema",
+        J.String "https://json.schemastore.org/sarif-2.1.0.json" );
+      ("version", J.String "2.1.0");
+      ("runs", J.List [ run ]);
+    ]

@@ -1,0 +1,29 @@
+(** SARIF 2.1.0 export of lint diagnostics.
+
+    Produces a minimal, spec-conformant Static Analysis Results
+    Interchange Format document (one [run] of the [dqc-lint] driver)
+    so editors and CI annotate circuits from the same report the
+    [dqc.lint/1] JSON carries:
+
+    - each lint pass that fired becomes a [reportingDescriptor]
+      (rule) of the driver, with its one-line description and default
+      level;
+    - each {!Diagnostic.t} becomes a [result]: [ruleId] is the pass
+      name, [level] maps Error/Warning/Hint to [error]/[warning]/
+      [note], and the location's [region.startLine] is the 1-based
+      instruction index ([instr_index + 1] — the instruction stream
+      is the "source file", one instruction per line, matching the
+      line numbering of the circuit's QASM body);
+    - the diagnostic's qubits, bits and suggestion ride in the
+      result's property bag.
+
+    The document is built on {!Obs.Json}, so it round-trips through
+    {!Obs.Json.parse}. *)
+
+(** [document ?uri ~rules diagnostics] is the complete SARIF
+    document.  [uri] names the analyzed artifact (the circuit name;
+    defaults to ["circuit"]); [rules] maps pass names to one-line
+    descriptions — passes that fired but are not listed get an empty
+    description. *)
+val document :
+  ?uri:string -> rules:(string * string) list -> Diagnostic.t list -> Obs.Json.t

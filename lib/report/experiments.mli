@@ -205,5 +205,37 @@ val sparsity_rows : unit -> sparsity_row list
 
 val sparsity_report : unit -> string
 
+type optimize_row = {
+  name : string;
+  scheme : string;  (** dyn / traditional / dyn1 / dyn2 / reuse *)
+  gates_before : int;
+  gates_after : int;
+  depth_before : int;  (** dynamic depth *)
+  depth_after : int;
+  folded : int;  (** constant measurements deleted *)
+  resets_removed : int;  (** redundant or unobservable resets *)
+  uncomputes : int;  (** dead conditioned uncomputations cancelled *)
+  sweeps : int;
+  proved : bool;  (** every accepted rewrite carried a [Proved] *)
+}
+
+(** E14 (extension): the certified optimizer ({!Dqc.Optimize}) over
+    the Table I benchmarks (dynamic form), the Table II benchmarks
+    (traditional / dynamic-1 / dynamic-2, after CV expansion — the
+    same convention as Table II's metrics), and the reuse corpus
+    compiled {e without} its reset-pruning stage so the optimizer's
+    dce sweep is the one discharging the provably-redundant resets.
+    Every accepted rewrite is certified by
+    {!Verify.Certify.check_channel}; nothing is sampled. *)
+val optimize_rows : unit -> optimize_row list
+
+val optimize_report : unit -> string
+
+(** One optimizer run packaged as a report row — what the corpus rows
+    are built from, exposed for the CLI's single-benchmark mode.
+    @raise Dqc.Optimize.Refuted as {!Dqc.Optimize.run} does. *)
+val optimize_entry :
+  name:string -> scheme:string -> Circuit.Circ.t -> optimize_row
+
 (** All reports concatenated. *)
 val full_report : ?shots:int -> ?seed:int -> unit -> string

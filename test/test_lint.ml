@@ -441,6 +441,84 @@ let test_report_json () =
   check_bool "circuit name" true (contains "\"probe\"" json);
   check_bool "clean flag" true (contains "\"clean\":true" json)
 
+(* SARIF export: serialize, re-parse with the mini JSON reader, and
+   check the document structure against the report it came from *)
+let test_sarif_roundtrip () =
+  let c =
+    Circ.create ~roles:d1 ~num_bits:2
+      [
+        u Gate.H 0;
+        Instruction.Measure { qubit = 0; bit = 0 };
+        u Gate.X 0;
+        Instruction.Measure { qubit = 0; bit = 1 };
+      ]
+  in
+  let r = Lint.run c in
+  check_bool "corpus has diagnostics" true (r.diagnostics <> []);
+  let doc =
+    Obs.Json.parse
+      (Obs.Json.to_string (Lint.to_sarif ~name:"probe.qasm" r))
+  in
+  let str path j =
+    match Obs.Json.member path j with
+    | Some (Obs.Json.String s) -> s
+    | _ -> Alcotest.fail ("missing string field " ^ path)
+  in
+  let int path j =
+    match Obs.Json.member path j with
+    | Some (Obs.Json.Int n) -> n
+    | _ -> Alcotest.fail ("missing int field " ^ path)
+  in
+  let get path j =
+    match Obs.Json.member path j with
+    | Some v -> v
+    | None -> Alcotest.fail ("missing field " ^ path)
+  in
+  let list = function
+    | Obs.Json.List l -> l
+    | _ -> Alcotest.fail "expected a JSON array"
+  in
+  Alcotest.(check string) "version" "2.1.0" (str "version" doc);
+  check_bool "$schema present" true
+    (Obs.Json.member "$schema" doc <> None);
+  let run =
+    match list (get "runs" doc) with
+    | [ run ] -> run
+    | _ -> Alcotest.fail "exactly one run"
+  in
+  let driver = get "driver" (get "tool" run) in
+  Alcotest.(check string) "driver name" "dqc-lint" (str "name" driver);
+  let rules = list (get "rules" driver) in
+  let results = list (get "results" run) in
+  check_int "one result per diagnostic"
+    (List.length r.diagnostics)
+    (List.length results);
+  (* diagnostics are sorted; results preserve that order *)
+  List.iter2
+    (fun (d : Lint.Diagnostic.t) result ->
+      Alcotest.(check string) "ruleId" d.pass (str "ruleId" result);
+      Alcotest.(check string) "level"
+        (match d.severity with
+        | Lint.Diagnostic.Error -> "error"
+        | Lint.Diagnostic.Warning -> "warning"
+        | Lint.Diagnostic.Hint -> "note")
+        (str "level" result);
+      (* ruleIndex points at the rule carrying this ruleId *)
+      let rule = List.nth rules (int "ruleIndex" result) in
+      Alcotest.(check string) "ruleIndex resolves" d.pass (str "id" rule);
+      let location =
+        match list (get "locations" result) with
+        | [ l ] -> l
+        | _ -> Alcotest.fail "exactly one location"
+      in
+      let physical = get "physicalLocation" location in
+      Alcotest.(check string) "artifact uri" "probe.qasm"
+        (str "uri" (get "artifactLocation" physical));
+      check_int "startLine is the 1-based instruction index"
+        (d.instr_index + 1)
+        (int "startLine" (get "region" physical)))
+    r.diagnostics results
+
 let test_lint_counters () =
   let c = Circ.create ~roles:d1 ~num_bits:0 [ Instruction.Reset 0 ] in
   let collector, r = Obs.with_collector (fun () -> Lint.run c) in
@@ -530,6 +608,7 @@ let () =
       ( "report",
         [
           Alcotest.test_case "json schema" `Quick test_report_json;
+          Alcotest.test_case "sarif roundtrip" `Quick test_sarif_roundtrip;
           Alcotest.test_case "telemetry counters" `Quick test_lint_counters;
         ] );
     ]

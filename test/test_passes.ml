@@ -31,7 +31,8 @@ let test_registry_contents () =
     [
       "prepare"; "transform"; "certify"; "equivalence"; "reuse"; "analyze";
       "analyze.resources"; "prune_resets"; "reuse_certify"; "expand_cv";
-      "peephole"; "lower_native"; "lint";
+      "optimize.fold"; "optimize.dce"; "optimize.affine"; "peephole";
+      "lower_native"; "lint";
     ];
   let kind_of n =
     (List.find (fun p -> name p = n) passes).Dqc.Pass.kind
@@ -42,7 +43,12 @@ let test_registry_contents () =
     (kind_of "certify" = Dqc.Pass.Analysis);
   check_bool "lint is a gate" true (kind_of "lint" = Dqc.Pass.Gate);
   check_bool "reuse_certify is a gate" true
-    (kind_of "reuse_certify" = Dqc.Pass.Gate)
+    (kind_of "reuse_certify" = Dqc.Pass.Gate);
+  List.iter
+    (fun n ->
+      check_bool (n ^ " is a transform") true
+        (kind_of n = Dqc.Pass.Transform))
+    [ "optimize.fold"; "optimize.dce"; "optimize.affine" ]
 
 let test_schedule_names () =
   let names = Dqc.Pipeline.Options.(schedule_names default) in
@@ -57,7 +63,18 @@ let test_schedule_names () =
       "prepare"; "analyze.resources"; "reuse"; "analyze"; "prune_resets";
       "reuse_certify"; "expand_cv"; "analyze"; "lint";
     ]
-    reuse_names
+    reuse_names;
+  (* the optimizer slots in after expand_cv, ahead of peephole *)
+  let optimize_names =
+    Dqc.Pipeline.Options.(
+      schedule_names (default |> with_optimize true |> with_peephole true))
+  in
+  check_strings "optimize schedule"
+    [
+      "prepare"; "transform"; "certify"; "equivalence"; "expand_cv";
+      "optimize.fold"; "optimize.dce"; "optimize.affine"; "peephole"; "lint";
+    ]
+    optimize_names
 
 (* ------------------------------------------------------------------ *)
 (* Option validation                                                   *)
@@ -290,8 +307,11 @@ let test_qasm_roundtrip_reuse_output () =
          | Instruction.Conditioned _ | Instruction.Barrier _ ->
              false)
        (Circ.instructions qpe));
+  (* Grover's fresh-ancilla chains are uncomputed to |0> before every
+     rehosting, and the relational rows prove it: prune_resets (via
+     Lint.Deadness.provably_zero) now drops every inserted reset. *)
   let grover = (List.assoc "grover" outputs).Dqc.Pipeline.circuit in
-  check_bool "grover output has a reset" true
+  check_bool "grover resets all provably redundant" false
     (List.exists
        (function
          | Instruction.Reset _ -> true
@@ -329,6 +349,151 @@ let test_qasm_roundtrip_conditioned_reuse () =
     (Verify.Certify.is_proved (Verify.Certify.check_channel c rewired))
 
 (* ------------------------------------------------------------------ *)
+(* Optimizer: diagnostics/rewrite agreement and qcheck properties      *)
+
+(* The shared deadness queries mean the linter's diagnoses and the
+   optimizer's rewrites must agree wherever their criteria coincide.
+   These corpus circuits are built so they do: every wire is measured,
+   no unitary precedes a reset on its own wire after its last read, and
+   no conditioned gate is dead — so [dead-gate] diagnostics = dce
+   [gates_removed] and [redundant-reset] diagnostics = dce
+   [resets_removed]. *)
+let counts_corpus =
+  [
+    (* two dead tail gates, one per wire *)
+    ( "dead-tails",
+      Circ.create ~roles:[| Circ.Data; Circ.Data |] ~num_bits:2
+        [
+          Instruction.Unitary (Instruction.app Gate.H 0);
+          Instruction.Measure { qubit = 0; bit = 0 };
+          Instruction.Unitary (Instruction.app Gate.X 0);
+          Instruction.Unitary (Instruction.app Gate.H 1);
+          Instruction.Measure { qubit = 1; bit = 1 };
+          Instruction.Unitary (Instruction.app Gate.Z 1);
+        ] );
+    (* a reset of a provably-|0⟩ wire, still observed afterwards *)
+    ( "redundant-reset",
+      Circ.create ~roles:[| Circ.Data |] ~num_bits:2
+        [
+          Instruction.Unitary (Instruction.app Gate.X 0);
+          Instruction.Unitary (Instruction.app Gate.X 0);
+          Instruction.Measure { qubit = 0; bit = 0 };
+          Instruction.Reset 0;
+          Instruction.Unitary (Instruction.app Gate.H 0);
+          Instruction.Measure { qubit = 0; bit = 1 };
+        ] );
+    (* both at once: the redundant reset precedes the dead tail gate,
+       so the forward rewrite is applied before the backward sweep's
+       first removal dirties the trace *)
+    ( "mixed",
+      Circ.create ~roles:[| Circ.Data; Circ.Data |] ~num_bits:3
+        [
+          Instruction.Unitary (Instruction.app Gate.X 0);
+          Instruction.Unitary (Instruction.app Gate.X 0);
+          Instruction.Measure { qubit = 0; bit = 0 };
+          Instruction.Reset 0;
+          Instruction.Unitary (Instruction.app Gate.H 0);
+          Instruction.Measure { qubit = 0; bit = 1 };
+          Instruction.Unitary (Instruction.app Gate.H 1);
+          Instruction.Measure { qubit = 1; bit = 2 };
+          Instruction.Unitary (Instruction.app Gate.X 1);
+        ] );
+  ]
+
+let test_diagnostics_match_rewrites () =
+  List.iter
+    (fun (name, c) ->
+      let report = Lint.run ~passes:(Lint.default_passes) c in
+      let count pass =
+        List.length
+          (List.filter
+             (fun (d : Lint.Diagnostic.t) -> d.Lint.Diagnostic.pass = pass)
+             report.Lint.diagnostics)
+      in
+      let rw = Dqc.Optimize.dce c in
+      check_bool (name ^ " dce proved") false rw.Dqc.Optimize.reverted;
+      check_int
+        (name ^ ": dead-gate diagnostics = gates removed")
+        (count "dead-gate")
+        rw.Dqc.Optimize.stats.Dqc.Optimize.gates_removed;
+      check_int
+        (name ^ ": no uncomputes in this corpus")
+        0 rw.Dqc.Optimize.stats.Dqc.Optimize.uncomputes_removed;
+      check_int
+        (name ^ ": redundant-reset diagnostics = resets removed")
+        (count "redundant-reset")
+        rw.Dqc.Optimize.stats.Dqc.Optimize.resets_removed)
+    counts_corpus
+
+(* random measured circuits over 3 qubits / 3 bits exercising every
+   rewrite family: constant and superposed measures, resets, feed-
+   forward conditions, CX chains *)
+let random_measured_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 10)
+      (oneof
+         [
+           map2
+             (fun g q -> Instruction.Unitary (Instruction.app g q))
+             (oneofl Gate.[ H; X; Z; S ])
+             (int_range 0 2);
+           map2
+             (fun c t ->
+               let t = if c = t then (t + 1) mod 3 else t in
+               Instruction.Unitary (Instruction.app ~controls:[ c ] Gate.X t))
+             (int_range 0 2) (int_range 0 2);
+           map2
+             (fun q b -> Instruction.Measure { qubit = q; bit = b })
+             (int_range 0 2) (int_range 0 2);
+           map (fun q -> Instruction.Reset q) (int_range 0 2);
+           map2
+             (fun b q ->
+               Instruction.Conditioned
+                 (Instruction.cond_bit b true, Instruction.app Gate.X q))
+             (int_range 0 2) (int_range 0 2);
+         ]))
+
+let roles3 = [| Circ.Data; Circ.Data; Circ.Data |]
+
+(* enough rounds to drain any trailing chain a 10-instruction circuit
+   can build, so a second run has provably nothing left to find *)
+let opt ?(max_sweeps = 12) c = Dqc.Optimize.run ~max_sweeps c
+
+let prop_optimizer_idempotent =
+  QCheck2.Test.make ~name:"optimizer is idempotent" ~count:100
+    random_measured_gen
+    (fun instrs ->
+      let c = Circ.create ~roles:roles3 ~num_bits:3 instrs in
+      let first = opt c in
+      let second = opt first.Dqc.Optimize.after in
+      Circ.equal second.Dqc.Optimize.after second.Dqc.Optimize.before)
+
+let prop_optimizer_monotone =
+  QCheck2.Test.make
+    ~name:"optimizer never increases gate count or dynamic depth" ~count:100
+    random_measured_gen
+    (fun instrs ->
+      let c = Circ.create ~roles:roles3 ~num_bits:3 instrs in
+      let r = opt c in
+      Dqc.Optimize.gates_delta r >= 0 && Dqc.Optimize.depth_delta r >= 0)
+
+(* the end-to-end guard: whatever the optimizer did — including
+   deleting measurements, which leave the certifier's shared-bit
+   vocabulary — the exact distribution over the full classical
+   register is unchanged, and every accepted rewrite carried a Proved
+   certificate (reverts are allowed, sampling never happens) *)
+let prop_optimizer_preserves_register =
+  QCheck2.Test.make
+    ~name:"optimized circuits keep the exact register distribution"
+    ~count:200 random_measured_gen
+    (fun instrs ->
+      let c = Circ.create ~roles:roles3 ~num_bits:3 instrs in
+      let r = opt c in
+      let before = Sim.Exact.register_distribution r.Dqc.Optimize.before in
+      let after = Sim.Exact.register_distribution r.Dqc.Optimize.after in
+      Sim.Dist.approx_equal ~eps:1e-9 before after)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "passes"
@@ -363,4 +528,13 @@ let () =
           Alcotest.test_case "qasm roundtrip (conditioned)" `Quick
             test_qasm_roundtrip_conditioned_reuse;
         ] );
+      ( "optimize",
+        Alcotest.test_case "lint diagnostics match dce rewrites" `Quick
+          test_diagnostics_match_rewrites
+        :: List.map QCheck_alcotest.to_alcotest
+             [
+               prop_optimizer_idempotent;
+               prop_optimizer_monotone;
+               prop_optimizer_preserves_register;
+             ] );
     ]
