@@ -1,4 +1,4 @@
-.PHONY: all build test bench ci fmt-check trace-smoke kernel-smoke lint verify-gate reuse-gate analyze-gate opt-gate perf-gate perf-baseline clean
+.PHONY: all build test bench ci fmt-check trace-smoke kernel-smoke lint verify-gate reuse-gate analyze-gate opt-gate sparse-gate perf-gate perf-baseline clean
 
 all: build
 
@@ -126,6 +126,15 @@ analyze-gate:
 opt-gate:
 	OCAMLRUNPARAM=b dune exec bench/main.exe -- opt-gate
 
+# Sparse-engine gate: dense/sparse differential equivalence over
+# random dynamic circuits, the per-segment Auto selection witness
+# (sparse on the basis-sparse dyn2 AND ladder, hybrid with per-shot
+# handoffs on the mixed-sparsity workload, counters in
+# BENCH_sparse.json), a >= 28-qubit basis-sparse run the dense engine
+# cannot allocate, and the auto-vs-forced-dense wall-clock win.
+sparse-gate:
+	OCAMLRUNPARAM=b dune exec bench/main.exe -- sparse-gate
+
 # Perf regression gate: sample every shared bench workload into
 # percentile histograms (interleaved rounds, see bench/main.ml) and
 # compare p50/p99 against the checked-in dqc.bench/2 baseline.
@@ -152,6 +161,7 @@ ci:
 	$(MAKE) reuse-gate
 	$(MAKE) analyze-gate
 	$(MAKE) opt-gate
+	$(MAKE) sparse-gate
 	$(MAKE) perf-gate
 	$(MAKE) fmt-check
 

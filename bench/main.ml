@@ -475,7 +475,9 @@ let run_analyze_gate () =
     (match selected with
     | `Stabilizer -> "stabilizer"
     | `Exact -> "exact"
-    | `Dense -> "dense")
+    | `Dense -> "dense"
+    | `Sparse -> "sparse"
+    | `Hybrid -> "hybrid")
     stab_count analyze_gate_json_path;
   (* overhead: analysis must stay a sliver of pipeline compile *)
   let dj = Algorithms.Dj.circuit and_9 in
@@ -576,6 +578,197 @@ let run_opt_gate () =
     unproved = [] && dyn2 <> [] && dyn2_stuck = [] && folded > 0 && resets > 0
   in
   Printf.printf "optimize gate: %s\n" (if ok then "PASS" else "FAIL");
+  if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Sparse gate: the sparse statevector engine and per-segment hybrid
+   execution.  Four obligations:
+   1. differential equivalence — on hundreds of random dynamic
+      circuits the dense and sparse engines agree amplitude for
+      amplitude (and on the classical register) from the same seed;
+   2. per-segment selection witness — Auto routes the basis-sparse
+      randomized AND ladder (a Table-I-style Toffoli network under
+      the dyn2 ancilla-unrolled substitution) to the sparse engine
+      and the mixed-sparsity workload to the hybrid executor with
+      per-shot representation handoffs, counters written to
+      BENCH_sparse.json, histograms identical to forced dense;
+   3. over the dense cap — a >= 28-qubit basis-sparse dyn2 ladder
+      runs on the sparse engine while the dense engine cannot even
+      allocate its statevector;
+   4. wall clock — the auto selection beats the forced dense engine
+      on the randomized AND ladder. *)
+
+let sparse_gate_json_path = "BENCH_sparse.json"
+
+(* A Table-I-style AND network under the dyn2 substitution: inputs
+   0..k-1, ladder ancillas k..2k-3, the AND of all inputs
+   accumulating on the last ancilla, measured into bit 0.  The first
+   [superposed] inputs are H-prepared and measured mid-circuit, which
+   defeats the exact branching engine (2^superposed leaves) while
+   keeping the static amplitude bound at [superposed]; the rest are
+   X-prepared, so the ladder itself stays in the computational
+   basis.  [superposed = 0] is the fully deterministic wide family. *)
+let and_ladder_dyn2 ~inputs ~superposed =
+  let open Circuit in
+  let k = inputs in
+  let nq = (2 * k) - 1 in
+  let h = min superposed k in
+  let b =
+    Circ.Builder.make ~roles:(Array.make nq Circ.Data) ~num_bits:(h + 1) ()
+  in
+  for q = 0 to h - 1 do
+    Circ.Builder.h b q
+  done;
+  for q = h to k - 1 do
+    Circ.Builder.x b q
+  done;
+  for q = 0 to h - 1 do
+    Circ.Builder.measure b ~qubit:q ~bit:(q + 1)
+  done;
+  Circ.Builder.ccx b 0 1 k;
+  for j = 1 to k - 2 do
+    Circ.Builder.ccx b (k + j - 1) (j + 1) (k + j)
+  done;
+  Circ.Builder.measure b ~qubit:(nq - 1) ~bit:0;
+  Dqc.Toffoli_scheme.prepare Dqc.Toffoli_scheme.Dynamic_2 (Circ.Builder.build b)
+
+(* Mixed sparsity: 12 qubits in uniform superposition, measured up
+   front (amplitude bound 12 against a 16-qubit register — inside the
+   dense margin), then a basis Toffoli with measure / reset /
+   feed-forward on the remaining 3 (bound ~0 — sparse).  Auto must
+   plan this per segment and hand the state representation off
+   mid-shot. *)
+let hybrid_witness () =
+  let open Circuit in
+  let b =
+    Circ.Builder.make ~roles:(Array.make 15 Circ.Data) ~num_bits:13 ()
+  in
+  for q = 0 to 11 do
+    Circ.Builder.h b q
+  done;
+  for q = 0 to 11 do
+    Circ.Builder.measure b ~qubit:q ~bit:(q + 1)
+  done;
+  Circ.Builder.x b 12;
+  Circ.Builder.x b 13;
+  Circ.Builder.ccx b 12 13 14;
+  Circ.Builder.measure b ~qubit:14 ~bit:0;
+  Circ.Builder.reset b 14;
+  Circ.Builder.conditioned b ~bit:0 Gate.X 14;
+  Circ.Builder.measure b ~qubit:14 ~bit:0;
+  Dqc.Toffoli_scheme.prepare Dqc.Toffoli_scheme.Dynamic_2 (Circ.Builder.build b)
+
+let engine_tag = function
+  | `Dense -> "dense"
+  | `Sparse -> "sparse"
+  | `Hybrid -> "hybrid"
+  | `Stabilizer -> "stabilizer"
+  | `Exact -> "exact"
+
+let run_sparse_gate () =
+  section
+    "Sparse gate: dense/sparse differential + per-segment hybrid execution";
+  (* 1. differential equivalence, dense vs sparse *)
+  let rng = Random.State.make [| 0x5FA25E |] in
+  let circuits = 150 in
+  let mismatches = ref 0 in
+  for _ = 1 to circuits do
+    let c = random_dynamic_circuit rng in
+    let p = Sim.Program.compile c in
+    List.iter
+      (fun seed ->
+        let dense = Sim.Program.run ~rng:(Random.State.make [| seed |]) p in
+        let sparse = Sim.Sparse.run ~rng:(Random.State.make [| seed |]) p in
+        let amps = Sim.State.amplitudes dense in
+        let ok = ref (Sim.State.register dense = Sim.Sparse.register sparse) in
+        for k = 0 to Linalg.Cvec.dim amps - 1 do
+          let a = Linalg.Cvec.get amps k
+          and b = Sim.Sparse.amplitude sparse k in
+          if
+            abs_float (a.Complex.re -. b.Complex.re) > 1e-9
+            || abs_float (a.Complex.im -. b.Complex.im) > 1e-9
+          then ok := false
+        done;
+        if not !ok then incr mismatches)
+      [ 17; 4242 ]
+  done;
+  Printf.printf
+    "differential: %d random dynamic circuits x 2 seeds — %d mismatch(es)\n"
+    circuits !mismatches;
+  (* 2. per-segment selection witness + cross-engine histograms *)
+  let shots = 64 in
+  let rl = and_ladder_dyn2 ~inputs:7 ~superposed:6 in
+  let hw = hybrid_witness () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let dense = Sim.Backend.Statevector_dense in
+  let collector, (sel_rl, sel_hw, (h_auto, t_auto), (h_dense, t_dense), hw_auto)
+      =
+    Obs.with_collector (fun () ->
+        let sel_rl = Sim.Backend.select ~shots rl in
+        let sel_hw = Sim.Backend.select ~shots hw in
+        let auto = time (fun () -> Sim.Backend.run ~seed:3 ~shots rl) in
+        let forced =
+          time (fun () -> Sim.Backend.run ~policy:dense ~seed:3 ~shots rl)
+        in
+        let hw_auto = Sim.Backend.run ~seed:3 ~shots hw in
+        (sel_rl, sel_hw, auto, forced, hw_auto))
+  in
+  Obs.Metrics_json.write ~path:sparse_gate_json_path collector;
+  let counter = Obs.Collector.counter collector in
+  let d2s = counter "backend.handoff.dense_to_sparse" in
+  let selection_ok =
+    sel_rl = `Sparse && sel_hw = `Hybrid
+    && counter "backend.select.sparse" >= 1
+    && counter "backend.select.hybrid" >= 1
+    && d2s >= shots
+  in
+  let equal a b = Sim.Runner.to_list a = Sim.Runner.to_list b in
+  let hw_dense = Sim.Backend.run ~policy:dense ~seed:3 ~shots hw in
+  let agree_ok = equal h_auto h_dense && equal hw_auto hw_dense in
+  Printf.printf
+    "selection: AND-7 rladder dyn2 -> %s, hybrid witness -> %s (%d \
+     dense->sparse handoffs over %d shots, metrics in %s)\n"
+    (engine_tag sel_rl) (engine_tag sel_hw) d2s shots sparse_gate_json_path;
+  Printf.printf
+    "cross-engine histograms: auto = forced dense on both workloads: %b\n"
+    agree_ok;
+  (* 3. the wide basis-sparse family over the dense cap *)
+  let wide = and_ladder_dyn2 ~inputs:15 ~superposed:0 in
+  let nq_wide = Circuit.Circ.num_qubits wide in
+  let cap_ok =
+    match Sim.State.create nq_wide ~num_bits:1 with
+    | exception Sim.State.Dense_cap_exceeded _ -> true
+    | _ -> false
+  in
+  let h_wide = Sim.Backend.run ~seed:9 ~shots:32 wide in
+  let h_forced =
+    Sim.Backend.run ~policy:Sim.Backend.Sparse_statevector ~seed:9 ~shots:32
+      wide
+  in
+  let wide_ok =
+    cap_ok && equal h_wide h_forced && Sim.Runner.shots h_wide = 32
+  in
+  Printf.printf
+    "over-cap: AND-15 ladder dyn2 is %d qubits — dense create raises \
+     Dense_cap_exceeded %b, auto runs sparse and matches the forced sparse \
+     policy %b\n"
+    nq_wide cap_ok
+    (equal h_wide h_forced);
+  (* 4. wall clock: auto (sparse) vs forced dense on the same bench *)
+  let speedup_ok = t_auto < t_dense in
+  Printf.printf
+    "wall clock: AND-7 rladder dyn2 x %d shots — auto %.1f ms vs forced \
+     dense %.1f ms (%.1fx)\n"
+    shots (t_auto *. 1000.) (t_dense *. 1000.)
+    (t_dense /. t_auto);
+  let ok =
+    !mismatches = 0 && selection_ok && agree_ok && wide_ok && speedup_ok
+  in
+  Printf.printf "sparse gate: %s\n" (if ok then "PASS" else "FAIL");
   if not ok then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -825,6 +1018,32 @@ let workloads () : (string * (unit -> unit)) list =
       ("optimize BV-4 dyn", fun () -> ignore (Dqc.Optimize.run bv));
     ]
   in
+  (* the engine-selection study: the same Table-I-style dyn2 AND
+     ladder forced dense vs left to Auto (which plans it sparse) — the
+     headline pair — plus the hybrid mixed-sparsity witness and a
+     single over-the-dense-cap sparse replay *)
+  let sparse_tests =
+    let rl = and_ladder_dyn2 ~inputs:6 ~superposed:6 in
+    let hw = hybrid_witness () in
+    let wide_prog =
+      Sim.Program.compile (and_ladder_dyn2 ~inputs:15 ~superposed:0)
+    in
+    [
+      ( "sparse dense 64 AND-6 rladder dyn2",
+        fun () ->
+          ignore
+            (Sim.Backend.run ~policy:Sim.Backend.Statevector_dense ~shots:64
+               rl) );
+      ( "sparse auto 64 AND-6 rladder dyn2",
+        fun () -> ignore (Sim.Backend.run ~shots:64 rl) );
+      ( "sparse hybrid 64 witness",
+        fun () -> ignore (Sim.Backend.run ~shots:64 hw) );
+      ( "sparse shot AND-15 ladder dyn2",
+        fun () ->
+          ignore (Sim.Sparse.run ~rng:(Random.State.make [| 5 |]) wide_prog)
+      );
+    ]
+  in
   [
     bv_transform 4;
     bv_transform 8;
@@ -844,8 +1063,8 @@ let workloads () : (string * (unit -> unit)) list =
     routing;
     native;
   ]
-  @ kernels @ backend_engines @ lint_tests @ analyze_tests @ verify_tests
-  @ reuse_tests @ optimize_tests
+  @ kernels @ backend_engines @ sparse_tests @ lint_tests @ analyze_tests
+  @ verify_tests @ reuse_tests @ optimize_tests
 
 let make_benchmarks () =
   let open Bechamel in
@@ -1238,7 +1457,36 @@ let run_bechamel () =
         ])
       (Report.Experiments.reuse_rows ())
   in
-  write_bechamel_json ~extra:reuse_extra !estimates;
+  (* engine-selection and handoff telemetry from one instrumented pass
+     over the sparse study workloads: which engine Auto picked and how
+     many per-shot representation conversions the hybrid executor paid *)
+  let sparse_extra =
+    let rl = and_ladder_dyn2 ~inputs:6 ~superposed:6 in
+    let hw = hybrid_witness () in
+    let collector, () =
+      Obs.with_collector (fun () ->
+          ignore (Sim.Backend.run ~shots:64 rl);
+          ignore (Sim.Backend.run ~shots:64 hw))
+    in
+    let row name counter =
+      Obs.Json.Obj
+        [
+          ("name", Obs.Json.String name);
+          ("group", Obs.Json.String "sparse");
+          ( "value",
+            Obs.Json.Float
+              (float_of_int (Obs.Collector.counter collector counter)) );
+          ("unit", Obs.Json.String "count");
+        ]
+    in
+    [
+      row "sparse select sparse" "backend.select.sparse";
+      row "sparse select hybrid" "backend.select.hybrid";
+      row "sparse handoff dense-to-sparse" "backend.handoff.dense_to_sparse";
+      row "sparse handoff sparse-to-dense" "backend.handoff.sparse_to_dense";
+    ]
+  in
+  write_bechamel_json ~extra:(reuse_extra @ sparse_extra) !estimates;
   (* lint throughput re-expressed as instructions/second: ns/op over a
      known instruction count makes the rate explicit *)
   List.iter
@@ -1309,6 +1557,7 @@ let () =
   | "sparsity" -> run_sparsity ()
   | "analyze-gate" -> run_analyze_gate ()
   | "opt-gate" -> run_opt_gate ()
+  | "sparse-gate" -> run_sparse_gate ()
   | "ablation" -> run_ablation ()
   | "backend" -> run_backend ()
   | "kernels" -> run_kernels ()
@@ -1332,6 +1581,6 @@ let () =
       run_bechamel ()
   | other ->
       Printf.eprintf
-        "unknown target %S (expected table1|table2|fig7|equivalence|mct|routing|duration|scale|slots|reuse|sparsity|analyze-gate|opt-gate|ablation|backend|kernels|bechamel|perf|all)\n"
+        "unknown target %S (expected table1|table2|fig7|equivalence|mct|routing|duration|scale|slots|reuse|sparsity|analyze-gate|opt-gate|sparse-gate|ablation|backend|kernels|bechamel|perf|all)\n"
         other;
       exit 1

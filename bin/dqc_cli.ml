@@ -366,7 +366,7 @@ let simulate_cmd =
       value
       & opt backend_conv Sim.Backend.Auto
       & info [ "backend" ]
-          ~doc:"Execution backend: auto, dense, stabilizer or exact")
+          ~doc:"Execution backend: auto, dense, sparse, stabilizer or exact")
   in
   let run name scheme shots dynamic backend domains trace metrics flight =
     match benchmark_circuit name with
@@ -439,7 +439,7 @@ let stats_cmd =
       value
       & opt backend_conv Sim.Backend.Auto
       & info [ "backend" ]
-          ~doc:"Execution backend: auto, dense, stabilizer or exact")
+          ~doc:"Execution backend: auto, dense, sparse, stabilizer or exact")
   in
   let no_check =
     Arg.(
@@ -562,7 +562,7 @@ let profile_cmd =
       value
       & opt backend_conv Sim.Backend.Auto
       & info [ "backend" ]
-          ~doc:"Execution backend: auto, dense, stabilizer or exact")
+          ~doc:"Execution backend: auto, dense, sparse, stabilizer or exact")
   in
   let run name scheme mode shots repeat top seed backend domains trace metrics
       flight =
@@ -670,7 +670,19 @@ let analyze_cmd =
           let mct = scheme = Dqc.Toffoli_scheme.Direct_mct in
           print_endline (Dqc.Analysis.to_string (Dqc.Analysis.analyze ~mct c));
           print_newline ();
-          print_endline (Lint.Resource.to_string summary)
+          print_endline (Lint.Resource.to_string summary);
+          let selected =
+            match Sim.Backend.select ~shots:1024 c with
+            | `Stabilizer -> "stabilizer"
+            | `Exact -> "exact"
+            | `Dense -> "dense"
+            | `Sparse -> "sparse"
+            | `Hybrid -> "hybrid"
+          in
+          Printf.printf "auto backend (1024 shots): %s\n" selected;
+          let plan = Sim.Backend.segment_plan c in
+          Printf.printf "segment engine plan: %s\n"
+            (Sim.Backend.segment_plan_string plan)
         end
   in
   Cmd.v

@@ -761,6 +761,7 @@ type sparsity_row = {
   log2_measured : int;
   sound : bool;
   engine : string;  (** what [Sim.Backend.select Auto] picks *)
+  plan : string;  (** per-segment engine plan ("dense,sparse,...") *)
 }
 
 (* Replay the circuit on the dense engine instruction by instruction
@@ -800,6 +801,8 @@ let sparsity_entry ~name ~scheme c =
     | `Stabilizer -> "stabilizer"
     | `Exact -> "exact"
     | `Dense -> "dense"
+    | `Sparse -> "sparse"
+    | `Hybrid -> "hybrid"
   in
   {
     name;
@@ -811,6 +814,19 @@ let sparsity_entry ~name ~scheme c =
     log2_measured;
     sound = log2_measured <= log2_bound;
     engine;
+    plan =
+      (let plan = Sim.Backend.segment_plan c in
+       let total = List.length plan in
+       let sparse =
+         List.length
+           (List.filter
+              (fun (p : Sim.Backend.segment_engine) -> p.seg_engine = `Sparse)
+              plan)
+       in
+       if total = 0 then "-"
+       else if sparse = 0 then "all dense"
+       else if sparse = total then "all sparse"
+       else Printf.sprintf "%d/%d sparse" sparse total);
   }
 
 let sparsity_rows () =
@@ -853,6 +869,7 @@ let sparsity_report () =
           string_of_int r.log2_measured;
           string_of_bool r.sound;
           r.engine;
+          r.plan;
         ])
       (sparsity_rows ())
   in
@@ -863,7 +880,7 @@ let sparsity_report () =
     ~headers:
       [
         "Benchmark"; "scheme"; "qubits"; "segments"; "clifford"; "bound";
-        "measured"; "sound"; "auto engine";
+        "measured"; "sound"; "auto engine"; "segment plan";
       ]
     ~rows ()
 

@@ -193,6 +193,10 @@ type sparsity_row = {
           replaying the circuit densely over several seeds *)
   sound : bool;  (** [log2_measured <= log2_bound] *)
   engine : string;  (** what [Sim.Backend.select Auto] picks *)
+  plan : string;
+      (** per-segment engine plan ({!Sim.Backend.segment_plan}),
+          summarized as ["all dense"], ["all sparse"] or ["k/n sparse"];
+          ["-"] when Auto bypasses segment planning (stabilizer/exact) *)
 }
 
 (** E13 (extension): the relational analyzer's static sparsity bounds

@@ -1,10 +1,11 @@
 open Circuit
 
-type policy = Auto | Statevector_dense | Stabilizer | Exact_branch
+type policy = Auto | Statevector_dense | Sparse_statevector | Stabilizer | Exact_branch
 
 let policy_to_string = function
   | Auto -> "auto"
   | Statevector_dense -> "dense"
+  | Sparse_statevector -> "sparse"
   | Stabilizer -> "stabilizer"
   | Exact_branch -> "exact"
 
@@ -12,6 +13,7 @@ let policy_of_string s =
   match String.lowercase_ascii s with
   | "auto" -> Some Auto
   | "dense" | "statevector" -> Some Statevector_dense
+  | "sparse" | "sparse-statevector" -> Some Sparse_statevector
   | "stabilizer" | "chp" -> Some Stabilizer
   | "exact" | "exact-branch" -> Some Exact_branch
   | _ -> None
@@ -164,6 +166,55 @@ let check_dense_fits ~who c =
       (Printf.sprintf "Backend.run: %s backend capped at %d qubits (got %d)"
          who Statevector.max_qubits (Circ.num_qubits c))
 
+(* ------------------------------------------------------------------ *)
+(* Per-segment engine planning                                        *)
+
+(* A segment goes sparse when the analyzer's certified amplitude bound
+   leaves a comfortable margin under the dense dimension: with at most
+   2^b nonzeros against 2^n dense amplitudes, sparse replay wins once
+   the hash-table constant factor (~2^margin) is covered.  Past the
+   dense cap there is no choice — every segment is sparse, which is
+   the planning-time face of the [State.Dense_cap_exceeded] fallback. *)
+let sparse_margin = 6
+
+(* Beyond this bound the hash-map state is dense-like (2^b entries)
+   and the dense kernels' linear scans win on locality. *)
+let sparse_log2_cap = 16
+
+let sparse_worthwhile ~n (g : Lint.Resource.segment) =
+  n > Statevector.max_qubits
+  || (g.Lint.Resource.log2_bound_peak <= sparse_log2_cap
+     && n - g.Lint.Resource.log2_bound_peak >= sparse_margin)
+
+type segment_engine = {
+  seg_start : int;
+  seg_stop : int;
+  seg_engine : [ `Dense | `Sparse ];
+  seg_log2_bound : int;
+  seg_clifford : bool;
+}
+
+let segment_plan c =
+  let n = Circ.num_qubits c in
+  let s = resource_summary c in
+  List.map
+    (fun (g : Lint.Resource.segment) ->
+      {
+        seg_start = g.Lint.Resource.start;
+        seg_stop = g.Lint.Resource.stop;
+        seg_engine = (if sparse_worthwhile ~n g then `Sparse else `Dense);
+        seg_log2_bound = g.Lint.Resource.log2_bound_peak;
+        seg_clifford = g.Lint.Resource.clifford;
+      })
+    s.Lint.Resource.segments
+
+let segment_plan_string plan =
+  String.concat ","
+    (List.map
+       (fun p ->
+         match p.seg_engine with `Dense -> "dense" | `Sparse -> "sparse")
+       plan)
+
 (* Clifford routing under [Auto]: the whole-circuit scan is the cheap
    path; failing that, the analyzer's witness — the same circuit minus
    statically-dead gates — is consulted, so a per-segment-Clifford
@@ -177,6 +228,12 @@ let stabilizer_circuit c =
     then Some s.Lint.Resource.witness
     else None
 
+let check_sparse_fits c =
+  if Circ.num_qubits c > Sparse.max_qubits then
+    invalid_arg
+      (Printf.sprintf "Backend.run: sparse backend capped at %d qubits (got %d)"
+         Sparse.max_qubits (Circ.num_qubits c))
+
 (* [extra_branches] accounts for terminal measurements a measurement
    plan appends after selection (each at most one branch point). *)
 let select_gen ?(policy = Auto) ~shots ~extra_branches c =
@@ -185,6 +242,9 @@ let select_gen ?(policy = Auto) ~shots ~extra_branches c =
     | Statevector_dense ->
         check_dense_fits ~who:"dense" c;
         `Dense
+    | Sparse_statevector ->
+        check_sparse_fits c;
+        `Sparse
     | Stabilizer ->
         if not (Stabilizer.supports c) then
           raise
@@ -198,14 +258,30 @@ let select_gen ?(policy = Auto) ~shots ~extra_branches c =
         if stabilizer_circuit c <> None then `Stabilizer
         else if exact_tractable ~shots ~extra_branches c then `Exact
         else begin
-          check_dense_fits ~who:"dense" c;
-          `Dense
+          (* per-segment planning: all-dense plans run the classic
+             dense path, all-sparse plans the sparse engine, mixed
+             plans the hybrid executor with representation handoffs *)
+          let plan = segment_plan c in
+          let sparse_segs =
+            List.length (List.filter (fun p -> p.seg_engine = `Sparse) plan)
+          in
+          if plan <> [] && sparse_segs = List.length plan then begin
+            check_sparse_fits c;
+            `Sparse
+          end
+          else if sparse_segs > 0 then `Hybrid
+          else begin
+            check_dense_fits ~who:"dense" c;
+            `Dense
+          end
         end
   in
   (match engine with
   | `Stabilizer -> Obs.incr "backend.select.stabilizer"
   | `Exact -> Obs.incr "backend.select.exact"
-  | `Dense -> Obs.incr "backend.select.dense");
+  | `Dense -> Obs.incr "backend.select.dense"
+  | `Sparse -> Obs.incr "backend.select.sparse"
+  | `Hybrid -> Obs.incr "backend.select.hybrid");
   engine
 
 let select ?policy ~shots c = select_gen ?policy ~shots ~extra_branches:0 c
@@ -214,6 +290,132 @@ let engine_name = function
   | `Stabilizer -> "stabilizer"
   | `Exact -> "exact"
   | `Dense -> "dense"
+  | `Sparse -> "sparse"
+  | `Hybrid -> "hybrid"
+
+(* ------------------------------------------------------------------ *)
+(* Sparse and hybrid dispatch                                         *)
+
+(* the prefix segment consumes no randomness (same as Prefix above) *)
+let no_random_sparse () = assert false
+
+(* Sparse twin of the dense prefix-cached dispatch: execute the
+   deterministic compiled prefix once on the sparse engine, replay
+   only the suffix per shot. *)
+let run_sparse ?domains ~seed ~width ~shots ~prefix_cache base =
+  let program = compiled base in
+  if prefix_cache then begin
+    let prefix_program, suffix_program = Program.split_prefix program in
+    let cached =
+      Sparse.create (Circ.num_qubits base) ~num_bits:(Circ.num_bits base)
+    in
+    Sparse.exec ~random:no_random_sparse cached prefix_program;
+    Obs.incr ~n:shots "backend.prefix.hit";
+    Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
+        let st = Sparse.copy cached in
+        Sparse.exec ~random:(fun () -> Random.State.float rng 1.0) st
+          suffix_program;
+        Sparse.register st)
+  end
+  else begin
+    Obs.incr ~n:shots "backend.prefix.miss";
+    Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
+        Sparse.register (Sparse.run ~rng program))
+  end
+
+(* Hybrid execution threads one state through the analyzer's segments,
+   converting representation at engine boundaries.  Segments are
+   compiled from the instruction ranges of [Lint.Resource.analyze] —
+   the same boundary rule as [Program.split_prefix], so segment 0 is
+   exactly the deterministic prefix whenever the circuit opens with a
+   unitary run, and it is then executed once and shared across shots. *)
+type hstate = Hdense of State.t | Hsparse of Sparse.t
+
+let hcopy = function
+  | Hdense d -> Hdense (State.copy d)
+  | Hsparse s -> Hsparse (Sparse.copy s)
+
+let hregister = function
+  | Hdense d -> State.register d
+  | Hsparse s -> Sparse.register s
+
+let hconvert h tag =
+  match (h, tag) with
+  | Hdense _, `Dense | Hsparse _, `Sparse -> h
+  | Hdense d, `Sparse -> Hsparse (Sparse.of_state d)
+  | Hsparse s, `Dense -> Hdense (Sparse.to_state s)
+
+let hexec ~random h prog =
+  match h with
+  | Hdense d -> Program.exec ~random d prog
+  | Hsparse s -> Sparse.exec ~random s prog
+
+let run_hybrid ?domains ~seed ~width ~shots base =
+  let n = Circ.num_qubits base and nbits = Circ.num_bits base in
+  let plan = segment_plan base in
+  let instrs = Array.of_list (Circ.instructions base) in
+  let segs =
+    List.map
+      (fun p ->
+        ( p.seg_engine,
+          Program.compile_instructions ~num_qubits:n ~num_bits:nbits
+            (Array.to_list
+               (Array.sub instrs p.seg_start (p.seg_stop - p.seg_start))) ))
+      plan
+  in
+  let fresh () =
+    match segs with
+    | (`Sparse, _) :: _ -> Hsparse (Sparse.create n ~num_bits:nbits)
+    | (`Dense, _) :: _ | [] -> Hdense (State.create n ~num_bits:nbits)
+  in
+  (* segment 0 is cacheable iff it contains no measure/reset op *)
+  let cached, per_shot_segs =
+    match segs with
+    | (tag, prog0) :: rest
+      when Program.length (snd (Program.split_prefix prog0))
+           = 0 ->
+        let h = hconvert (fresh ()) tag in
+        hexec ~random:no_random_sparse h prog0;
+        (h, rest)
+    | (_, _) :: _ | [] -> (fresh (), segs)
+  in
+  (* handoff accounting is static per shot: conversions happen at the
+     same boundaries every replay, so the counters are bumped once per
+     dispatch (the per-shot path stays counter-free) *)
+  let cached_tag =
+    match cached with Hdense _ -> `Dense | Hsparse _ -> `Sparse
+  in
+  let d2s, s2d =
+    List.fold_left
+      (fun (cur, (d2s, s2d)) (tag, _) ->
+        ( tag,
+          match (cur, tag) with
+          | `Dense, `Sparse -> (d2s + 1, s2d)
+          | `Sparse, `Dense -> (d2s, s2d + 1)
+          | `Dense, `Dense | `Sparse, `Sparse -> (d2s, s2d) ))
+      (cached_tag, (0, 0))
+      per_shot_segs
+    |> snd
+  in
+  if d2s > 0 then Obs.incr ~n:(d2s * shots) "backend.handoff.dense_to_sparse";
+  if s2d > 0 then Obs.incr ~n:(s2d * shots) "backend.handoff.sparse_to_dense";
+  if Obs.Flight.enabled () then
+    Obs.Flight.record ~kind:"backend.hybrid.plan"
+      [
+        ("segments", Obs.Json.String (segment_plan_string plan));
+        ("handoffs_per_shot", Obs.Json.Int (d2s + s2d));
+      ];
+  Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
+      let random () = Random.State.float rng 1.0 in
+      let h =
+        List.fold_left
+          (fun h (tag, prog) ->
+            let h = hconvert h tag in
+            hexec ~random h prog;
+            h)
+          (hcopy cached) per_shot_segs
+      in
+      hregister h)
 
 let run ?policy ?(seed = Runner.default_seed) ?domains ?plan
     ?(prefix_cache = true) ~shots c =
@@ -245,7 +447,7 @@ let run ?policy ?(seed = Runner.default_seed) ?domains ?plan
         ("qubits", Obs.Json.Int (Circ.num_qubits base));
         ("prefix_cache", Obs.Json.Bool prefix_cache);
       ];
-  let dispatch () =
+  let dispatch_inner () =
     match engine with
     | `Stabilizer ->
         (* an Auto selection may be backed by the analyzer's witness —
@@ -282,6 +484,27 @@ let run ?policy ?(seed = Runner.default_seed) ?domains ?plan
           Parallel.run ?domains ~seed ~width ~shots (fun ~rng ~index:_ ->
               Statevector.register (Program.run ~rng program))
         end
+    | `Sparse -> run_sparse ?domains ~seed ~width ~shots ~prefix_cache base
+    | `Hybrid -> run_hybrid ?domains ~seed ~width ~shots base
+  in
+  (* Under [Auto] the typed dense-cap signal is a routing event, not an
+     error: a dense attempt that outgrows [State.max_qubits] falls back
+     to the sparse engine.  (Selection already plans around the cap;
+     this is the catch the escape hatch documents.)  A forced policy
+     keeps its failure. *)
+  let dispatch () =
+    match policy with
+    | None | Some Auto -> (
+        try dispatch_inner ()
+        with State.Dense_cap_exceeded _ ->
+          Obs.incr "backend.fallback.sparse";
+          if Obs.Flight.enabled () then
+            Obs.Flight.record ~kind:"backend.fallback.sparse"
+              [ ("qubits", Obs.Json.Int (Circ.num_qubits base)) ];
+          run_sparse ?domains ~seed ~width ~shots ~prefix_cache base)
+    | Some (Statevector_dense | Sparse_statevector | Stabilizer | Exact_branch)
+      ->
+        dispatch_inner ()
   in
   if not (Obs.enabled ()) then dispatch ()
   else begin
@@ -291,7 +514,7 @@ let run ?policy ?(seed = Runner.default_seed) ?domains ?plan
        program engine as well so the compiled/interpreted split is
        visible in the metrics JSON *)
     (match engine with
-    | `Dense -> Obs.incr "backend.run.program"
+    | `Dense | `Sparse | `Hybrid -> Obs.incr "backend.run.program"
     | `Stabilizer | `Exact -> ());
     Obs.incr ~n:shots "backend.shots";
     let r =

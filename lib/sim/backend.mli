@@ -10,27 +10,41 @@ open Circuit
     Backends:
     - {e dense statevector} — the general engine, one replay per shot,
       accelerated by the shared-prefix cache (see {!Prefix});
+    - {e sparse statevector} — hash-map basis-amplitude storage
+      ({!Sparse}): memory and per-op work scale with the nonzero
+      count, which is what lets basis-sparse dynamic circuits (the
+      paper's dyn2 scheme) run past the dense 24-qubit cap;
     - {e stabilizer} — CHP tableau when the circuit is Clifford
       ({!Stabilizer.supports}); scales to hundreds of qubits;
     - {e exact branch} — when the measurement/reset count is small the
       exact branching distribution ({!Exact}) is computed once and
       shots are drawn from it with the O(1) alias sampler.
 
+    [Auto] additionally plans {e per segment} (see {!segment_plan}):
+    when the analyzer proves only part of the circuit basis-sparse,
+    the hybrid executor runs each segment on its best engine and
+    converts the state representation at the handoffs.
+
     Determinism: for a fixed [seed] the histogram is byte-identical
     regardless of [domains] and of the prefix cache, because every
-    shot owns a split RNG state (see {!Parallel}). *)
+    shot owns a split RNG state (see {!Parallel}); and dense and
+    sparse replays consume randomness identically, so engine choice
+    does not perturb the shot stream. *)
 
 type policy =
-  | Auto  (** inspect the circuit: stabilizer > exact branch > dense *)
+  | Auto
+      (** inspect the circuit: stabilizer > exact branch > per-segment
+          dense/sparse plan *)
   | Statevector_dense
+  | Sparse_statevector
   | Stabilizer
   | Exact_branch
 
 val policy_to_string : policy -> string
 
-(** Parses ["auto" | "dense" | "stabilizer" | "exact"] (plus the
-    ["statevector"], ["chp"], ["exact-branch"] aliases),
-    case-insensitively. *)
+(** Parses ["auto" | "dense" | "sparse" | "stabilizer" | "exact"]
+    (plus the ["statevector"], ["sparse-statevector"], ["chp"],
+    ["exact-branch"] aliases), case-insensitively. *)
 val policy_of_string : string -> policy option
 
 val pp_policy : Format.formatter -> policy -> unit
@@ -59,7 +73,9 @@ module Prefix : sig
   (** Compile the circuit and simulate the deterministic prefix
       segment once; the cache keys on the compiled program's
       prefix/suffix split ({!Program.split_prefix}).
-      @raise Invalid_argument beyond {!Statevector.max_qubits}. *)
+      @raise State.Dense_cap_exceeded beyond {!Statevector.max_qubits}
+      (under the [Auto] policy, {!run} catches it and falls back to
+      the sparse engine). *)
   val prepare : Circ.t -> t
 
   (** The cached state — shared read-only across shots and domains. *)
@@ -83,6 +99,33 @@ val branch_points : Circ.t -> int
     once. *)
 val resource_summary : Circ.t -> Lint.Resource.summary
 
+(** {1 Per-segment engine planning}
+
+    The analyzer's segments (see {!Lint.Resource}: a new segment
+    starts at every measure/reset following a non-measure/reset, the
+    same boundary {!Program.split_prefix} cuts at) each carry a
+    certified [log2] bound on reachable nonzero amplitudes.  A segment
+    is planned sparse when that bound leaves a comfortable margin
+    under the dense dimension — or unconditionally past the dense
+    qubit cap, where sparse is the only statevector that fits. *)
+
+type segment_engine = {
+  seg_start : int;  (** first instruction index of the segment *)
+  seg_stop : int;  (** one past the last instruction index *)
+  seg_engine : [ `Dense | `Sparse ];
+  seg_log2_bound : int;
+      (** the analyzer's certified peak [log2] nonzero-amplitude bound *)
+  seg_clifford : bool;
+}
+
+(** The per-segment engine assignment [Auto] executes when it picks
+    [`Sparse] (all segments sparse) or [`Hybrid] (mixed).  Reported by
+    [dqc_cli analyze] and the sparsity experiment. *)
+val segment_plan : Circ.t -> segment_engine list
+
+(** ["dense,sparse,..."] — the plan's engines, comma-joined. *)
+val segment_plan_string : segment_engine list -> string
+
 (** The backend [run] would dispatch to.  [Auto] consults the
     per-segment resource summary: stabilizer when every segment is
     Clifford — by the whole-circuit scan or by the analyzer's
@@ -90,14 +133,21 @@ val resource_summary : Circ.t -> Lint.Resource.summary
     non-Clifford gates don't force the dense engine); exact branching
     when the leaf bound [2^nondet_branches] is small relative to
     [shots] and either the circuit is narrow or the static amplitude
-    bound is; dense otherwise.  Selection bumps the
-    [backend.select.<engine>] counter.
+    bound is; otherwise the per-segment {!segment_plan} — all-dense
+    plans run dense, all-sparse plans run {!Sparse}, mixed plans run
+    the hybrid executor with representation conversions at segment
+    handoffs.  Selection bumps the [backend.select.<engine>] counter
+    ([dense]/[sparse]/[hybrid]/[stabilizer]/[exact]).
     @raise Stabilizer.Unsupported when the [Stabilizer] policy is
     forced on a non-Clifford circuit.
     @raise Invalid_argument when [Statevector_dense]/[Exact_branch] is
-    forced beyond {!Statevector.max_qubits}. *)
+    forced beyond {!Statevector.max_qubits}, or [Sparse_statevector]
+    beyond {!Sparse.max_qubits}. *)
 val select :
-  ?policy:policy -> shots:int -> Circ.t -> [ `Dense | `Stabilizer | `Exact ]
+  ?policy:policy ->
+  shots:int ->
+  Circ.t ->
+  [ `Dense | `Stabilizer | `Exact | `Sparse | `Hybrid ]
 
 (** [run ?policy ?seed ?domains ?plan ?prefix_cache ~shots c] executes
     [shots] shots of [c] (instrumented with [plan]'s terminal
@@ -110,14 +160,24 @@ val select :
     [seed] defaults to {!Runner.default_seed} — the constant shared
     with the serial engine.
 
+    Under [Auto], a dense dispatch that raises
+    {!State.Dense_cap_exceeded} is caught and rerun on the sparse
+    engine ([backend.fallback.sparse] counter + flight event); forced
+    policies propagate their failures.
+
     Telemetry (when an [Obs] collector is installed): a [backend.run]
     span (attrs: engine, shots, qubits) around the dispatch, counters
     [backend.run.<engine>], [backend.shots], per-shot
     [backend.prefix.hit] / [backend.prefix.miss], and the
-    [backend.prefix.fraction] gauge.  Dense dispatches execute
-    compiled kernel programs ({!Program}) and additionally bump
-    [backend.run.program].  The histogram itself is byte-identical
-    whether or not telemetry is on. *)
+    [backend.prefix.fraction] gauge.  Dense, sparse and hybrid
+    dispatches execute compiled kernel programs ({!Program}) and
+    additionally bump [backend.run.program].  Hybrid dispatches count
+    per-shot representation conversions into
+    [backend.handoff.dense_to_sparse] /
+    [backend.handoff.sparse_to_dense] and record a
+    [backend.hybrid.plan] flight event with the segment-engine string.
+    The histogram itself is byte-identical whether or not telemetry is
+    on. *)
 val run :
   ?policy:policy ->
   ?seed:int ->

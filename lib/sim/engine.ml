@@ -1,0 +1,60 @@
+open Circuit
+
+(* The engine abstraction: one signature every statevector-like
+   execution engine implements, so the shot engines (Runner, Parallel,
+   Backend) and the noisy-trajectory engine (Noise) can be written
+   once against [S] instead of hard-coding the dense SoA storage.
+
+   Instances:
+   - [Statevector.Dense_engine] — the dense SoA amplitudes ([State]),
+     executing through the compiled kernels ([Program]);
+   - [Sparse.Engine] — the hash-map basis-amplitude statevector, for
+     workloads whose reachable state stays near the computational
+     basis (the dyn2 dynamic circuits of the paper).
+
+   The signature lives in its own module (no implementation here) so
+   the instances can be defined next to their state types without a
+   dependency cycle: Engine depends only on Program/State, while
+   Statevector and Sparse depend on Engine. *)
+
+module type S = sig
+  type state
+
+  val name : string
+  val max_qubits : int
+  val create : int -> num_bits:int -> state
+  val copy : state -> state
+  val num_qubits : state -> int
+  val num_bits : state -> int
+  val register : state -> int
+  val set_register : state -> int -> unit
+  val set_bit : state -> int -> bool -> unit
+  val get_bit : state -> int -> bool
+  val nonzero : state -> int
+  val norm2 : state -> float
+  val amplitude : state -> int -> Complex.t
+  val prob_one : state -> int -> float
+  val apply : state -> Program.op -> unit
+  val apply_gate : state -> Gate.t -> int -> unit
+  val apply_kraus1 : state -> Linalg.Cmat.t -> int -> unit
+  val project : state -> int -> bool -> float
+  val flip : state -> int -> unit
+  val measure : random:float -> state -> qubit:int -> bit:int -> bool
+  val reset : random:float -> state -> int -> unit
+  val exec : random:(unit -> float) -> state -> Program.t -> unit
+  val run : rng:Random.State.t -> Program.t -> state
+  val probabilities : state -> float array
+  val nonzero_probabilities : state -> (int * float) list
+end
+
+type packed = Packed : (module S with type state = 's) * 's -> packed
+
+let pack (type s) (module E : S with type state = s) (st : s) =
+  Packed ((module E), st)
+
+let name (Packed ((module E), _)) = E.name
+let register (Packed ((module E), st)) = E.register st
+let copy (Packed ((module E), st)) = Packed ((module E), E.copy st)
+
+let exec ~random (Packed ((module E), st)) program =
+  E.exec ~random st program

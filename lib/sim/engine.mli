@@ -1,0 +1,109 @@
+open Circuit
+
+(** The pluggable execution-engine abstraction.
+
+    [S] is the one signature every statevector-like engine implements:
+    state lifecycle (create/copy), the compiled-op replay
+    ({!S.apply}/{!S.exec} over {!Program} ops), the collapse
+    primitives ({!S.measure}/{!S.reset}/{!S.project}), the
+    probability/amplitude observers the samplers and differential
+    tests consume, and the boxed-matrix entry points the
+    noisy-trajectory engine needs ({!S.apply_gate},
+    {!S.apply_kraus1}).
+
+    Instances: {!Statevector.Dense_engine} (dense SoA amplitudes,
+    capped at {!State.max_qubits}) and {!Sparse.Sparse_engine} (hash-map
+    basis-amplitude storage, memory per {e nonzero} amplitude).
+    {!Backend} picks between them — per whole circuit or per
+    analyzer segment (hybrid execution) — and {!Runner} / {!Noise}
+    accept any instance through their [?engine] parameter.
+
+    Contract every instance honours, so shot streams are
+    seed-deterministic {e across} engines: randomness is consumed
+    only by [measure]/[reset], in source order, one draw each; and
+    [measure] decides the outcome as [random < prob_one], so two
+    engines that agree on probabilities (within pruning tolerance)
+    replay identical shot streams from the same split-RNG stream. *)
+
+module type S = sig
+  type state
+
+  (** Engine tag used in telemetry and reports ("dense", "sparse"). *)
+  val name : string
+
+  (** Widest register {!create} accepts — a memory cap for dense
+      storage, an index-width cap for sparse. *)
+  val max_qubits : int
+
+  (** [create n ~num_bits] is |0...0> with an all-zero classical
+      register. *)
+  val create : int -> num_bits:int -> state
+
+  val copy : state -> state
+  val num_qubits : state -> int
+  val num_bits : state -> int
+  val register : state -> int
+  val set_register : state -> int -> unit
+  val set_bit : state -> int -> bool -> unit
+  val get_bit : state -> int -> bool
+
+  (** Number of stored (structurally nonzero) amplitudes. *)
+  val nonzero : state -> int
+
+  val norm2 : state -> float
+
+  (** Amplitude of one computational basis state. *)
+  val amplitude : state -> int -> Complex.t
+
+  (** Probability that measuring the qubit yields 1. *)
+  val prob_one : state -> int -> float
+
+  (** Apply a unitary or conditioned compiled op in place.
+      @raise Invalid_argument on a measure/reset op. *)
+  val apply : state -> Program.op -> unit
+
+  (** Apply a plain 1-qubit gate (boxed-matrix path). *)
+  val apply_gate : state -> Gate.t -> int -> unit
+
+  (** Apply an arbitrary 2x2 operator and renormalize — the
+      quantum-trajectory primitive (see {!Statevector.apply_kraus1}). *)
+  val apply_kraus1 : state -> Linalg.Cmat.t -> int -> unit
+
+  (** Collapse a qubit onto an outcome; returns the branch probability.
+      @raise State.Zero_probability_branch when that probability is 0. *)
+  val project : state -> int -> bool -> float
+
+  (** In-place Pauli-X (exact amplitude swap / key remap). *)
+  val flip : state -> int -> unit
+
+  val measure : random:float -> state -> qubit:int -> bit:int -> bool
+  val reset : random:float -> state -> int -> unit
+
+  (** Replay a whole compiled program; [random] is consulted by
+      measure/reset ops only, in source order. *)
+  val exec : random:(unit -> float) -> state -> Program.t -> unit
+
+  (** Execute the program from a fresh |0...0> state. *)
+  val run : rng:Random.State.t -> Program.t -> state
+
+  (** Probability of each basis state, as a dense [2^n] array.
+      @raise State.Dense_cap_exceeded when [2^n] does not fit
+      (sparse states past the dense cap); use
+      {!nonzero_probabilities} there. *)
+  val probabilities : state -> float array
+
+  (** [(basis_index, probability)] for every stored amplitude with
+      nonzero probability, ascending by index — the width-safe
+      distribution extractor. *)
+  val nonzero_probabilities : state -> (int * float) list
+end
+
+(** A state packed with its engine — what the hybrid executor threads
+    through segment boundaries. *)
+type packed = Packed : (module S with type state = 's) * 's -> packed
+
+val pack : (module S with type state = 's) -> 's -> packed
+val name : packed -> string
+val register : packed -> int
+val copy : packed -> packed
+val exec : random:(unit -> float) -> packed -> Program.t -> unit

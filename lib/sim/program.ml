@@ -501,6 +501,38 @@ let run_circuit ~rng c = run ~rng (compile c)
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                      *)
 
+type kernel =
+  | Kx of { bit : int; cmask : int }
+  | Kh of { bit : int; cmask : int }
+  | Kphase of { bit : int; cmask : int; re1 : float; im1 : float }
+  | Kdiag of {
+      bit : int;
+      cmask : int;
+      re0 : float;
+      im0 : float;
+      re1 : float;
+      im1 : float;
+    }
+  | Ku2 of { bit : int; cmask : int; m : float array }
+  | Kmeasure of { qubit : int; bit : int }
+  | Kreset of int
+  | Kcond of { mask : int; value : int; body : kernel }
+
+let rec kernel_of_op = function
+  | Xk p -> Kx { bit = p.bit; cmask = p.cmask }
+  | Hk p -> Kh { bit = p.bit; cmask = p.cmask }
+  | Phasek { p; re1; im1 } -> Kphase { bit = p.bit; cmask = p.cmask; re1; im1 }
+  | Diagk { p; re0; im0; re1; im1 } ->
+      Kdiag { bit = p.bit; cmask = p.cmask; re0; im0; re1; im1 }
+  | U2k { p; m } -> Ku2 { bit = p.bit; cmask = p.cmask; m }
+  | Mk { qubit; bit } -> Kmeasure { qubit; bit }
+  | Rk q -> Kreset q
+  | Ck { mask; value; body } ->
+      Kcond { mask; value; body = kernel_of_op body }
+
+let kernel op = kernel_of_op op
+let kernels t = Array.map kernel_of_op t.ops
+
 type view =
   | Unitary of { target : int; controls : int list }
   | Conditional of { mask : int; value : int; target : int; controls : int list }

@@ -87,6 +87,37 @@ val run_circuit : rng:Random.State.t -> Circ.t -> State.t
 (** {1 Introspection} — what the exact-branch enumerator and the noisy
     trajectory engine dispatch on. *)
 
+(** The arithmetic content of one compiled op: kernel class, fixed-bit
+    layout ([bit] is the target bit, [cmask] the required-1 control
+    bits) and the exact matrix floats the dense kernels use.  This is
+    what a non-dense {!Engine} implementation replays so its
+    arithmetic can mirror the dense kernels expression-for-expression
+    (the property the differential suite in test/test_sparse.ml leans
+    on).  The [m] array of {!Ku2} is shared with the op — treat it as
+    read-only. *)
+type kernel =
+  | Kx of { bit : int; cmask : int }
+  | Kh of { bit : int; cmask : int }
+  | Kphase of { bit : int; cmask : int; re1 : float; im1 : float }
+  | Kdiag of {
+      bit : int;
+      cmask : int;
+      re0 : float;
+      im0 : float;
+      re1 : float;
+      im1 : float;
+    }
+  | Ku2 of { bit : int; cmask : int; m : float array }
+  | Kmeasure of { qubit : int; bit : int }
+  | Kreset of int
+  | Kcond of { mask : int; value : int; body : kernel }
+
+val kernel : op -> kernel
+
+(** [kernels t] is every op's {!kernel}, in execution order — what a
+    sparse engine lowers once per program (see {!Sparse}). *)
+val kernels : t -> kernel array
+
 type view =
   | Unitary of { target : int; controls : int list }
   | Conditional of { mask : int; value : int; target : int; controls : int list }

@@ -14,13 +14,16 @@ let tally counts outcome = tally_n counts outcome 1
    a seed (asserted in test/test_program.ml). *)
 let default_seed = 0xC0FFEE
 
-let run_shots ?(seed = default_seed) ~shots c =
+let dense_engine = (module Statevector.Dense_engine : Engine.S)
+
+let run_shots ?(seed = default_seed) ?(engine = dense_engine) ~shots c =
+  let (module E : Engine.S) = engine in
   let rng = Random.State.make [| seed |] in
   let prog = Program.compile c in
   let counts = Hashtbl.create 16 in
   for _ = 1 to shots do
-    let st = Program.run ~rng prog in
-    tally counts (State.register st)
+    let st = E.run ~rng prog in
+    tally counts (E.register st)
   done;
   { w = Circ.num_bits c; total = shots; counts }
 

@@ -11,12 +11,16 @@ type histogram
     unless the caller picks a seed explicitly. *)
 val default_seed : int
 
-(** [run_shots ?seed ~shots c] executes [c] independently [shots]
-    times and tallies final register values ([seed] defaults to
-    {!default_seed}).  The circuit is compiled once ({!Program}) and
-    the program replayed per shot on one serial RNG stream;
+(** [run_shots ?seed ?engine ~shots c] executes [c] independently
+    [shots] times and tallies final register values ([seed] defaults
+    to {!default_seed}).  The circuit is compiled once ({!Program})
+    and the program replayed per shot on one serial RNG stream, on
+    [engine] (default {!Statevector.Dense_engine}; pass
+    [(module Sparse.Sparse_engine)] for the sparse engine — for a
+    fixed seed the shot stream is identical across engines);
     {!Backend.run} is the parallel, backend-dispatched entry point. *)
-val run_shots : ?seed:int -> shots:int -> Circ.t -> histogram
+val run_shots :
+  ?seed:int -> ?engine:(module Engine.S) -> shots:int -> Circ.t -> histogram
 
 (** [run_plan ?seed ~shots ~plan c] instruments [c] with the plan's
     terminal measurements before running. *)

@@ -14,10 +14,20 @@ type t = {
 
 let max_qubits = 24
 
+exception Dense_cap_exceeded of { qubits : int; max_qubits : int }
+
+let () =
+  Printexc.register_printer (function
+    | Dense_cap_exceeded { qubits; max_qubits } ->
+        Some
+          (Printf.sprintf
+             "Sim.State.Dense_cap_exceeded: %d qubits (dense cap %d)" qubits
+             max_qubits)
+    | _ -> None)
+
 let create n ~num_bits =
-  if n < 0 || n > max_qubits then
-    invalid_arg
-      (Printf.sprintf "Statevector.create: %d qubits (max %d)" n max_qubits);
+  if n < 0 then invalid_arg (Printf.sprintf "Statevector.create: %d qubits" n);
+  if n > max_qubits then raise (Dense_cap_exceeded { qubits = n; max_qubits });
   let amps = Linalg.Cvec.make (1 lsl n) in
   (Linalg.Cvec.re amps).(0) <- 1.;
   { n; num_bits; amps; reg = 0 }

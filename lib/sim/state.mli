@@ -9,12 +9,32 @@
 
 type t
 
-(** Dense-vector qubit cap (24): {!create} rejects anything larger. *)
+(** Dense-vector qubit cap (24): {!create} rejects anything larger.
+
+    The cap is a memory budget, not an algorithmic limit.  The dense
+    representation materializes all [2^n] amplitudes as two unboxed
+    float arrays, so [n] qubits cost [2^n * 16] bytes per state — 256
+    MiB at 24 qubits — and the shot engine copies one state per shot
+    (prefix cache) or holds one per domain.  One step further (25
+    qubits, 512 MiB per copy) makes multi-domain shot execution and
+    the exact-branch enumerator's forked states exceed typical host
+    memory, so the cap stays at 24 until the big-memory kernels of
+    ROADMAP item 2 land.  Wider circuits are not rejected outright:
+    {!Backend} catches {!Dense_cap_exceeded} and falls back to the
+    hash-map sparse engine ({!Sparse}), which costs memory per
+    {e nonzero} amplitude instead of per dimension. *)
 val max_qubits : int
+
+(** Raised by {!create} when the requested width exceeds
+    {!max_qubits} — a typed signal (rather than a blanket
+    [Invalid_argument]) so engine-selection layers can catch it and
+    reroute to a representation that fits. *)
+exception Dense_cap_exceeded of { qubits : int; max_qubits : int }
 
 (** [create n ~num_bits] is |0...0> with an all-zero classical
     register.
-    @raise Invalid_argument beyond {!max_qubits}. *)
+    @raise Dense_cap_exceeded beyond {!max_qubits}.
+    @raise Invalid_argument on negative [n]. *)
 val create : int -> num_bits:int -> t
 
 val num_qubits : t -> int

@@ -18,7 +18,10 @@ type t = State.t
 val max_qubits : int
 
 (** [create n ~num_bits] is |0...0> with an all-zero classical
-    register.  [n] is capped at {!max_qubits} (dense vector). *)
+    register.  [n] is capped at {!max_qubits} (dense vector).
+    @raise State.Dense_cap_exceeded beyond the cap (see {!State}'s
+    memory rationale; {!Backend} catches it to fall back to the
+    sparse engine). *)
 val create : int -> num_bits:int -> t
 
 val num_qubits : t -> int
@@ -85,3 +88,11 @@ val run_reference : rng:Random.State.t -> Circ.t -> t
 
 (** Probability of each computational basis state (for analyses). *)
 val probabilities : t -> float array
+
+(** The dense SoA storage as a pluggable execution engine — the
+    {!Engine.S} instance behind {!Backend}'s dense dispatch and the
+    default of every [?engine] parameter ({!Runner.run_shots},
+    {!Noise.run_shots}).  [apply]/[exec] replay compiled {!Program}
+    kernels; everything else delegates to {!State}, so running through
+    the instance is bit-identical to the direct calls. *)
+module Dense_engine : Engine.S with type state = t

@@ -13,7 +13,11 @@ let check_unitary_only c =
 
 (* Column k of the unitary is the circuit applied to basis state |k>.
    The instruction list is compiled once ([Program]) and the fused op
-   array replayed per column. *)
+   array replayed per column, through the dense engine instance — the
+   extractor needs all 2^n columns, so the dense representation is the
+   right one regardless of what engine later executes the circuit. *)
+module E = Statevector.Dense_engine
+
 let of_instrs ?(max_qubits = default_max_qubits) ~n instrs =
   if n > max_qubits then invalid_arg "Unitary: too many qubits";
   let dim = 1 lsl n in
@@ -22,12 +26,12 @@ let of_instrs ?(max_qubits = default_max_qubits) ~n instrs =
   (* unitary-only input: the program never branches *)
   let no_random () = assert false in
   for k = 0 to dim - 1 do
-    let st = Program.fresh_state program in
+    let st = E.create n ~num_bits:0 in
     (* start in |k>: flip the set bits *)
     for q = 0 to n - 1 do
-      if Bits.get k q then State.flip st q
+      if Bits.get k q then E.flip st q
     done;
-    Program.exec ~random:no_random st program;
+    E.exec ~random:no_random st program;
     let v = Statevector.amplitudes st in
     for r = 0 to dim - 1 do
       Linalg.Cmat.set m r k (Linalg.Cvec.get v r)

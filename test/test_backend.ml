@@ -93,7 +93,13 @@ let test_policy_strings () =
       match Sim.Backend.policy_of_string (Sim.Backend.policy_to_string p) with
       | Some q -> check_bool "roundtrip" true (p = q)
       | None -> Alcotest.fail "policy string did not parse back")
-    [ Sim.Backend.Auto; Statevector_dense; Stabilizer; Exact_branch ];
+    [
+      Sim.Backend.Auto;
+      Statevector_dense;
+      Sparse_statevector;
+      Stabilizer;
+      Exact_branch;
+    ];
   check_bool "unknown rejected" true
     (Sim.Backend.policy_of_string "qpu" = None)
 

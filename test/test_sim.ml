@@ -113,7 +113,7 @@ let test_measure_all_distribution () =
 
 let test_too_many_qubits () =
   Alcotest.check_raises "25 qubits"
-    (Invalid_argument "Statevector.create: 25 qubits (max 24)") (fun () ->
+    (Sim.State.Dense_cap_exceeded { qubits = 25; max_qubits = 24 }) (fun () ->
       ignore (Sim.Statevector.create 25 ~num_bits:0))
 
 (* ------------------------------------------------------------------ *)

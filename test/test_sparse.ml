@@ -1,0 +1,240 @@
+(* Differential validation of the sparse basis-amplitude engine
+   (Sim.Sparse) against the dense engine: amplitude-for-amplitude
+   agreement over hundreds of random dynamic circuits, identical
+   seed-deterministic shot streams through the engine-polymorphic
+   runner, and the over-the-dense-cap basis-sparse acceptance
+   workload (a >= 28-qubit dyn2-substituted Toffoli ladder). *)
+
+open Circuit
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let hist_pairs = Alcotest.(list (pair int int))
+
+let check_hist msg a b =
+  Alcotest.check hist_pairs msg (Sim.Runner.to_list a) (Sim.Runner.to_list b)
+
+let dense_engine = (module Sim.Statevector.Dense_engine : Sim.Engine.S)
+let sparse_engine = (module Sim.Sparse.Sparse_engine : Sim.Engine.S)
+
+(* Random dynamic circuits from the same family as the analyze-gate
+   differential suite: Clifford+T 1-qubit gates, CX/CZ, Toffolis,
+   mid-circuit measures, resets and conditioned gates. *)
+let random_dynamic_circuit rng =
+  let nq = 2 + Random.State.int rng 7 in
+  let nb = 1 + Random.State.int rng 2 in
+  let m = 5 + Random.State.int rng 28 in
+  let gates = Gate.[ H; X; Y; Z; S; Sdg; T; Tdg; V; Rz 0.37 ] in
+  let any_gate () = List.nth gates (Random.State.int rng (List.length gates)) in
+  let instr _ =
+    match Random.State.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+        Instruction.Unitary
+          (Instruction.app (any_gate ()) (Random.State.int rng nq))
+    | 4 | 5 ->
+        let c = Random.State.int rng nq and t = Random.State.int rng nq in
+        let g = if Random.State.bool rng then Gate.X else Gate.Z in
+        if c = t then Instruction.Unitary (Instruction.app g t)
+        else Instruction.Unitary (Instruction.app ~controls:[ c ] g t)
+    | 6 ->
+        let c1 = Random.State.int rng nq
+        and c2 = Random.State.int rng nq
+        and t = Random.State.int rng nq in
+        if c1 = t || c2 = t || c1 = c2 then
+          Instruction.Unitary (Instruction.app Gate.X t)
+        else Instruction.Unitary (Instruction.app ~controls:[ c1; c2 ] Gate.X t)
+    | 7 ->
+        Instruction.Measure
+          { qubit = Random.State.int rng nq; bit = Random.State.int rng nb }
+    | 8 -> Instruction.Reset (Random.State.int rng nq)
+    | _ ->
+        Instruction.Conditioned
+          ( Instruction.cond_bit (Random.State.int rng nb)
+              (Random.State.bool rng),
+            Instruction.app (any_gate ()) (Random.State.int rng nq) )
+  in
+  let roles = Array.make nq Circ.Data in
+  Circ.create ~roles ~num_bits:nb (List.init m instr)
+
+(* Sparse kernels mirror the dense float expressions term for term, so
+   the engines agree to rounding noise; the pruning threshold
+   (|amp|^2 <= 1e-24) is far below this tolerance. *)
+let tolerance = 1e-9
+
+(* Replay one circuit on both engines from the same seed and compare
+   the final states amplitude for amplitude, plus the classical
+   register.  Randomness is consumed only at measure/reset, in source
+   order, so a shared seed drives identical branch choices. *)
+let engines_agree ~seed c =
+  let p = Sim.Program.compile c in
+  let dense = Sim.Program.run ~rng:(Random.State.make [| seed |]) p in
+  let sparse = Sim.Sparse.run ~rng:(Random.State.make [| seed |]) p in
+  let amps = Sim.State.amplitudes dense in
+  let ok = ref (Sim.State.register dense = Sim.Sparse.register sparse) in
+  for k = 0 to Linalg.Cvec.dim amps - 1 do
+    let a = Linalg.Cvec.get amps k and b = Sim.Sparse.amplitude sparse k in
+    if
+      abs_float (a.Complex.re -. b.Complex.re) > tolerance
+      || abs_float (a.Complex.im -. b.Complex.im) > tolerance
+    then ok := false
+  done;
+  !ok
+
+let test_differential_random_circuits () =
+  let rng = Random.State.make [| 0x5AB5E |] in
+  let failures = ref 0 in
+  for k = 0 to 219 do
+    let c = random_dynamic_circuit rng in
+    List.iter
+      (fun seed -> if not (engines_agree ~seed c) then incr failures)
+      [ 11; 12 + k; 4242 ]
+  done;
+  check_int "amplitude mismatches over 220 circuits x 3 seeds" 0 !failures
+
+(* The engine-polymorphic runner must produce byte-identical
+   histograms on both engines for a fixed seed: shot i's register
+   depends only on (seed, i), never on the state representation. *)
+let test_shot_streams_deterministic_across_engines () =
+  let rng = Random.State.make [| 0xBEEF |] in
+  for k = 0 to 9 do
+    let c = random_dynamic_circuit rng in
+    let dense = Sim.Runner.run_shots ~seed:(100 + k) ~engine:dense_engine ~shots:150 c in
+    let sparse = Sim.Runner.run_shots ~seed:(100 + k) ~engine:sparse_engine ~shots:150 c in
+    check_hist (Printf.sprintf "circuit %d" k) dense sparse
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The basis-sparse acceptance workload: a Toffoli ladder computing
+   the AND of its inputs, substituted with the paper's ancilla-
+   unrolled dynamic-2 netlist.  Inputs are prepared with X gates, so
+   every per-shot state stays within a handful of basis amplitudes
+   regardless of width.                                               *)
+
+(* [inputs] X-prepared input qubits 0..k-1, ladder ancillas k..2k-3;
+   the last ancilla holds AND of all inputs, measured into bit 0. *)
+let toffoli_ladder ~inputs ~ones =
+  let k = inputs in
+  let nq = (2 * k) - 1 in
+  let b = Circ.Builder.make ~roles:(Array.make nq Circ.Data) ~num_bits:1 () in
+  List.iter (fun q -> Circ.Builder.x b q) ones;
+  Circ.Builder.ccx b 0 1 k;
+  for j = 1 to k - 2 do
+    Circ.Builder.ccx b (k + j - 1) (j + 1) (k + j)
+  done;
+  Circ.Builder.measure b ~qubit:(nq - 1) ~bit:0;
+  Circ.Builder.build b
+
+let dyn2_ladder ~inputs ~ones =
+  Dqc.Toffoli_scheme.prepare Dqc.Toffoli_scheme.Dynamic_2
+    (toffoli_ladder ~inputs ~ones)
+
+(* Ground truth at a dense-simulable width: the dyn2 ladder computes
+   AND on every input combination, identically on both engines. *)
+let test_dyn2_ladder_small_width () =
+  let k = 4 in
+  for assignment = 0 to (1 lsl k) - 1 do
+    let ones =
+      List.filter (fun q -> assignment land (1 lsl q) <> 0)
+        (List.init k (fun q -> q))
+    in
+    let c = dyn2_ladder ~inputs:k ~ones in
+    check_bool
+      (Printf.sprintf "engines agree on assignment %d" assignment)
+      true
+      (engines_agree ~seed:assignment c);
+    let st =
+      Sim.Sparse.run
+        ~rng:(Random.State.make [| 7 |])
+        (Sim.Program.compile c)
+    in
+    check_bool
+      (Printf.sprintf "AND on assignment %d" assignment)
+      (assignment = (1 lsl k) - 1)
+      (Sim.Sparse.get_bit st 0)
+  done
+
+let wide_inputs = 15
+
+let test_dense_cap_exceeded () =
+  let c = dyn2_ladder ~inputs:wide_inputs ~ones:(List.init wide_inputs Fun.id) in
+  let nq = Circ.num_qubits c in
+  check_bool "at least 28 qubits" true (nq >= 28);
+  Alcotest.check_raises "dense create"
+    (Sim.State.Dense_cap_exceeded
+       { qubits = nq; max_qubits = Sim.State.max_qubits })
+    (fun () -> ignore (Sim.State.create nq ~num_bits:1))
+
+let test_wide_basis_sparse_acceptance () =
+  let all = List.init wide_inputs Fun.id in
+  let run ones =
+    let c = dyn2_ladder ~inputs:wide_inputs ~ones in
+    Sim.Sparse.run ~rng:(Random.State.make [| 3 |]) (Sim.Program.compile c)
+  in
+  let st = run all in
+  check_bool "AND of all-ones inputs" true (Sim.Sparse.get_bit st 0);
+  check_bool "state stays basis-sparse" true (Sim.Sparse.nnz st <= 4);
+  let st0 = run (List.filter (fun q -> q <> 7) all) in
+  check_bool "AND with a zero input" false (Sim.Sparse.get_bit st0 0)
+
+(* Backend integration over the cap: Auto must plan the whole circuit
+   sparse (dense cannot even allocate), the run must be deterministic,
+   and the forced sparse policy must agree with it. *)
+let test_wide_backend_auto () =
+  let c = dyn2_ladder ~inputs:wide_inputs ~ones:(List.init wide_inputs Fun.id) in
+  (match Sim.Backend.select ~shots:64 c with
+  | `Sparse -> ()
+  | `Dense | `Stabilizer | `Exact | `Hybrid ->
+      Alcotest.fail "expected the sparse plan over the dense cap");
+  let auto = Sim.Backend.run ~seed:5 ~shots:64 c in
+  let forced =
+    Sim.Backend.run ~policy:Sim.Backend.Sparse_statevector ~seed:5 ~shots:64 c
+  in
+  check_hist "auto = forced sparse" auto forced;
+  check_int "deterministic outcome" 64
+    (List.fold_left max 0 (List.map snd (Sim.Runner.to_list auto)))
+
+(* Conversions: densify/sparsify roundtrips preserve amplitudes and
+   the classical register. *)
+let test_conversions_roundtrip () =
+  let rng = Random.State.make [| 0xC0FFEE |] in
+  for k = 0 to 19 do
+    let c = random_dynamic_circuit rng in
+    let p = Sim.Program.compile c in
+    let sp = Sim.Sparse.run ~rng:(Random.State.make [| k |]) p in
+    let round = Sim.Sparse.of_state (Sim.Sparse.to_state sp) in
+    let ok = ref (Sim.Sparse.register sp = Sim.Sparse.register round) in
+    let dim = 1 lsl Sim.Sparse.num_qubits sp in
+    for i = 0 to dim - 1 do
+      let a = Sim.Sparse.amplitude sp i and b = Sim.Sparse.amplitude round i in
+      if
+        abs_float (a.Complex.re -. b.Complex.re) > tolerance
+        || abs_float (a.Complex.im -. b.Complex.im) > tolerance
+      then ok := false
+    done;
+    check_bool (Printf.sprintf "roundtrip %d" k) true !ok
+  done
+
+let () =
+  Alcotest.run "sparse"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "220 random dynamic circuits" `Slow
+            test_differential_random_circuits;
+          Alcotest.test_case "shot streams across engines" `Slow
+            test_shot_streams_deterministic_across_engines;
+          Alcotest.test_case "conversions roundtrip" `Quick
+            test_conversions_roundtrip;
+        ] );
+      ( "dyn2 ladder",
+        [
+          Alcotest.test_case "small-width ground truth" `Quick
+            test_dyn2_ladder_small_width;
+          Alcotest.test_case "dense cap exceeded" `Quick
+            test_dense_cap_exceeded;
+          Alcotest.test_case "wide basis-sparse acceptance" `Quick
+            test_wide_basis_sparse_acceptance;
+          Alcotest.test_case "wide backend auto" `Quick test_wide_backend_auto;
+        ] );
+    ]
